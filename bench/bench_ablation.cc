@@ -1,0 +1,94 @@
+// Ablations for the design choices DESIGN.md calls out (not in the paper):
+//   1. MPTA candidate cap K — quality/width/CPU trade-off of the top-K
+//      restriction plus greedy completion.
+//   2. IAU weights alpha = beta — how strongly inequity aversion trades
+//      average payoff for fairness in FGT (alpha = 0 is a fairness-blind
+//      best-response game).
+//   3. Pareto frontier depth — how many (time, slack) sequence options per
+//      C-VDPS are worth keeping for far-from-center workers.
+
+#include "bench/common.h"
+
+namespace fta {
+namespace bench {
+namespace {
+
+void AblateMptaCandidates(const Instance& instance) {
+  ResultTable t("Ablation — MPTA candidates-per-worker cap K",
+                {"K", "total payoff", "avg payoff", "P_dif", "exact",
+                 "width", "CPU (ms)"});
+  for (size_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    SolverOptions options = GmOptions();
+    const VdpsCatalog catalog =
+        VdpsCatalog::Generate(instance, options.vdps);
+    MptaConfig config = options.mpta;
+    config.candidates_per_worker = k;
+    CpuTimer timer;
+    const MptaResult r = SolveMpta(instance, catalog, config);
+    const double ms = timer.ElapsedMillis();
+    t.AddRow({StrFormat("%zu", k),
+              StrFormat("%.2f", r.assignment.TotalPayoff(instance)),
+              StrFormat("%.4f", r.assignment.AveragePayoff(instance)),
+              StrFormat("%.4f", r.assignment.PayoffDifference(instance)),
+              r.exact ? "yes" : "no", StrFormat("%d", r.width),
+              StrFormat("%.1f", ms)});
+  }
+  std::printf("%s\n", t.ToText().c_str());
+}
+
+void AblateIauWeights(const Instance& instance) {
+  ResultTable t("Ablation — FGT inequity-aversion weight (alpha = beta)",
+                {"alpha", "P_dif", "avg payoff", "rounds"});
+  const VdpsCatalog catalog =
+      VdpsCatalog::Generate(instance, GmOptions().vdps);
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    FgtConfig config;
+    config.iau = IauParams{alpha, alpha};
+    const GameResult r = SolveFgt(instance, catalog, config);
+    t.AddRow({StrFormat("%.2f", alpha),
+              StrFormat("%.4f", r.assignment.PayoffDifference(instance)),
+              StrFormat("%.4f", r.assignment.AveragePayoff(instance)),
+              StrFormat("%d", r.rounds)});
+  }
+  std::printf("%s\n", t.ToText().c_str());
+}
+
+void AblateParetoDepth(const Instance& instance) {
+  ResultTable t("Ablation — Pareto frontier depth per C-VDPS",
+                {"depth", "entries", "strategies", "IEGT P_dif",
+                 "IEGT avg payoff", "gen CPU (ms)"});
+  for (uint32_t depth : {1u, 2u, 4u, 8u}) {
+    VdpsConfig vdps = GmOptions().vdps;
+    vdps.max_pareto = depth;
+    CpuTimer timer;
+    const VdpsCatalog catalog = VdpsCatalog::Generate(instance, vdps);
+    const double gen_ms = timer.ElapsedMillis();
+    size_t strategies = 0;
+    for (size_t w = 0; w < catalog.num_workers(); ++w) {
+      strategies += catalog.strategies(w).size();
+    }
+    const GameResult r = SolveIegt(instance, catalog);
+    t.AddRow({StrFormat("%u", depth),
+              StrFormat("%zu", catalog.num_entries()),
+              StrFormat("%zu", strategies),
+              StrFormat("%.4f", r.assignment.PayoffDifference(instance)),
+              StrFormat("%.4f", r.assignment.AveragePayoff(instance)),
+              StrFormat("%.1f", gen_ms)});
+  }
+  std::printf("%s\n", t.ToText().c_str());
+}
+
+void Main() {
+  PrintHeader("Ablations — MPTA cap K, IAU weights, Pareto depth");
+  const Instance instance =
+      GenerateGMissionLike(GmDefault(), GmPrepDefault());
+  AblateMptaCandidates(instance);
+  AblateIauWeights(instance);
+  AblateParetoDepth(instance);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fta
+
+int main() { fta::bench::Main(); }

@@ -1,0 +1,34 @@
+// Figure 10: effect of the task expiration time e on SYN.
+//
+// Paper shape: payoff differences first rise with e (more reachable
+// delivery points -> more strategy choices -> more inequity room) then
+// plateau once every reachable point is reachable (e >= 1.5); average
+// payoffs and CPU times rise then plateau for the same reason.
+
+#include "bench/common.h"
+
+namespace fta {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintHeader("Figure 10 — effect of the expiration time e (SYN)");
+  const std::vector<double> expiries{0.5, 1.0, 1.5, 2.0, 2.5};
+  std::vector<std::string> labels;
+  for (double e : expiries) labels.push_back(StrFormat("%.1fh", e));
+  const SweepResult syn = RunParameterSweep(
+      "Fig 10 SYN", "e", labels,
+      [&](size_t p) {
+        SynConfig config = SynDefault();
+        config.expiry = expiries[p];
+        return GenerateSyn(config);
+      },
+      PaperSeries(SynOptions()));
+  std::printf("%s\n", syn.ToText().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fta
+
+int main() { fta::bench::Main(); }

@@ -1,0 +1,70 @@
+// Figures 2 and 3: effect of the distance-constrained pruning threshold ε
+// on both datasets — payoff difference, average payoff and CPU time for
+// MPTA / GTA / FGT / IEGT with pruning at each ε, against the *-W variants
+// (same algorithms with unpruned VDPS generation, ε = ∞), which appear as
+// flat reference rows.
+//
+// Paper shape: beyond a knee (ε >= 0.6 on GM, ε >= 2 on SYN) the pruned
+// effectiveness matches the -W rows while CPU time stays far below them.
+
+#include "bench/common.h"
+
+namespace fta {
+namespace bench {
+namespace {
+
+void RunEpsilonSweep(const char* figure, const MultiCenterInstance& multi,
+                     const SolverOptions& base,
+                     const std::vector<double>& epsilons) {
+  std::vector<std::string> header{"algorithm"};
+  for (double e : epsilons) header.push_back(StrFormat("eps=%.2g", e));
+
+  ResultTable pdif(std::string(figure) + "(a) — payoff difference", header);
+  ResultTable avg(std::string(figure) + "(b) — average payoff", header);
+  ResultTable cpu(std::string(figure) + "(c/d) — CPU time (s)", header);
+
+  for (Algorithm a : PaperAlgorithms()) {
+    std::vector<double> row_pdif, row_avg, row_cpu;
+    for (double e : epsilons) {
+      SolverOptions options = base;
+      options.vdps.epsilon = e;
+      const RunMetrics m = RunOnMulti(a, multi, options);
+      row_pdif.push_back(m.payoff_difference);
+      row_avg.push_back(m.average_payoff);
+      row_cpu.push_back(m.cpu_seconds);
+    }
+    pdif.AddNumericRow(AlgorithmName(a), row_pdif);
+    avg.AddNumericRow(AlgorithmName(a), row_avg);
+    cpu.AddNumericRow(AlgorithmName(a), row_cpu);
+  }
+  // -W variants: unpruned generation; constant in ε, shown as flat rows.
+  for (Algorithm a : PaperAlgorithms()) {
+    SolverOptions options = base;
+    options.vdps.epsilon = kInfinity;
+    const RunMetrics m = RunOnMulti(a, multi, options);
+    const std::string name = std::string(AlgorithmName(a)) + "-W";
+    pdif.AddNumericRow(name,
+                       std::vector<double>(epsilons.size(),
+                                           m.payoff_difference));
+    avg.AddNumericRow(name, std::vector<double>(epsilons.size(),
+                                                m.average_payoff));
+    cpu.AddNumericRow(name,
+                      std::vector<double>(epsilons.size(), m.cpu_seconds));
+  }
+  std::printf("%s\n%s\n%s\n", pdif.ToText().c_str(), avg.ToText().c_str(),
+              cpu.ToText().c_str());
+}
+
+void Main() {
+  PrintHeader("Figures 2-3 — effect of the pruning threshold epsilon");
+  RunEpsilonSweep("Fig 2 GM ", GmMulti(GmDefault(), GmPrepDefault()),
+                  GmOptions(), {0.2, 0.4, 0.6, 0.8, 1.0});
+  RunEpsilonSweep("Fig 3 SYN ", GenerateSyn(SynDefault()), SynOptions(),
+                  {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0});
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fta
+
+int main() { fta::bench::Main(); }

@@ -1,0 +1,57 @@
+// Figures 4 and 5: effect of the number of tasks |S| on both datasets.
+//
+// Paper shape: payoff differences and average payoffs of all methods grow
+// with |S| (more tasks -> higher payoffs -> more room for inequity); IEGT's
+// payoff difference stays well below the others (18-35% of theirs); CPU
+// time is nearly flat in |S| (tasks are bundled per delivery point).
+
+#include "bench/common.h"
+
+namespace fta {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintHeader("Figures 4-5 — effect of the number of tasks |S|");
+
+  {
+    const std::vector<size_t> sizes{100, 200, 300, 400, 500};
+    std::vector<std::string> labels;
+    for (size_t s : sizes) labels.push_back(StrFormat("%zu", s));
+    const SweepResult gm = RunParameterSweep(
+        "Fig 4 GM", "|S|", labels,
+        [&](size_t p) {
+          GMissionConfig config = GmDefault();
+          config.num_tasks = sizes[p];
+          return GmMulti(config, GmPrepDefault());
+        },
+        PaperSeries(GmOptions()));
+    std::printf("%s\n", gm.ToText().c_str());
+  }
+  {
+    const std::vector<size_t> paper_sizes{25000, 50000, 75000, 100000,
+                                          125000};
+    std::vector<std::string> labels;
+    for (size_t s : paper_sizes) {
+      labels.push_back(StrFormat("%zu", static_cast<size_t>(
+                                            static_cast<double>(s) *
+                                            kSynScale)));
+    }
+    const SweepResult syn = RunParameterSweep(
+        "Fig 5 SYN", "|S|", labels,
+        [&](size_t p) {
+          SynConfig config = SynDefault();
+          config.num_tasks = static_cast<size_t>(
+              static_cast<double>(paper_sizes[p]) * kSynScale);
+          return GenerateSyn(config);
+        },
+        PaperSeries(SynOptions()));
+    std::printf("%s\n", syn.ToText().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fta
+
+int main() { fta::bench::Main(); }

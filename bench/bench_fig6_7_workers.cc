@@ -1,0 +1,55 @@
+// Figures 6 and 7: effect of the number of workers |W| on both datasets.
+//
+// Paper shape: the payoff differences of MPTA / GTA / FGT fall as |W|
+// grows (more workers spread the payoffs); IEGT stays flat and lowest
+// (evolutionary stability); MPTA has the highest average payoff and is by
+// far the most CPU-hungry.
+
+#include "bench/common.h"
+
+namespace fta {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintHeader("Figures 6-7 — effect of the number of workers |W|");
+
+  {
+    const std::vector<size_t> sizes{20, 40, 60, 80, 100};
+    std::vector<std::string> labels;
+    for (size_t s : sizes) labels.push_back(StrFormat("%zu", s));
+    const SweepResult gm = RunParameterSweep(
+        "Fig 6 GM", "|W|", labels,
+        [&](size_t p) {
+          GMissionConfig config = GmDefault();
+          config.num_workers = sizes[p];
+          return GmMulti(config, GmPrepDefault());
+        },
+        PaperSeries(GmOptions()));
+    std::printf("%s\n", gm.ToText().c_str());
+  }
+  {
+    const std::vector<size_t> paper_sizes{1000, 2000, 3000, 4000, 5000};
+    std::vector<std::string> labels;
+    for (size_t s : paper_sizes) {
+      labels.push_back(StrFormat(
+          "%zu", static_cast<size_t>(static_cast<double>(s) * kSynScale)));
+    }
+    const SweepResult syn = RunParameterSweep(
+        "Fig 7 SYN", "|W|", labels,
+        [&](size_t p) {
+          SynConfig config = SynDefault();
+          config.num_workers = static_cast<size_t>(
+              static_cast<double>(paper_sizes[p]) * kSynScale);
+          return GenerateSyn(config);
+        },
+        PaperSeries(SynOptions()));
+    std::printf("%s\n", syn.ToText().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fta
+
+int main() { fta::bench::Main(); }

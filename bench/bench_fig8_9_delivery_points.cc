@@ -1,0 +1,54 @@
+// Figures 8 and 9: effect of the number of delivery points |DP| on both
+// datasets. On GM, |DP| is the k of the paper's k-means preparation.
+//
+// Paper shape: payoff differences decline as |DP| grows (more strategies
+// per worker -> easier to equalize); average payoffs also decline (the
+// same tasks spread over more points -> fewer tasks per stop); MPTA's CPU
+// time dwarfs the others.
+
+#include "bench/common.h"
+
+namespace fta {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintHeader("Figures 8-9 — effect of the number of delivery points |DP|");
+
+  {
+    const std::vector<size_t> sizes{20, 40, 60, 80, 100};
+    std::vector<std::string> labels;
+    for (size_t s : sizes) labels.push_back(StrFormat("%zu", s));
+    const SweepResult gm = RunParameterSweep(
+        "Fig 8 GM", "|DP|", labels,
+        [&](size_t p) {
+          return GmMulti(GmDefault(), GmPrepDefault(sizes[p]));
+        },
+        PaperSeries(GmOptions()));
+    std::printf("%s\n", gm.ToText().c_str());
+  }
+  {
+    const std::vector<size_t> paper_sizes{3000, 3500, 4000, 4500, 5000};
+    std::vector<std::string> labels;
+    for (size_t s : paper_sizes) {
+      labels.push_back(StrFormat(
+          "%zu", static_cast<size_t>(static_cast<double>(s) * kSynScale)));
+    }
+    const SweepResult syn = RunParameterSweep(
+        "Fig 9 SYN", "|DP|", labels,
+        [&](size_t p) {
+          SynConfig config = SynDefault();
+          config.num_delivery_points = static_cast<size_t>(
+              static_cast<double>(paper_sizes[p]) * kSynScale);
+          return GenerateSyn(config);
+        },
+        PaperSeries(SynOptions()));
+    std::printf("%s\n", syn.ToText().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fta
+
+int main() { fta::bench::Main(); }

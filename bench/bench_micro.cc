@@ -1,0 +1,176 @@
+// Micro-benchmarks (google-benchmark) for the library's hot paths: C-VDPS
+// generation with and without pruning, IAU evaluation, best-response
+// rounds, the solvers end-to-end, k-means, tree-decomposition MWIS, and
+// grid-index radius queries.
+
+#include <benchmark/benchmark.h>
+
+#include "fta/fta.h"
+
+namespace fta {
+namespace {
+
+Instance GmInstance(size_t tasks = 200, size_t dps = 100,
+                    size_t workers = 40) {
+  GMissionConfig config;
+  config.num_tasks = tasks;
+  config.num_workers = workers;
+  config.seed = 11;
+  GMissionPrepConfig prep;
+  prep.num_delivery_points = dps;
+  prep.seed = 12;
+  return GenerateGMissionLike(config, prep);
+}
+
+VdpsConfig PrunedVdps(double epsilon = 0.6) {
+  VdpsConfig vdps;
+  vdps.epsilon = epsilon;
+  vdps.max_set_size = 3;
+  return vdps;
+}
+
+void BM_VdpsGenerationPruned(benchmark::State& state) {
+  const Instance inst = GmInstance();
+  const VdpsConfig vdps =
+      PrunedVdps(static_cast<double>(state.range(0)) / 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VdpsCatalog::Generate(inst, vdps));
+  }
+}
+BENCHMARK(BM_VdpsGenerationPruned)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_VdpsGenerationUnpruned(benchmark::State& state) {
+  const Instance inst = GmInstance();
+  VdpsConfig vdps;
+  vdps.max_set_size = 3;  // epsilon = infinity
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VdpsCatalog::Generate(inst, vdps));
+  }
+}
+BENCHMARK(BM_VdpsGenerationUnpruned);
+
+void BM_VdpsExactDp(benchmark::State& state) {
+  const Instance inst =
+      GmInstance(60, static_cast<size_t>(state.range(0)), 10);
+  VdpsConfig vdps;
+  vdps.max_set_size = 3;
+  vdps.use_exact_dp = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VdpsCatalog::Generate(inst, vdps));
+  }
+}
+BENCHMARK(BM_VdpsExactDp)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_IauNaive(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> others(static_cast<size_t>(state.range(0)));
+  for (double& p : others) p = rng.Uniform(0, 10);
+  const IauParams params;
+  double own = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Iau(own, others, params));
+  }
+}
+BENCHMARK(BM_IauNaive)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_IauOthersView(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> others(static_cast<size_t>(state.range(0)));
+  for (double& p : others) p = rng.Uniform(0, 10);
+  const OthersView view(others);
+  const IauParams params;
+  double own = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.Iau(own, params));
+  }
+}
+BENCHMARK(BM_IauOthersView)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FgtSolve(benchmark::State& state) {
+  const Instance inst = GmInstance();
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, PrunedVdps());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveFgt(inst, catalog));
+  }
+}
+BENCHMARK(BM_FgtSolve);
+
+void BM_IegtSolve(benchmark::State& state) {
+  const Instance inst = GmInstance();
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, PrunedVdps());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveIegt(inst, catalog));
+  }
+}
+BENCHMARK(BM_IegtSolve);
+
+void BM_GtaSolve(benchmark::State& state) {
+  const Instance inst = GmInstance();
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, PrunedVdps());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveGta(inst, catalog));
+  }
+}
+BENCHMARK(BM_GtaSolve);
+
+void BM_MptaSolve(benchmark::State& state) {
+  const Instance inst = GmInstance();
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, PrunedVdps());
+  MptaConfig config;
+  config.candidates_per_worker = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMpta(inst, catalog, config));
+  }
+}
+BENCHMARK(BM_MptaSolve)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng data_rng(3);
+  std::vector<Point> pts(static_cast<size_t>(state.range(0)));
+  for (Point& p : pts) {
+    p = {data_rng.Uniform(0, 100), data_rng.Uniform(0, 100)};
+  }
+  for (auto _ : state) {
+    Rng rng(4);
+    benchmark::DoNotOptimize(KMeans(pts, 50, rng));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(1000)->Arg(10000);
+
+void BM_TreeDecompositionMwis(benchmark::State& state) {
+  Rng rng(5);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graph g(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(4.0 / static_cast<double>(n))) g.AddEdge(u, v);
+    }
+  }
+  std::vector<double> w(n);
+  for (double& x : w) x = rng.Uniform(0.1, 10.0);
+  for (auto _ : state) {
+    const TreeDecomposition td = TreeDecomposition::Build(g);
+    benchmark::DoNotOptimize(MwisOverTreeDecomposition(g, w, td, 24));
+  }
+}
+BENCHMARK(BM_TreeDecompositionMwis)->Arg(50)->Arg(200);
+
+void BM_GridRadiusQuery(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<Point> pts(static_cast<size_t>(state.range(0)));
+  for (Point& p : pts) p = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+  const GridIndex index(pts, 2.0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Point q{static_cast<double>(i % 100),
+                  static_cast<double>((i * 7) % 100)};
+    benchmark::DoNotOptimize(index.RadiusQuery(q, 2.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_GridRadiusQuery)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace fta
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table I of the paper: the experiment parameter grid (default values
+// underlined -> marked with *), plus a run of all four algorithms at the
+// default configuration of both datasets.
+
+#include "bench/common.h"
+
+namespace fta {
+namespace bench {
+namespace {
+
+void PrintParameterTable() {
+  ResultTable t("Table I — experiment parameters (* = default)",
+                {"parameter", "values"});
+  t.AddRow({"epsilon (km) (GM)", "0.2, 0.4, 0.6*, 0.8, 1"});
+  t.AddRow({"epsilon (km) (SYN)", "0.5, 1, 1.5, 2*, 2.5, 3, 3.5, 4"});
+  t.AddRow({"|S| (GM)", "100, 200*, 300, 400, 500"});
+  t.AddRow({"|S| (SYN, x scale)", "25K, 50K, 75K, 100K*, 125K"});
+  t.AddRow({"|W| (GM)", "20, 40*, 60, 80, 100"});
+  t.AddRow({"|W| (SYN, x scale)", "1K, 2K*, 3K, 4K, 5K"});
+  t.AddRow({"|DP| (GM)", "20, 40, 60, 80, 100*"});
+  t.AddRow({"|DP| (SYN, x scale)", "3K, 3.5K, 4K, 4.5K, 5K*"});
+  t.AddRow({"expiration e (h) (SYN)", "0.5, 1, 1.5, 2*, 2.5"});
+  t.AddRow({"maxDP (SYN)", "1, 2, 3*, 4"});
+  std::printf("%s\n", t.ToText().c_str());
+}
+
+void RunDefaults(const char* name, const MultiCenterInstance& multi,
+                 const SolverOptions& options) {
+  ResultTable t(std::string(name) + " — default configuration",
+                {"algorithm", "P_dif", "avg payoff", "CPU (s)", "assigned"});
+  for (Algorithm a : PaperAlgorithms()) {
+    const RunMetrics m = RunOnMulti(a, multi, options);
+    t.AddRow({AlgorithmName(a), StrFormat("%.4f", m.payoff_difference),
+              StrFormat("%.4f", m.average_payoff),
+              StrFormat("%.3f", m.cpu_seconds),
+              StrFormat("%zu/%zu", m.assigned_workers, m.num_workers)});
+  }
+  std::printf("%s\n", t.ToText().c_str());
+}
+
+void Main() {
+  PrintHeader("Table I — parameters & default-configuration comparison");
+  PrintParameterTable();
+  RunDefaults("gMission", GmMulti(GmDefault(), GmPrepDefault()),
+              GmOptions());
+  RunDefaults("SYN", GenerateSyn(SynDefault()), SynOptions());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fta
+
+int main() { fta::bench::Main(); }

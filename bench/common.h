@@ -1,0 +1,93 @@
+#ifndef FTA_BENCH_COMMON_H_
+#define FTA_BENCH_COMMON_H_
+
+/// Shared configuration of the paper-reproduction benches.
+///
+/// The paper's SYN scale (100K tasks / 5K delivery points / 2K workers /
+/// 50 centers on a 2x20-core Xeon) is shrunk by kSynScale with population
+/// ratios and spatial densities preserved (see ScaleSyn); all reported
+/// comparisons are relative between algorithms at matched inputs, so the
+/// figure *shapes* survive the scaling. Every bench prints the factor.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fta/fta.h"
+
+namespace fta {
+namespace bench {
+
+/// Population scale factor applied to the paper's SYN numbers.
+inline constexpr double kSynScale = 0.05;
+
+/// Paper Table I defaults for the gMission dataset (|S|=200, |W|=40,
+/// |DP|=100, ε=0.6 km), synthesized per DESIGN.md §4.
+inline GMissionConfig GmDefault(uint64_t seed = 101) {
+  GMissionConfig config;
+  config.num_tasks = 200;
+  config.num_workers = 40;
+  config.seed = seed;
+  return config;
+}
+
+inline GMissionPrepConfig GmPrepDefault(size_t num_dps = 100,
+                                        uint32_t max_dp = 3) {
+  GMissionPrepConfig prep;
+  prep.num_delivery_points = num_dps;
+  prep.max_dp = max_dp;
+  prep.seed = 102;
+  return prep;
+}
+
+/// One-center wrapper so GM instances fit the multi-center sweep API.
+inline MultiCenterInstance GmMulti(const GMissionConfig& config,
+                                   const GMissionPrepConfig& prep) {
+  MultiCenterInstance multi;
+  multi.centers.push_back(GenerateGMissionLike(config, prep));
+  return multi;
+}
+
+/// Paper Table I defaults for SYN, scaled by kSynScale.
+inline SynConfig SynDefault(uint64_t seed = 103) {
+  SynConfig config;  // paper defaults baked into SynConfig
+  config.seed = seed;
+  return ScaleSyn(config, kSynScale);
+}
+
+/// Default solver options per dataset (underlined Table I values).
+inline SolverOptions GmOptions() {
+  SolverOptions options;
+  options.vdps.epsilon = 0.6;
+  options.vdps.max_set_size = 3;
+  return options;
+}
+
+inline SolverOptions SynOptions() {
+  SolverOptions options;
+  options.vdps.epsilon = 2.0;
+  options.vdps.max_set_size = 3;
+  return options;
+}
+
+/// The four paper algorithms as sweep series under common options.
+inline std::vector<SweepSeries> PaperSeries(const SolverOptions& options) {
+  std::vector<SweepSeries> series;
+  for (Algorithm a : PaperAlgorithms()) {
+    series.push_back({AlgorithmName(a), a, options});
+  }
+  return series;
+}
+
+inline void PrintHeader(const std::string& what) {
+  std::printf("############################################################\n");
+  std::printf("# %s\n", what.c_str());
+  std::printf("# SYN populations scaled by %.3g vs. the paper (see DESIGN.md)\n",
+              kSynScale);
+  std::printf("############################################################\n\n");
+}
+
+}  // namespace bench
+}  // namespace fta
+
+#endif  // FTA_BENCH_COMMON_H_

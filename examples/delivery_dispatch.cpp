@@ -1,0 +1,84 @@
+// Delivery dispatch: the paper's motivating use case (Section I) — a local
+// food-and-package hub dispatching couriers at one point in time. Generates
+// a realistic clustered city (gMission-like), prepares it with the paper's
+// k-means pipeline, dispatches with IEGT, and prints a human-readable
+// dispatch sheet plus fairness diagnostics.
+//
+// Usage:   ./build/examples/delivery_dispatch [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fta/fta.h"
+
+int main(int argc, char** argv) {
+  using namespace fta;
+  const uint64_t seed =
+      argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 2024;
+
+  // A lunch-rush snapshot: 180 pending orders across 8 restaurant hotspots
+  // in a 10 km x 10 km city, 14 couriers online, drop-offs aggregated into
+  // 36 delivery zones.
+  GMissionConfig city;
+  city.num_tasks = 180;
+  city.num_workers = 14;
+  city.num_hotspots = 8;
+  city.area = 10.0;
+  city.expiry_min = 1.0;
+  city.expiry_max = 2.5;
+  city.seed = seed;
+  GMissionPrepConfig prep;
+  prep.num_delivery_points = 36;
+  prep.max_dp = 3;       // couriers accept at most 3 stops per run
+  prep.speed = 15.0;     // e-bikes, km/h
+  prep.seed = seed + 1;
+  const Instance hub = GenerateGMissionLike(city, prep);
+
+  std::printf("dispatch snapshot: %zu orders, %zu zones, %zu couriers\n",
+              hub.num_tasks(), hub.num_delivery_points(), hub.num_workers());
+
+  VdpsConfig vdps;
+  vdps.epsilon = 2.0;  // only chain zones within 2 km of each other
+  vdps.max_set_size = 3;
+  Stopwatch wall;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(hub, vdps);
+  std::printf("%s  (%.0f ms)\n\n", catalog.Summary().c_str(),
+              wall.ElapsedMillis());
+
+  IegtConfig config;
+  config.seed = seed;
+  config.record_trace = true;
+  const GameResult result = SolveIegt(hub, catalog, config);
+
+  std::printf("--- dispatch sheet (IEGT, %d evolution rounds) ---\n",
+              result.rounds);
+  const std::vector<double> payoffs = result.assignment.Payoffs(hub);
+  for (size_t w = 0; w < hub.num_workers(); ++w) {
+    const Route& route = result.assignment.route(w);
+    if (route.empty()) {
+      std::printf("courier %2zu: standby\n", w);
+      continue;
+    }
+    const RouteEvaluation eval = EvaluateRoute(hub, w, route);
+    std::printf("courier %2zu: ", w);
+    for (size_t i = 0; i < route.size(); ++i) {
+      std::printf(i == 0 ? "zone%-3u" : "-> zone%-3u", route[i]);
+    }
+    std::printf("  (%2.0f orders, %.2fh, payoff %.2f)\n", eval.total_reward,
+                eval.total_time, eval.payoff);
+  }
+  std::printf("\norders covered:    %zu / %zu\n",
+              result.assignment.num_covered_tasks(hub), hub.num_tasks());
+  std::printf("payoff difference: %.3f   (fairness, lower is better)\n",
+              result.assignment.PayoffDifference(hub));
+  std::printf("average payoff:    %.3f\n",
+              result.assignment.AveragePayoff(hub));
+  std::printf("payoff Gini:       %.3f\n", Gini(payoffs));
+
+  std::printf("\nconvergence (payoff difference per round):\n  ");
+  for (const IterationStats& s : result.trace) {
+    std::printf("%.2f ", s.payoff_difference);
+  }
+  std::printf("\n");
+  return 0;
+}

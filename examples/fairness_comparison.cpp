@@ -1,0 +1,54 @@
+// Fairness comparison: runs all four task-assignment algorithms of the
+// paper's evaluation (MPTA, GTA, FGT, IEGT) on the same instance and prints
+// the paper's three metrics side by side — the one-instance version of
+// Figures 4-9.
+//
+// Usage:   ./build/examples/fairness_comparison [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fta/fta.h"
+
+int main(int argc, char** argv) {
+  using namespace fta;
+  const uint64_t seed =
+      argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 7;
+
+  GMissionConfig config;
+  config.num_tasks = 200;
+  config.num_workers = 20;
+  config.seed = seed;
+  GMissionPrepConfig prep;
+  prep.num_delivery_points = 40;
+  prep.seed = seed + 1;
+  const Instance instance = GenerateGMissionLike(config, prep);
+  std::printf("instance: %zu tasks, %zu delivery points, %zu workers\n\n",
+              instance.num_tasks(), instance.num_delivery_points(),
+              instance.num_workers());
+
+  SolverOptions options;
+  options.vdps.epsilon = 2.0;
+  options.seed = seed;
+
+  ResultTable table("algorithm comparison",
+                    {"algorithm", "P_dif", "avg payoff", "total payoff",
+                     "assigned", "CPU ms", "rounds"});
+  for (Algorithm a : PaperAlgorithms()) {
+    const RunMetrics m = RunOnInstance(a, instance, options);
+    table.AddRow({AlgorithmName(a), StrFormat("%.4f", m.payoff_difference),
+                  StrFormat("%.4f", m.average_payoff),
+                  StrFormat("%.2f", m.total_payoff),
+                  StrFormat("%zu/%zu", m.assigned_workers, m.num_workers),
+                  StrFormat("%.1f", m.cpu_seconds * 1e3),
+                  StrFormat("%d", m.rounds)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+
+  std::printf(
+      "reading guide: MPTA maximizes total payoff but is unfair; GTA is\n"
+      "fast and greedy; FGT reaches a pure Nash equilibrium of the\n"
+      "inequity-aversion game; IEGT's evolutionary dynamics give the\n"
+      "smallest payoff difference (the paper's headline result).\n");
+  return 0;
+}

@@ -1,0 +1,263 @@
+// fta_tool — command-line front end for the library. Subcommands:
+//
+//   generate   synthesize a dataset and write it to a CSV instance file
+//     ./fta_tool generate --family=syn --scale=0.05 --out=syn.csv
+//     ./fta_tool generate --family=gm --tasks=200 --workers=40 --out=gm.csv
+//
+//   solve      load an instance file, run an algorithm, print metrics
+//     ./fta_tool solve --algorithm=iegt --epsilon=2 --svg=out.svg syn.csv
+//
+//   repeat     multi-seed statistical comparison of all four algorithms
+//     ./fta_tool repeat --family=gm --seeds=5
+//
+//   simulate   multi-wave day simulation
+//     ./fta_tool simulate --algorithm=iegt --waves=12
+//
+// Every knob has a sane default; run a subcommand with --help for flags.
+
+#include <cstdio>
+#include <string>
+
+#include "fta/fta.h"
+
+namespace fta {
+namespace {
+
+StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "mpta") return Algorithm::kMpta;
+  if (name == "gta") return Algorithm::kGta;
+  if (name == "fgt") return Algorithm::kFgt;
+  if (name == "iegt") return Algorithm::kIegt;
+  if (name == "random") return Algorithm::kRandom;
+  return Status::InvalidArgument(
+      "unknown algorithm '" + name + "' (mpta|gta|fgt|iegt|random)");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(int argc, const char* const* argv) {
+  std::string family = "syn";
+  std::string out = "dataset.csv";
+  double scale = 0.05;
+  size_t tasks = 200, workers = 40, dps = 100;
+  int64_t seed = 7;
+  bool help = false;
+  FlagParser flags;
+  flags.AddString("family", &family, "dataset family: syn | gm");
+  flags.AddString("out", &out, "output instance file");
+  flags.AddDouble("scale", &scale, "SYN population scale vs. the paper");
+  flags.AddSizeT("tasks", &tasks, "GM task count");
+  flags.AddSizeT("workers", &workers, "GM worker count");
+  flags.AddSizeT("dps", &dps, "GM delivery point count (k-means k)");
+  flags.AddInt("seed", &seed, "generator seed");
+  flags.AddBool("help", &help, "show flags");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  if (help) {
+    std::printf("generate flags:\n%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  MultiCenterInstance multi;
+  if (family == "syn") {
+    SynConfig config = ScaleSyn(SynConfig{}, scale);
+    config.seed = static_cast<uint64_t>(seed);
+    multi = GenerateSyn(config);
+  } else if (family == "gm") {
+    GMissionConfig config;
+    config.num_tasks = tasks;
+    config.num_workers = workers;
+    config.seed = static_cast<uint64_t>(seed);
+    GMissionPrepConfig prep;
+    prep.num_delivery_points = dps;
+    prep.seed = static_cast<uint64_t>(seed) + 1;
+    multi.centers.push_back(GenerateGMissionLike(config, prep));
+  } else {
+    return Fail(Status::InvalidArgument("--family must be syn or gm"));
+  }
+  if (Status s = SaveInstances(out, multi); !s.ok()) return Fail(s);
+  std::printf("wrote %s: %zu centers, %zu workers, %zu delivery points, "
+              "%zu tasks\n",
+              out.c_str(), multi.centers.size(), multi.num_workers(),
+              multi.num_delivery_points(), multi.num_tasks());
+  return 0;
+}
+
+int CmdSolve(int argc, const char* const* argv) {
+  std::string algorithm_name = "iegt";
+  std::string svg;
+  double epsilon = 2.0;
+  size_t max_set = 3;
+  size_t threads = 1;
+  int64_t seed = 1;
+  bool help = false;
+  FlagParser flags;
+  flags.AddString("algorithm", &algorithm_name,
+                  "mpta | gta | fgt | iegt | random");
+  flags.AddDouble("epsilon", &epsilon, "pruning threshold (km; 0 = off)");
+  flags.AddSizeT("max_set", &max_set, "max delivery points per VDPS");
+  flags.AddSizeT("threads", &threads, "threads across centers");
+  flags.AddInt("seed", &seed, "solver seed");
+  flags.AddString("svg", &svg,
+                  "write the first center's assignment as SVG here");
+  flags.AddBool("help", &help, "show flags");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  if (help || flags.positional().size() != 2) {
+    std::printf("usage: fta_tool solve [flags] <instance.csv>\n%s",
+                flags.Usage().c_str());
+    return help ? 0 : 1;
+  }
+
+  StatusOr<Algorithm> algorithm = ParseAlgorithm(algorithm_name);
+  if (!algorithm.ok()) return Fail(algorithm.status());
+  StatusOr<MultiCenterInstance> multi = LoadInstances(flags.positional()[1]);
+  if (!multi.ok()) return Fail(multi.status());
+
+  SolverOptions options;
+  options.vdps.epsilon = epsilon > 0 ? epsilon : kInfinity;
+  options.vdps.max_set_size = static_cast<uint32_t>(max_set);
+  options.seed = static_cast<uint64_t>(seed);
+  const RunMetrics m = RunOnMulti(*algorithm, *multi, options, threads);
+  std::printf(
+      "%s on %zu centers: P_dif %.4f | avg payoff %.4f | total %.2f | "
+      "assigned %zu/%zu | covered tasks %zu | CPU %.3fs\n",
+      AlgorithmName(*algorithm), multi->centers.size(), m.payoff_difference,
+      m.average_payoff, m.total_payoff, m.assigned_workers, m.num_workers,
+      m.covered_tasks, m.cpu_seconds);
+
+  if (!svg.empty() && !multi->centers.empty()) {
+    // Re-solve the first center alone for the picture.
+    const Instance& first = multi->centers[0];
+    const VdpsCatalog catalog = VdpsCatalog::Generate(first, options.vdps);
+    Assignment assignment;
+    switch (*algorithm) {
+      case Algorithm::kMpta:
+        assignment = SolveMpta(first, catalog).assignment;
+        break;
+      case Algorithm::kGta:
+        assignment = SolveGta(first, catalog);
+        break;
+      case Algorithm::kFgt:
+        assignment = SolveFgt(first, catalog).assignment;
+        break;
+      case Algorithm::kIegt:
+        assignment = SolveIegt(first, catalog).assignment;
+        break;
+      case Algorithm::kRandom: {
+        Rng rng(static_cast<uint64_t>(seed));
+        assignment = SolveRandom(first, catalog, rng);
+        break;
+      }
+    }
+    if (Status s = WriteInstanceSvg(svg, first, &assignment); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s\n", svg.c_str());
+  }
+  return 0;
+}
+
+int CmdRepeat(int argc, const char* const* argv) {
+  std::string family = "gm";
+  size_t seeds = 5;
+  double epsilon = 2.0;
+  bool help = false;
+  FlagParser flags;
+  flags.AddString("family", &family, "dataset family: syn | gm");
+  flags.AddSizeT("seeds", &seeds, "number of seeds");
+  flags.AddDouble("epsilon", &epsilon, "pruning threshold");
+  flags.AddBool("help", &help, "show flags");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  if (help) {
+    std::printf("repeat flags:\n%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  const auto instance_for = [&](uint64_t seed) {
+    if (family == "syn") {
+      SynConfig config = ScaleSyn(SynConfig{}, 0.02);
+      config.seed = seed;
+      return GenerateSyn(config);
+    }
+    GMissionConfig config;
+    config.seed = seed;
+    GMissionPrepConfig prep;
+    prep.seed = seed + 1;
+    MultiCenterInstance multi;
+    multi.centers.push_back(GenerateGMissionLike(config, prep));
+    return multi;
+  };
+  SolverOptions options;
+  options.vdps.epsilon = epsilon;
+
+  ResultTable table(
+      StrFormat("%s over %zu seeds (mean ± 95%% CI)", family.c_str(), seeds),
+      {"algorithm", "P_dif", "avg payoff", "CPU (s)"});
+  for (Algorithm a : PaperAlgorithms()) {
+    const RepeatedRunSummary s =
+        RunRepeated(a, instance_for, options, seeds);
+    table.AddRow({AlgorithmName(a), s.payoff_difference.ToString(),
+                  s.average_payoff.ToString(), s.cpu_seconds.ToString()});
+  }
+  std::printf("%s", table.ToText().c_str());
+  return 0;
+}
+
+int CmdSimulate(int argc, const char* const* argv) {
+  std::string algorithm_name = "iegt";
+  int64_t waves = 12;
+  size_t workers = 12;
+  size_t tasks = 50;
+  int64_t seed = 99;
+  bool help = false;
+  FlagParser flags;
+  flags.AddString("algorithm", &algorithm_name,
+                  "mpta | gta | fgt | iegt | random");
+  flags.AddInt("waves", &waves, "assignment waves to simulate");
+  flags.AddSizeT("workers", &workers, "courier fleet size");
+  flags.AddSizeT("tasks", &tasks, "order arrivals per wave");
+  flags.AddInt("seed", &seed, "simulation seed");
+  flags.AddBool("help", &help, "show flags");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  if (help) {
+    std::printf("simulate flags:\n%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  StatusOr<Algorithm> algorithm = ParseAlgorithm(algorithm_name);
+  if (!algorithm.ok()) return Fail(algorithm.status());
+  SimulationConfig config;
+  config.algorithm = *algorithm;
+  config.num_waves = static_cast<int>(waves);
+  config.num_workers = workers;
+  config.tasks_per_wave = tasks;
+  config.options.vdps.epsilon = 2.5;
+  config.seed = static_cast<uint64_t>(seed);
+  const SimulationResult r = RunDispatchSimulation(config);
+  std::printf(
+      "%s, %d waves: served %zu, expired %zu, leftover %zu | earnings "
+      "P_dif %.3f, Gini %.3f, Jain %.3f\n",
+      AlgorithmName(*algorithm), config.num_waves, r.tasks_served,
+      r.tasks_expired, r.tasks_leftover, r.earnings_payoff_difference,
+      r.earnings_gini, r.earnings_jain);
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "solve") return CmdSolve(argc, argv);
+  if (command == "repeat") return CmdRepeat(argc, argv);
+  if (command == "simulate") return CmdSimulate(argc, argv);
+  std::printf(
+      "usage: fta_tool <generate|solve|repeat|simulate> [flags]\n"
+      "run a subcommand with --help for its flags\n");
+  return command.empty() ? 1 : (command == "--help" ? 0 : 1);
+}
+
+}  // namespace
+}  // namespace fta
+
+int main(int argc, char** argv) { return fta::Main(argc, argv); }

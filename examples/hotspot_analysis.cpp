@@ -1,0 +1,114 @@
+// Hotspot analysis: compares the paper's k-means data preparation with a
+// density-based alternative (DBSCAN). k-means forces exactly x delivery
+// points; DBSCAN discovers the actual task hotspots and leaves isolated
+// tasks as noise. The example preps the same raw task stream both ways and
+// dispatches with IEGT on each, showing how the prep choice moves the
+// fairness/coverage trade-off.
+//
+// Usage:   ./build/examples/hotspot_analysis [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fta/fta.h"
+
+namespace {
+
+/// Builds an instance from explicit delivery-point centroids + labels,
+/// mirroring PrepareGMissionInstance but with a caller-chosen clustering.
+fta::Instance InstanceFromClusters(const fta::RawCrowdData& raw,
+                                   const std::vector<fta::Point>& centroids,
+                                   const std::vector<int32_t>& labels,
+                                   uint32_t max_dp, double speed) {
+  using namespace fta;
+  Point center{0, 0};
+  for (const Point& p : raw.task_locations) {
+    center.x += p.x;
+    center.y += p.y;
+  }
+  center.x /= static_cast<double>(raw.task_locations.size());
+  center.y /= static_cast<double>(raw.task_locations.size());
+
+  std::vector<std::vector<SpatialTask>> tasks(centroids.size());
+  for (size_t t = 0; t < raw.task_locations.size(); ++t) {
+    if (labels[t] < 0) continue;  // noise task: not aggregated
+    const uint32_t c = static_cast<uint32_t>(labels[t]);
+    tasks[c].push_back(
+        SpatialTask{c, raw.task_expiries[t], raw.task_rewards[t]});
+  }
+  std::vector<DeliveryPoint> dps;
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    dps.emplace_back(centroids[c], std::move(tasks[c]));
+  }
+  std::vector<Worker> workers;
+  for (const Point& p : raw.worker_locations) {
+    workers.push_back(Worker{p, max_dp});
+  }
+  return Instance(center, std::move(dps), std::move(workers),
+                  TravelModel(speed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fta;
+  const uint64_t seed =
+      argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 77;
+
+  GMissionConfig config;
+  config.num_tasks = 300;
+  config.num_workers = 16;
+  config.num_hotspots = 6;
+  config.seed = seed;
+  const RawCrowdData raw = GenerateGMissionRaw(config);
+
+  // --- DBSCAN hotspot detection on the raw task stream.
+  DbscanConfig dbscan_config;
+  dbscan_config.epsilon = 0.6;
+  dbscan_config.min_points = 5;
+  const DbscanResult hotspots = Dbscan(raw.task_locations, dbscan_config);
+  std::printf("DBSCAN found %zu hotspots, %zu noise tasks out of %zu\n",
+              hotspots.num_clusters, hotspots.num_noise,
+              raw.task_locations.size());
+  const std::vector<size_t> sizes = hotspots.ClusterSizes();
+  for (size_t c = 0; c < sizes.size(); ++c) {
+    const Point centroid = hotspots.Centroids(raw.task_locations)[c];
+    std::printf("  hotspot %zu: %3zu tasks around (%.1f, %.1f)\n", c,
+                sizes[c], centroid.x, centroid.y);
+  }
+
+  // --- Two preparations of the same raw data.
+  GMissionPrepConfig prep;
+  prep.num_delivery_points = 40;
+  prep.seed = seed + 1;
+  const Instance kmeans_inst = PrepareGMissionInstance(raw, prep);
+  const Instance dbscan_inst = InstanceFromClusters(
+      raw, hotspots.Centroids(raw.task_locations), hotspots.labels,
+      prep.max_dp, prep.speed);
+
+  VdpsConfig vdps;
+  vdps.epsilon = 2.0;
+  ResultTable table("prep comparison (IEGT dispatch)",
+                    {"prep", "zones", "tasks in zones", "P_dif",
+                     "avg payoff", "covered tasks"});
+  for (const auto& [name, inst] :
+       {std::pair<const char*, const Instance*>{"k-means x=40", &kmeans_inst},
+        std::pair<const char*, const Instance*>{"DBSCAN hotspots",
+                                                &dbscan_inst}}) {
+    const VdpsCatalog catalog = VdpsCatalog::Generate(*inst, vdps);
+    const GameResult r = SolveIegt(*inst, catalog);
+    table.AddRow({name, StrFormat("%zu", inst->num_delivery_points()),
+                  StrFormat("%zu", inst->num_tasks()),
+                  StrFormat("%.3f", r.assignment.PayoffDifference(*inst)),
+                  StrFormat("%.3f", r.assignment.AveragePayoff(*inst)),
+                  StrFormat("%zu/%zu",
+                            r.assignment.num_covered_tasks(*inst),
+                            inst->num_tasks())});
+  }
+  std::printf("\n%s\n", table.ToText().c_str());
+  std::printf(
+      "k-means covers every task (noise included, possibly far away);\n"
+      "DBSCAN concentrates work at true hotspots at the cost of leaving\n"
+      "noise tasks for ad-hoc handling.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Priority dispatch: the paper's future-work direction "priority-aware
+// fairness" in action. Senior couriers (priority 2.0) should earn roughly
+// twice what junior couriers (priority 1.0) earn; plain FGT equalizes raw
+// payoffs and gets this wrong, priority-aware FGT equalizes *normalized*
+// payoffs and gets it right.
+//
+// Usage:   ./build/examples/priority_dispatch [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fta/fta.h"
+
+int main(int argc, char** argv) {
+  using namespace fta;
+  const uint64_t seed =
+      argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 31;
+
+  // Strategy-rich setting (many zones per courier): evolutionary pressure
+  // can only express priorities when better strategies remain available.
+  GMissionConfig config;
+  config.num_tasks = 300;
+  config.num_workers = 10;
+  config.seed = seed;
+  GMissionPrepConfig prep;
+  prep.num_delivery_points = 60;
+  prep.seed = seed + 1;
+  const Instance instance = GenerateGMissionLike(config, prep);
+
+  // Half the fleet are seniors with double priority.
+  std::vector<double> priorities(instance.num_workers());
+  for (size_t w = 0; w < priorities.size(); ++w) {
+    priorities[w] = (w % 2 == 0) ? 2.0 : 1.0;
+  }
+
+  VdpsConfig vdps;
+  vdps.epsilon = 2.0;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(instance, vdps);
+
+  // Note: the best-response game cannot see priorities — IAU is monotone
+  // in own payoff for beta < 1, so priority-FGT coincides with plain FGT
+  // (see src/game/priority.h). The evolutionary game's selection pressure
+  // does depend on normalized payoffs, so that's where priorities bite.
+  IegtConfig plain_config;
+  plain_config.seed = seed;
+  const GameResult plain = SolveIegt(instance, catalog, plain_config);
+
+  PriorityIegtConfig prio_config;
+  prio_config.priorities = priorities;
+  prio_config.seed = seed;
+  const GameResult prio = SolvePriorityIegt(instance, catalog, prio_config);
+
+  const auto report = [&](const char* name, const GameResult& result) {
+    const std::vector<double> payoffs = result.assignment.Payoffs(instance);
+    double senior = 0.0, junior = 0.0;
+    size_t n_senior = 0, n_junior = 0;
+    for (size_t w = 0; w < payoffs.size(); ++w) {
+      if (priorities[w] > 1.5) {
+        senior += payoffs[w];
+        ++n_senior;
+      } else {
+        junior += payoffs[w];
+        ++n_junior;
+      }
+    }
+    senior /= static_cast<double>(n_senior);
+    junior /= static_cast<double>(n_junior);
+    std::printf(
+        "%-14s raw P_dif %.3f | weighted P_dif %.3f | senior avg %.2f | "
+        "junior avg %.2f | senior/junior %.2fx (target 2x)\n",
+        name, MeanAbsolutePairwiseDifference(payoffs),
+        PriorityPayoffDifference(payoffs, priorities), senior, junior,
+        junior > 0 ? senior / junior : 0.0);
+  };
+
+  std::printf("fleet: %zu couriers, every other one senior (priority 2)\n\n",
+              instance.num_workers());
+  report("IEGT (plain)", plain);
+  report("priority-IEGT", prio);
+
+  // Single seeds are noisy — evolution only moves workers *upwards*, so
+  // priorities express themselves exactly when better strategies remain
+  // available. Average over many days for the robust picture.
+  const int kDays = 10;
+  double wdiff_plain = 0.0, wdiff_prio = 0.0;
+  double ratio_plain = 0.0, ratio_prio = 0.0;
+  for (int day = 0; day < kDays; ++day) {
+    GMissionConfig day_config = config;
+    day_config.seed = seed + 1000 + static_cast<uint64_t>(day);
+    GMissionPrepConfig day_prep = prep;
+    day_prep.seed = day_config.seed + 1;
+    const Instance day_inst = GenerateGMissionLike(day_config, day_prep);
+    const VdpsCatalog day_catalog = VdpsCatalog::Generate(day_inst, vdps);
+    IegtConfig p;
+    p.seed = day_config.seed;
+    PriorityIegtConfig q;
+    q.priorities = priorities;
+    q.seed = day_config.seed;
+    const auto a = SolveIegt(day_inst, day_catalog, p);
+    const auto b = SolvePriorityIegt(day_inst, day_catalog, q);
+    const auto ratio = [&](const GameResult& r) {
+      const std::vector<double> payoffs = r.assignment.Payoffs(day_inst);
+      double s = 0.0, j = 0.0;
+      for (size_t w = 0; w < payoffs.size(); ++w) {
+        (priorities[w] > 1.5 ? s : j) += payoffs[w];
+      }
+      return j > 0 ? s / j : 0.0;
+    };
+    wdiff_plain += PriorityPayoffDifference(a.assignment.Payoffs(day_inst),
+                                            priorities);
+    wdiff_prio += PriorityPayoffDifference(b.assignment.Payoffs(day_inst),
+                                           priorities);
+    ratio_plain += ratio(a);
+    ratio_prio += ratio(b);
+  }
+  std::printf(
+      "\naveraged over %d days:\n"
+      "  IEGT (plain)   weighted P_dif %.3f, senior/junior %.2fx\n"
+      "  priority-IEGT  weighted P_dif %.3f, senior/junior %.2fx\n"
+      "priority-aware evolution moves payoffs toward proportionality with\n"
+      "priority whenever strategy availability allows.\n",
+      kDays, wdiff_plain / kDays, ratio_plain / kDays, wdiff_prio / kDays,
+      ratio_prio / kDays);
+  return 0;
+}

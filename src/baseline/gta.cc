@@ -1,0 +1,47 @@
+#include "baseline/gta.h"
+
+#include <queue>
+#include <vector>
+
+#include "game/joint_state.h"
+
+namespace fta {
+
+Assignment SolveGta(const Instance& instance, const VdpsCatalog& catalog) {
+  JointState state(instance, catalog);
+
+  // (payoff, worker, index into the worker's payoff-sorted strategy list).
+  struct Head {
+    double payoff;
+    size_t worker;
+    size_t next;
+    bool operator<(const Head& o) const { return payoff < o.payoff; }
+  };
+  std::priority_queue<Head> heap;
+  for (size_t w = 0; w < instance.num_workers(); ++w) {
+    const auto& strategies = catalog.strategies(w);
+    if (!strategies.empty()) heap.push({strategies[0].payoff, w, 0});
+  }
+  std::vector<bool> assigned(instance.num_workers(), false);
+  while (!heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    if (assigned[head.worker]) continue;
+    const auto& strategies = catalog.strategies(head.worker);
+    const int32_t idx = static_cast<int32_t>(head.next);
+    if (state.IsAvailable(head.worker, idx)) {
+      state.Apply(head.worker, idx);
+      assigned[head.worker] = true;
+      continue;
+    }
+    // Stale head: advance to the worker's next-best strategy (the list is
+    // sorted by payoff descending, so the heap stays consistent).
+    if (head.next + 1 < strategies.size()) {
+      heap.push({strategies[head.next + 1].payoff, head.worker,
+                 head.next + 1});
+    }
+  }
+  return state.ToAssignment();
+}
+
+}  // namespace fta

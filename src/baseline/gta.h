@@ -1,0 +1,18 @@
+#ifndef FTA_BASELINE_GTA_H_
+#define FTA_BASELINE_GTA_H_
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+
+/// Greedy Task Assignment (baseline ii of Section VII-A): repeatedly give
+/// the globally highest-payoff still-available VDPS to its (still
+/// unassigned) worker, until every worker holds a VDPS or no feasible
+/// VDPS remains. Fairness-oblivious.
+Assignment SolveGta(const Instance& instance, const VdpsCatalog& catalog);
+
+}  // namespace fta
+
+#endif  // FTA_BASELINE_GTA_H_

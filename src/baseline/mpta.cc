@@ -1,0 +1,123 @@
+#include "baseline/mpta.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "game/joint_state.h"
+#include "treedec/mwis.h"
+#include "util/logging.h"
+
+namespace fta {
+namespace {
+
+/// One MWIS candidate: a worker together with one of its strategies.
+struct Candidate {
+  uint32_t worker;
+  uint32_t strategy;  // index into catalog.strategies(worker)
+  double payoff;
+};
+
+}  // namespace
+
+MptaResult SolveMpta(const Instance& instance, const VdpsCatalog& catalog,
+                     const MptaConfig& config) {
+  // Candidate nodes: top-K strategies per worker (lists are payoff-sorted).
+  std::vector<Candidate> candidates;
+  for (uint32_t w = 0; w < instance.num_workers(); ++w) {
+    const auto& strategies = catalog.strategies(w);
+    const size_t k = config.candidates_per_worker == 0
+                         ? strategies.size()
+                         : std::min(config.candidates_per_worker,
+                                    strategies.size());
+    for (uint32_t i = 0; i < k; ++i) {
+      candidates.push_back({w, i, strategies[i].payoff});
+    }
+  }
+  MptaResult result;
+  result.num_candidates = candidates.size();
+  result.assignment = Assignment(instance.num_workers());
+  if (candidates.empty()) {
+    result.exact = true;
+    return result;
+  }
+
+  // Conflict graph: same-worker edges + overlapping-delivery-point edges.
+  Graph graph(candidates.size());
+  {
+    // Same worker: consecutive runs in `candidates`.
+    size_t run_start = 0;
+    for (size_t i = 1; i <= candidates.size(); ++i) {
+      if (i == candidates.size() ||
+          candidates[i].worker != candidates[run_start].worker) {
+        for (size_t a = run_start; a < i; ++a) {
+          for (size_t b = a + 1; b < i; ++b) {
+            graph.AddEdge(static_cast<uint32_t>(a), static_cast<uint32_t>(b));
+          }
+        }
+        run_start = i;
+      }
+    }
+    // Shared delivery points: bucket candidates by delivery point.
+    std::vector<std::vector<uint32_t>> by_dp(instance.num_delivery_points());
+    for (uint32_t c = 0; c < candidates.size(); ++c) {
+      const WorkerStrategy& st =
+          catalog.strategies(candidates[c].worker)[candidates[c].strategy];
+      for (uint32_t dp : catalog.entry(st.entry_id).dps) {
+        by_dp[dp].push_back(c);
+      }
+    }
+    for (const auto& bucket : by_dp) {
+      for (size_t a = 0; a < bucket.size(); ++a) {
+        for (size_t b = a + 1; b < bucket.size(); ++b) {
+          graph.AddEdge(bucket[a], bucket[b]);
+        }
+      }
+    }
+  }
+
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (const Candidate& c : candidates) weights.push_back(c.payoff);
+
+  const TreeDecomposition td = TreeDecomposition::Build(graph,
+                                                        config.heuristic);
+  result.width = td.width();
+  StatusOr<MwisResult> mwis =
+      MwisOverTreeDecomposition(graph, weights, td, config.max_width);
+  MwisResult selection;
+  if (mwis.ok()) {
+    selection = std::move(mwis).value();
+    result.exact = true;
+  } else {
+    FTA_LOG(kDebug) << "MPTA falling back to greedy MWIS: "
+                    << mwis.status().ToString();
+    selection = MwisGreedy(graph, weights);
+    result.exact = false;
+  }
+
+  JointState state(instance, catalog);
+  for (uint32_t node : selection.selected) {
+    const Candidate& c = candidates[node];
+    state.Apply(c.worker, static_cast<int32_t>(c.strategy));
+  }
+  // Completion pass: the candidate cap (top-K) can leave workers whose
+  // retained candidates all conflict without an assignment even though the
+  // full catalog still has compatible VDPSs. Adding any feasible strategy
+  // strictly increases the total payoff, so greedily finish with the best
+  // available full-catalog strategy per unassigned worker.
+  for (uint32_t w = 0; w < instance.num_workers(); ++w) {
+    if (state.strategy_of(w) != kNullStrategy) continue;
+    const auto& strategies = catalog.strategies(w);
+    for (size_t i = 0; i < strategies.size(); ++i) {  // payoff-sorted
+      const int32_t idx = static_cast<int32_t>(i);
+      if (state.IsAvailable(w, idx)) {
+        state.Apply(w, idx);
+        break;
+      }
+    }
+  }
+  result.assignment = state.ToAssignment();
+  return result;
+}
+
+}  // namespace fta

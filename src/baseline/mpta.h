@@ -1,0 +1,46 @@
+#ifndef FTA_BASELINE_MPTA_H_
+#define FTA_BASELINE_MPTA_H_
+
+#include <cstddef>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "treedec/tree_decomposition.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+
+/// Configuration of the MPTA baseline.
+struct MptaConfig {
+  /// Top-K (by payoff) strategies kept per worker as MWIS candidates;
+  /// bounds the conflict graph's size and treewidth. 0 = keep all.
+  size_t candidates_per_worker = 8;
+  /// Maximum tree decomposition width the exact DP accepts; beyond it MPTA
+  /// falls back to the weighted greedy.
+  int max_width = 16;
+  EliminationHeuristic heuristic = EliminationHeuristic::kMinDegree;
+};
+
+/// Diagnostics alongside the MPTA assignment.
+struct MptaResult {
+  Assignment assignment;
+  /// True if the exact tree-decomposition DP produced the result; false if
+  /// the width cap forced the greedy fallback.
+  bool exact = false;
+  /// Width of the decomposition that was built.
+  int width = -1;
+  /// Number of (worker, VDPS) candidate nodes in the conflict graph.
+  size_t num_candidates = 0;
+};
+
+/// Maximal Payoff based Task Assignment (baseline i of Section VII-A):
+/// maximizes the *total* worker payoff with a tree-decomposition-based
+/// algorithm, fairness-oblivious. Candidates are (worker, VDPS) pairs;
+/// conflicts are shared workers or overlapping delivery points; the
+/// max-weight independent set of the conflict graph is the assignment.
+MptaResult SolveMpta(const Instance& instance, const VdpsCatalog& catalog,
+                     const MptaConfig& config = MptaConfig());
+
+}  // namespace fta
+
+#endif  // FTA_BASELINE_MPTA_H_

@@ -1,0 +1,27 @@
+#include "baseline/random_assignment.h"
+
+#include <vector>
+
+#include "game/joint_state.h"
+
+namespace fta {
+
+Assignment SolveRandom(const Instance& instance, const VdpsCatalog& catalog,
+                       Rng& rng) {
+  JointState state(instance, catalog);
+  std::vector<int32_t> available;
+  for (size_t w = 0; w < instance.num_workers(); ++w) {
+    available.clear();
+    const auto& strategies = catalog.strategies(w);
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      const int32_t idx = static_cast<int32_t>(i);
+      if (state.IsAvailable(w, idx)) available.push_back(idx);
+    }
+    if (!available.empty()) {
+      state.Apply(w, available[rng.Index(available.size())]);
+    }
+  }
+  return state.ToAssignment();
+}
+
+}  // namespace fta

@@ -1,0 +1,19 @@
+#ifndef FTA_BASELINE_RANDOM_ASSIGNMENT_H_
+#define FTA_BASELINE_RANDOM_ASSIGNMENT_H_
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "util/rng.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+
+/// Assigns every worker (in order) a uniformly random still-available VDPS
+/// from its strategy set, or null when none remains. A sanity baseline for
+/// tests and ablations — any serious algorithm must beat it.
+Assignment SolveRandom(const Instance& instance, const VdpsCatalog& catalog,
+                       Rng& rng);
+
+}  // namespace fta
+
+#endif  // FTA_BASELINE_RANDOM_ASSIGNMENT_H_

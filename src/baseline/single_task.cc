@@ -1,0 +1,71 @@
+#include "baseline/single_task.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "model/route.h"
+#include "util/math_util.h"
+
+namespace fta {
+
+Assignment SolveSingleTaskMode(const Instance& instance,
+                               SingleTaskPolicy policy) {
+  Assignment assignment(instance.num_workers());
+
+  // Non-empty delivery points in ascending earliest-expiry (urgency) order.
+  std::vector<uint32_t> bundles;
+  for (uint32_t d = 0; d < instance.num_delivery_points(); ++d) {
+    if (instance.delivery_point(d).task_count() > 0) bundles.push_back(d);
+  }
+  std::sort(bundles.begin(), bundles.end(), [&](uint32_t a, uint32_t b) {
+    const double ea = instance.delivery_point(a).earliest_expiry();
+    const double eb = instance.delivery_point(b).earliest_expiry();
+    if (ea != eb) return ea < eb;
+    return a < b;
+  });
+
+  // Cache each worker's current route evaluation.
+  std::vector<RouteEvaluation> current(instance.num_workers());
+  for (size_t w = 0; w < instance.num_workers(); ++w) {
+    current[w] = EvaluateRoute(instance, w, {});
+  }
+
+  for (uint32_t bundle : bundles) {
+    double best_score = -kInfinity;
+    int64_t best_worker = -1;
+    RouteEvaluation best_eval;
+    for (size_t w = 0; w < instance.num_workers(); ++w) {
+      const Route& route = assignment.route(w);
+      if (route.size() >= instance.worker(w).max_delivery_points) continue;
+      Route extended = route;
+      extended.push_back(bundle);
+      const RouteEvaluation eval = EvaluateRoute(instance, w, extended);
+      if (!eval.feasible) continue;
+      double score = 0.0;
+      switch (policy) {
+        case SingleTaskPolicy::kMinAddedTime:
+          score = -(eval.total_time - current[w].total_time);
+          break;
+        case SingleTaskPolicy::kMaxMarginalPayoff:
+          score = eval.payoff - current[w].payoff;
+          break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_worker = static_cast<int64_t>(w);
+        best_eval = eval;
+      }
+    }
+    if (best_worker >= 0) {
+      const size_t w = static_cast<size_t>(best_worker);
+      Route route = assignment.route(w);
+      route.push_back(bundle);
+      assignment.SetRoute(w, std::move(route));
+      current[w] = best_eval;
+    }
+    // else: no worker can serve this bundle in time — skipped.
+  }
+  return assignment;
+}
+
+}  // namespace fta

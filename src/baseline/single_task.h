@@ -1,0 +1,33 @@
+#ifndef FTA_BASELINE_SINGLE_TASK_H_
+#define FTA_BASELINE_SINGLE_TASK_H_
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace fta {
+
+/// Worker-selection policy for single-task mode.
+enum class SingleTaskPolicy {
+  /// Give the bundle to the worker whose route grows the least (classic
+  /// cheapest-insertion dispatching).
+  kMinAddedTime,
+  /// Give the bundle to the worker whose payoff increases the most.
+  kMaxMarginalPayoff,
+};
+
+/// Single-task assignment mode (Definition 3's remark: "the server assigns
+/// each task to a worker at a time"): instead of the paper's batch VDPS
+/// games, delivery point bundles are dispatched one at a time in ascending
+/// deadline order, each appended to the end of some worker's current route
+/// if every deadline still holds and the worker's maxDP allows it.
+/// Bundles nobody can serve are skipped.
+///
+/// This is the myopic online-style regime the batch algorithms are
+/// implicitly compared against; it needs no VDPS catalog at all.
+Assignment SolveSingleTaskMode(
+    const Instance& instance,
+    SingleTaskPolicy policy = SingleTaskPolicy::kMinAddedTime);
+
+}  // namespace fta
+
+#endif  // FTA_BASELINE_SINGLE_TASK_H_

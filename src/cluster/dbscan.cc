@@ -1,0 +1,90 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+#include "geo/grid_index.h"
+#include "util/logging.h"
+
+namespace fta {
+
+std::vector<Point> DbscanResult::Centroids(
+    const std::vector<Point>& points) const {
+  FTA_CHECK(points.size() == labels.size());
+  std::vector<Point> sums(num_clusters, Point{0.0, 0.0});
+  std::vector<size_t> counts(num_clusters, 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (labels[i] == kDbscanNoise) continue;
+    const size_t c = static_cast<size_t>(labels[i]);
+    sums[c].x += points[i].x;
+    sums[c].y += points[i].y;
+    ++counts[c];
+  }
+  for (size_t c = 0; c < num_clusters; ++c) {
+    if (counts[c] > 0) {
+      sums[c].x /= static_cast<double>(counts[c]);
+      sums[c].y /= static_cast<double>(counts[c]);
+    }
+  }
+  return sums;
+}
+
+std::vector<size_t> DbscanResult::ClusterSizes() const {
+  std::vector<size_t> sizes(num_clusters, 0);
+  for (int32_t label : labels) {
+    if (label != kDbscanNoise) ++sizes[static_cast<size_t>(label)];
+  }
+  return sizes;
+}
+
+DbscanResult Dbscan(const std::vector<Point>& points,
+                    const DbscanConfig& config) {
+  FTA_CHECK_MSG(config.epsilon >= 0.0, "epsilon must be non-negative");
+  FTA_CHECK_MSG(config.min_points >= 1, "min_points must be >= 1");
+
+  DbscanResult result;
+  const size_t n = points.size();
+  result.labels.assign(n, kDbscanNoise);
+  if (n == 0) return result;
+
+  const GridIndex grid(points, config.epsilon > 0 ? config.epsilon : 0.0);
+  // kUnvisited < kDbscanNoise: distinguishes "not yet examined" from
+  // "examined and found non-core".
+  constexpr int32_t kUnvisited = -2;
+  std::vector<int32_t>& labels = result.labels;
+  std::fill(labels.begin(), labels.end(), kUnvisited);
+
+  int32_t next_cluster = 0;
+  std::deque<uint32_t> frontier;
+  for (uint32_t seed = 0; seed < n; ++seed) {
+    if (labels[seed] != kUnvisited) continue;
+    const std::vector<uint32_t> nbrs =
+        grid.RadiusQuery(points[seed], config.epsilon);
+    if (nbrs.size() < config.min_points) {
+      labels[seed] = kDbscanNoise;  // may be claimed as a border point later
+      continue;
+    }
+    // Grow a new cluster from this core point.
+    const int32_t cluster = next_cluster++;
+    labels[seed] = cluster;
+    frontier.assign(nbrs.begin(), nbrs.end());
+    while (!frontier.empty()) {
+      const uint32_t p = frontier.front();
+      frontier.pop_front();
+      if (labels[p] == kDbscanNoise) labels[p] = cluster;  // border point
+      if (labels[p] != kUnvisited) continue;
+      labels[p] = cluster;
+      const std::vector<uint32_t> p_nbrs =
+          grid.RadiusQuery(points[p], config.epsilon);
+      if (p_nbrs.size() >= config.min_points) {
+        frontier.insert(frontier.end(), p_nbrs.begin(), p_nbrs.end());
+      }
+    }
+  }
+  result.num_clusters = static_cast<size_t>(next_cluster);
+  for (int32_t label : labels) {
+    if (label == kDbscanNoise) ++result.num_noise;
+  }
+  return result;
+}
+
+}  // namespace fta

@@ -1,0 +1,45 @@
+#ifndef FTA_CLUSTER_DBSCAN_H_
+#define FTA_CLUSTER_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace fta {
+
+/// Label assigned to points that belong to no cluster.
+inline constexpr int32_t kDbscanNoise = -1;
+
+/// Result of a DBSCAN run.
+struct DbscanResult {
+  /// Cluster id per point (0-based), or kDbscanNoise.
+  std::vector<int32_t> labels;
+  /// Number of clusters found.
+  size_t num_clusters = 0;
+  /// Number of noise points.
+  size_t num_noise = 0;
+
+  /// Centroid of each cluster (num_clusters entries).
+  std::vector<Point> Centroids(const std::vector<Point>& points) const;
+  /// Point count per cluster.
+  std::vector<size_t> ClusterSizes() const;
+};
+
+/// DBSCAN parameters: a point is a core point if at least `min_points`
+/// points (itself included) lie within `epsilon`.
+struct DbscanConfig {
+  double epsilon = 1.0;
+  size_t min_points = 4;
+};
+
+/// Density-based clustering of 2D points (grid-index accelerated). Used as
+/// an alternative data-preparation step to k-means: DBSCAN finds the task
+/// *hotspots* of a city without fixing the cluster count up front, and
+/// leaves isolated tasks as noise instead of distorting centroids.
+DbscanResult Dbscan(const std::vector<Point>& points,
+                    const DbscanConfig& config);
+
+}  // namespace fta
+
+#endif  // FTA_CLUSTER_DBSCAN_H_

@@ -1,0 +1,139 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace fta {
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then each next centroid drawn
+/// with probability proportional to squared distance to the nearest chosen
+/// centroid.
+std::vector<Point> SeedPlusPlus(const std::vector<Point>& points, size_t k,
+                                Rng& rng) {
+  std::vector<Point> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.Index(points.size())]);
+  std::vector<double> d2(points.size(), 0.0);
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = kInfinity;
+      for (const Point& c : centroids) {
+        best = std::min(best, SquaredDistance(points[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; fill with copies.
+      centroids.push_back(points[rng.Index(points.size())]);
+      continue;
+    }
+    double r = rng.NextDouble() * total;
+    size_t pick = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(points[pick]);
+  }
+  return centroids;
+}
+
+std::vector<Point> SeedUniform(const std::vector<Point>& points, size_t k,
+                               Rng& rng) {
+  // Sample k distinct indices (Floyd's algorithm would be fancier; k is
+  // small relative to n in our pipelines, rejection is fine).
+  std::vector<uint32_t> ids(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) ids[i] = i;
+  rng.Shuffle(ids);
+  std::vector<Point> centroids;
+  centroids.reserve(k);
+  for (size_t i = 0; i < k; ++i) centroids.push_back(points[ids[i]]);
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<Point>& points, size_t k, Rng& rng,
+                    const KMeansConfig& config) {
+  KMeansResult result;
+  if (points.empty() || k == 0) return result;
+  k = std::min(k, points.size());
+  result.centroids = config.plus_plus ? SeedPlusPlus(points, k, rng)
+                                      : SeedUniform(points, k, rng);
+  result.labels.assign(points.size(), 0);
+
+  double prev_inertia = kInfinity;
+  for (int iter = 1; iter <= config.max_iterations; ++iter) {
+    result.iterations = iter;
+    // Assignment step.
+    bool changed = false;
+    double inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      uint32_t best_c = result.labels[i];
+      double best_d2 = kInfinity;
+      for (uint32_t c = 0; c < k; ++c) {
+        const double d2 = SquaredDistance(points[i], result.centroids[c]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best_c = c;
+        }
+      }
+      if (best_c != result.labels[i]) {
+        result.labels[i] = best_c;
+        changed = true;
+      }
+      inertia += best_d2;
+    }
+    result.inertia = inertia;
+    // Update step.
+    std::vector<Point> sums(k, Point{0.0, 0.0});
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      sums[result.labels[i]].x += points[i].x;
+      sums[result.labels[i]].y += points[i].y;
+      ++counts[result.labels[i]];
+    }
+    for (uint32_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        result.centroids[c] = {sums[c].x / static_cast<double>(counts[c]),
+                               sums[c].y / static_cast<double>(counts[c])};
+      } else {
+        // Empty cluster: reseed at the point farthest from its centroid.
+        size_t far_i = 0;
+        double far_d2 = -1.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+          const double d2 = SquaredDistance(
+              points[i], result.centroids[result.labels[i]]);
+          if (d2 > far_d2) {
+            far_d2 = d2;
+            far_i = i;
+          }
+        }
+        result.centroids[c] = points[far_i];
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    if (prev_inertia < kInfinity &&
+        prev_inertia - inertia <= config.tolerance * prev_inertia) {
+      result.converged = true;
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace fta

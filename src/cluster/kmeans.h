@@ -1,0 +1,44 @@
+#ifndef FTA_CLUSTER_KMEANS_H_
+#define FTA_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "util/rng.h"
+
+namespace fta {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster centroids (k of them, or fewer if there were fewer points).
+  std::vector<Point> centroids;
+  /// Cluster id of each input point.
+  std::vector<uint32_t> labels;
+  /// Sum of squared distances from each point to its centroid.
+  double inertia = 0.0;
+  /// Lloyd iterations executed.
+  int iterations = 0;
+  /// True if the assignment reached a fixed point before max_iterations.
+  bool converged = false;
+};
+
+/// k-means options.
+struct KMeansConfig {
+  int max_iterations = 100;
+  /// Stop when the relative inertia improvement drops below this.
+  double tolerance = 1e-6;
+  /// Use k-means++ seeding (uniform random seeding otherwise).
+  bool plus_plus = true;
+};
+
+/// Lloyd's k-means over 2D points with k-means++ seeding. This is the data
+/// preparation step the paper applies to gMission: cluster task locations
+/// into x groups whose centroids become delivery points (Section VII-A).
+/// Deterministic given `rng`'s state. k is clamped to the number of points.
+KMeansResult KMeans(const std::vector<Point>& points, size_t k, Rng& rng,
+                    const KMeansConfig& config = KMeansConfig());
+
+}  // namespace fta
+
+#endif  // FTA_CLUSTER_KMEANS_H_

@@ -1,0 +1,105 @@
+#include "datagen/gmission.h"
+
+#include <algorithm>
+
+#include "cluster/kmeans.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fta {
+namespace {
+
+Point ClampToArea(Point p, double area) {
+  p.x = std::clamp(p.x, 0.0, area);
+  p.y = std::clamp(p.y, 0.0, area);
+  return p;
+}
+
+}  // namespace
+
+RawCrowdData GenerateGMissionRaw(const GMissionConfig& config) {
+  FTA_CHECK(config.expiry_min > 0.0 &&
+            config.expiry_max >= config.expiry_min);
+  Rng rng(config.seed);
+  RawCrowdData raw;
+
+  std::vector<Point> hotspots(std::max<size_t>(config.num_hotspots, 1));
+  for (Point& h : hotspots) {
+    h = {rng.Uniform(0, config.area), rng.Uniform(0, config.area)};
+  }
+
+  const auto draw_location = [&]() {
+    if (rng.Bernoulli(config.background_fraction)) {
+      return Point{rng.Uniform(0, config.area), rng.Uniform(0, config.area)};
+    }
+    const Point& h = hotspots[rng.Index(hotspots.size())];
+    return ClampToArea(Point{rng.Gaussian(h.x, config.hotspot_sigma),
+                             rng.Gaussian(h.y, config.hotspot_sigma)},
+                       config.area);
+  };
+
+  raw.task_locations.reserve(config.num_tasks);
+  raw.task_expiries.reserve(config.num_tasks);
+  raw.task_rewards.reserve(config.num_tasks);
+  for (size_t t = 0; t < config.num_tasks; ++t) {
+    raw.task_locations.push_back(draw_location());
+    raw.task_expiries.push_back(
+        rng.Uniform(config.expiry_min, config.expiry_max));
+    raw.task_rewards.push_back(config.reward);
+  }
+  raw.worker_locations.reserve(config.num_workers);
+  for (size_t w = 0; w < config.num_workers; ++w) {
+    raw.worker_locations.push_back(draw_location());
+  }
+  return raw;
+}
+
+Instance PrepareGMissionInstance(const RawCrowdData& raw,
+                                 const GMissionPrepConfig& prep) {
+  FTA_CHECK(raw.task_locations.size() == raw.task_expiries.size());
+  FTA_CHECK(raw.task_locations.size() == raw.task_rewards.size());
+
+  // dc.l = centroid of all task locations (Section VII-A).
+  Point center{0.0, 0.0};
+  if (!raw.task_locations.empty()) {
+    for (const Point& p : raw.task_locations) {
+      center.x += p.x;
+      center.y += p.y;
+    }
+    center.x /= static_cast<double>(raw.task_locations.size());
+    center.y /= static_cast<double>(raw.task_locations.size());
+  }
+
+  // k-means clustering of task locations; centroids become delivery points.
+  Rng rng(prep.seed);
+  const KMeansResult clusters =
+      KMeans(raw.task_locations, prep.num_delivery_points, rng);
+
+  std::vector<std::vector<SpatialTask>> tasks_per_cluster(
+      clusters.centroids.size());
+  for (size_t t = 0; t < raw.task_locations.size(); ++t) {
+    const uint32_t c = clusters.labels[t];
+    tasks_per_cluster[c].push_back(
+        SpatialTask{c, raw.task_expiries[t], raw.task_rewards[t]});
+  }
+  std::vector<DeliveryPoint> dps;
+  dps.reserve(clusters.centroids.size());
+  for (size_t c = 0; c < clusters.centroids.size(); ++c) {
+    dps.emplace_back(clusters.centroids[c], std::move(tasks_per_cluster[c]));
+  }
+
+  std::vector<Worker> workers;
+  workers.reserve(raw.worker_locations.size());
+  for (const Point& p : raw.worker_locations) {
+    workers.push_back(Worker{p, prep.max_dp});
+  }
+  return Instance(center, std::move(dps), std::move(workers),
+                  TravelModel(prep.speed));
+}
+
+Instance GenerateGMissionLike(const GMissionConfig& config,
+                              const GMissionPrepConfig& prep) {
+  return PrepareGMissionInstance(GenerateGMissionRaw(config), prep);
+}
+
+}  // namespace fta

@@ -1,0 +1,68 @@
+#ifndef FTA_DATAGEN_GMISSION_H_
+#define FTA_DATAGEN_GMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "model/instance.h"
+
+namespace fta {
+
+/// Raw gMission-style records before the paper's data preparation: tasks
+/// with a location / expiration / reward, workers with a location.
+struct RawCrowdData {
+  std::vector<Point> task_locations;
+  std::vector<double> task_expiries;
+  std::vector<double> task_rewards;
+  std::vector<Point> worker_locations;
+};
+
+/// Parameters of the gMission-like generator. The real gMission dump is not
+/// redistributable here; this generator synthesizes the same schema with a
+/// clustered (Gaussian-mixture) spatial distribution, which is what the
+/// paper's pipeline actually consumes (see DESIGN.md §4 substitutions).
+struct GMissionConfig {
+  size_t num_tasks = 200;
+  size_t num_workers = 40;
+  /// Gaussian mixture components modeling task hotspots.
+  size_t num_hotspots = 8;
+  /// Side length of the square region (km); gMission is city-scale.
+  double area = 10.0;
+  /// Hotspot standard deviation (km).
+  double hotspot_sigma = 0.8;
+  /// Fraction of tasks drawn uniformly instead of from a hotspot.
+  double background_fraction = 0.15;
+  /// Task expirations uniform in [expiry_min, expiry_max] hours.
+  double expiry_min = 1.0;
+  double expiry_max = 3.0;
+  double reward = 1.0;
+  uint64_t seed = 11;
+};
+
+/// Synthesizes raw gMission-style records.
+RawCrowdData GenerateGMissionRaw(const GMissionConfig& config);
+
+/// Parameters of the paper's gMission preparation (Section VII-A).
+struct GMissionPrepConfig {
+  /// x — the k-means cluster count; centroids become delivery points.
+  size_t num_delivery_points = 100;
+  uint32_t max_dp = 3;
+  double speed = 5.0;
+  uint64_t seed = 13;
+};
+
+/// The paper's preparation pipeline: the distribution center is placed at
+/// the tasks' centroid, task locations are k-means clustered into
+/// `num_delivery_points` groups whose centroids become delivery points, and
+/// each task is delivered to its cluster's delivery point.
+Instance PrepareGMissionInstance(const RawCrowdData& raw,
+                                 const GMissionPrepConfig& prep);
+
+/// Convenience: generate + prepare in one call.
+Instance GenerateGMissionLike(const GMissionConfig& config,
+                              const GMissionPrepConfig& prep);
+
+}  // namespace fta
+
+#endif  // FTA_DATAGEN_GMISSION_H_

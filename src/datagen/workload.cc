@@ -1,0 +1,45 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fta {
+
+double ArrivalRate(const WorkloadConfig& config, double t) {
+  double boost = 0.0;
+  for (double peak : config.peak_hours) {
+    const double z = (t - peak) / config.peak_sigma;
+    boost += config.peak_boost * std::exp(-0.5 * z * z);
+  }
+  return config.base_rate_per_hour * (1.0 + boost);
+}
+
+size_t PoissonSample(double lambda, Rng& rng) {
+  FTA_CHECK(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  if (lambda > 64.0) {
+    // Normal approximation with continuity correction.
+    const double x = rng.Gaussian(lambda, std::sqrt(lambda));
+    return static_cast<size_t>(std::max(0.0, std::round(x)));
+  }
+  // Knuth's method.
+  const double limit = std::exp(-lambda);
+  size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+size_t DrawArrivals(const WorkloadConfig& config, double t, double dt,
+                    Rng& rng) {
+  FTA_CHECK(dt >= 0.0);
+  const double lambda = ArrivalRate(config, t + dt / 2.0) * dt;
+  return PoissonSample(lambda, rng);
+}
+
+}  // namespace fta

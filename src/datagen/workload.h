@@ -1,0 +1,41 @@
+#ifndef FTA_DATAGEN_WORKLOAD_H_
+#define FTA_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fta {
+
+/// Time-varying order-arrival model for the multi-wave simulator: a base
+/// Poisson rate modulated by rush-hour peaks, the standard shape of food
+/// and package demand over a day.
+struct WorkloadConfig {
+  /// Mean orders per hour outside the peaks.
+  double base_rate_per_hour = 60.0;
+  /// Peak centers in hours from the start of the horizon (e.g. lunch at
+  /// 4h, dinner at 10h for a day starting 08:00).
+  std::vector<double> peak_hours = {4.0, 10.0};
+  /// Peak height as a multiple of the base rate (2.0 = triple flow at the
+  /// peak center).
+  double peak_boost = 2.0;
+  /// Gaussian peak width (hours).
+  double peak_sigma = 1.0;
+};
+
+/// Instantaneous arrival rate (orders/hour) at time t.
+double ArrivalRate(const WorkloadConfig& config, double t);
+
+/// Draws the number of orders arriving within [t, t + dt) — Poisson with
+/// the rate integrated by midpoint approximation. Deterministic in `rng`.
+size_t DrawArrivals(const WorkloadConfig& config, double t, double dt,
+                    Rng& rng);
+
+/// Draws a single Poisson variate with mean `lambda` (Knuth for small
+/// lambda, normal approximation above 64). Exposed for testing.
+size_t PoissonSample(double lambda, Rng& rng);
+
+}  // namespace fta
+
+#endif  // FTA_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,170 @@
+#include "exp/runner.h"
+
+#include <mutex>
+
+#include "baseline/gta.h"
+#include "baseline/random_assignment.h"
+#include "model/assignment.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace fta {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kMpta:
+      return "MPTA";
+    case Algorithm::kGta:
+      return "GTA";
+    case Algorithm::kFgt:
+      return "FGT";
+    case Algorithm::kIegt:
+      return "IEGT";
+    case Algorithm::kRandom:
+      return "RAND";
+  }
+  return "?";
+}
+
+std::vector<Algorithm> PaperAlgorithms() {
+  return {Algorithm::kMpta, Algorithm::kGta, Algorithm::kFgt,
+          Algorithm::kIegt};
+}
+
+namespace {
+
+/// Solves with a prebuilt catalog; returns the assignment + solver stats.
+struct SolveOutcome {
+  Assignment assignment;
+  int rounds = 0;
+  bool converged = true;
+};
+
+SolveOutcome Solve(Algorithm algorithm, const Instance& instance,
+                   const VdpsCatalog& catalog, const SolverOptions& options) {
+  SolveOutcome out;
+  switch (algorithm) {
+    case Algorithm::kMpta: {
+      MptaResult r = SolveMpta(instance, catalog, options.mpta);
+      out.assignment = std::move(r.assignment);
+      break;
+    }
+    case Algorithm::kGta:
+      out.assignment = SolveGta(instance, catalog);
+      break;
+    case Algorithm::kFgt: {
+      FgtConfig cfg = options.fgt;
+      cfg.seed ^= options.seed;
+      GameResult r = SolveFgt(instance, catalog, cfg);
+      out.assignment = std::move(r.assignment);
+      out.rounds = r.rounds;
+      out.converged = r.converged;
+      break;
+    }
+    case Algorithm::kIegt: {
+      IegtConfig cfg = options.iegt;
+      cfg.seed ^= options.seed;
+      GameResult r = SolveIegt(instance, catalog, cfg);
+      out.assignment = std::move(r.assignment);
+      out.rounds = r.rounds;
+      out.converged = r.converged;
+      break;
+    }
+    case Algorithm::kRandom: {
+      Rng rng(options.seed);
+      out.assignment = SolveRandom(instance, catalog, rng);
+      break;
+    }
+  }
+  return out;
+}
+
+RunMetrics MetricsFromPayoffs(const std::vector<double>& payoffs) {
+  RunMetrics m;
+  m.num_workers = payoffs.size();
+  m.payoff_difference = MeanAbsolutePairwiseDifference(payoffs);
+  m.average_payoff = Mean(payoffs);
+  for (double p : payoffs) m.total_payoff += p;
+  return m;
+}
+
+}  // namespace
+
+RunMetrics RunWithCatalog(Algorithm algorithm, const Instance& instance,
+                          const VdpsCatalog& catalog,
+                          const SolverOptions& options) {
+  CpuTimer timer;
+  const SolveOutcome out = Solve(algorithm, instance, catalog, options);
+  const double cpu = timer.ElapsedSeconds();
+
+  const std::vector<double> payoffs = out.assignment.Payoffs(instance);
+  RunMetrics m = MetricsFromPayoffs(payoffs);
+  m.cpu_seconds = cpu;
+  m.assigned_workers = out.assignment.num_assigned_workers();
+  m.covered_tasks = out.assignment.num_covered_tasks(instance);
+  m.rounds = out.rounds;
+  m.converged = out.converged;
+  return m;
+}
+
+RunMetrics RunOnInstance(Algorithm algorithm, const Instance& instance,
+                         const SolverOptions& options) {
+  CpuTimer timer;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(instance, options.vdps);
+  const SolveOutcome out = Solve(algorithm, instance, catalog, options);
+  const double cpu = timer.ElapsedSeconds();
+
+  const std::vector<double> payoffs = out.assignment.Payoffs(instance);
+  RunMetrics m = MetricsFromPayoffs(payoffs);
+  m.cpu_seconds = cpu;
+  m.assigned_workers = out.assignment.num_assigned_workers();
+  m.covered_tasks = out.assignment.num_covered_tasks(instance);
+  m.rounds = out.rounds;
+  m.converged = out.converged;
+  return m;
+}
+
+RunMetrics RunOnMulti(Algorithm algorithm, const MultiCenterInstance& multi,
+                      const SolverOptions& options, size_t threads) {
+  std::vector<std::vector<double>> payoffs_per_center(multi.centers.size());
+  std::vector<RunMetrics> per_center(multi.centers.size());
+
+  ThreadPool::ParallelFor(
+      multi.centers.size(), threads, [&](size_t c) {
+        const Instance& instance = multi.centers[c];
+        SolverOptions center_options = options;
+        center_options.seed = options.seed * 1000003 + c;
+        CpuTimer timer;
+        const VdpsCatalog catalog =
+            VdpsCatalog::Generate(instance, options.vdps);
+        const SolveOutcome out =
+            Solve(algorithm, instance, catalog, center_options);
+        per_center[c].cpu_seconds = timer.ElapsedSeconds();
+        per_center[c].assigned_workers = out.assignment.num_assigned_workers();
+        per_center[c].covered_tasks =
+            out.assignment.num_covered_tasks(instance);
+        per_center[c].rounds = out.rounds;
+        per_center[c].converged = out.converged;
+        payoffs_per_center[c] = out.assignment.Payoffs(instance);
+      });
+
+  std::vector<double> all_payoffs;
+  all_payoffs.reserve(multi.num_workers());
+  for (const auto& v : payoffs_per_center) {
+    all_payoffs.insert(all_payoffs.end(), v.begin(), v.end());
+  }
+  RunMetrics m = MetricsFromPayoffs(all_payoffs);
+  for (const RunMetrics& c : per_center) {
+    m.cpu_seconds += c.cpu_seconds;
+    m.assigned_workers += c.assigned_workers;
+    m.covered_tasks += c.covered_tasks;
+    m.rounds = std::max(m.rounds, c.rounds);
+    m.converged = m.converged && c.converged;
+  }
+  return m;
+}
+
+}  // namespace fta

@@ -1,0 +1,71 @@
+#ifndef FTA_EXP_RUNNER_H_
+#define FTA_EXP_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/mpta.h"
+#include "game/fgt.h"
+#include "game/iegt.h"
+#include "model/instance.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+
+/// The algorithms compared in the paper's evaluation (Section VII-A), plus
+/// the random sanity baseline.
+enum class Algorithm { kMpta, kGta, kFgt, kIegt, kRandom };
+
+/// Stable display name ("MPTA", "GTA", ...).
+const char* AlgorithmName(Algorithm a);
+
+/// All algorithms in the paper's plotting order.
+std::vector<Algorithm> PaperAlgorithms();
+
+/// Shared per-run options: the VDPS generation knobs plus each solver's
+/// configuration.
+struct SolverOptions {
+  VdpsConfig vdps;
+  FgtConfig fgt;
+  IegtConfig iegt;
+  MptaConfig mpta;
+  uint64_t seed = 1;
+};
+
+/// Effectiveness + efficiency metrics of one run: the paper's Payoff
+/// Difference, Average Payoff, and CPU Time (which includes VDPS
+/// generation, as in the paper's end-to-end measurement).
+struct RunMetrics {
+  double payoff_difference = 0.0;
+  double average_payoff = 0.0;
+  double total_payoff = 0.0;
+  double cpu_seconds = 0.0;
+  size_t num_workers = 0;
+  size_t assigned_workers = 0;
+  size_t covered_tasks = 0;
+  /// Game iterations (0 for one-shot algorithms).
+  int rounds = 0;
+  bool converged = true;
+};
+
+/// Runs one algorithm end-to-end (VDPS generation + solve) on a
+/// single-center instance.
+RunMetrics RunOnInstance(Algorithm algorithm, const Instance& instance,
+                         const SolverOptions& options);
+
+/// Runs one algorithm over every center of a multi-center instance
+/// (optionally in parallel across `threads`), pooling all workers' payoffs
+/// into global P_dif / average-payoff metrics. CPU seconds are summed over
+/// centers (single-machine CPU cost, independent of threads).
+RunMetrics RunOnMulti(Algorithm algorithm, const MultiCenterInstance& multi,
+                      const SolverOptions& options, size_t threads = 1);
+
+/// Variant that reuses an existing catalog (excludes generation from the
+/// timing); used by micro-benchmarks and ablations.
+RunMetrics RunWithCatalog(Algorithm algorithm, const Instance& instance,
+                          const VdpsCatalog& catalog,
+                          const SolverOptions& options);
+
+}  // namespace fta
+
+#endif  // FTA_EXP_RUNNER_H_

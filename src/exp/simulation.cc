@@ -1,0 +1,191 @@
+#include "exp/simulation.h"
+
+#include <algorithm>
+
+#include "baseline/gta.h"
+#include "baseline/mpta.h"
+#include "baseline/random_assignment.h"
+#include "game/fgt.h"
+#include "game/iegt.h"
+#include "model/assignment.h"
+#include "model/route.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+namespace {
+
+/// A pending delivery at absolute time coordinates.
+struct PendingTask {
+  uint32_t zone;
+  double expires_at;  // absolute hours
+};
+
+/// Mutable courier state across waves.
+struct CourierState {
+  Point location;
+  double busy_until = 0.0;  // absolute hours
+  double earnings = 0.0;
+};
+
+Assignment SolveWave(Algorithm algorithm, const Instance& instance,
+                     const VdpsCatalog& catalog, const SolverOptions& options,
+                     uint64_t wave_seed) {
+  switch (algorithm) {
+    case Algorithm::kMpta:
+      return SolveMpta(instance, catalog, options.mpta).assignment;
+    case Algorithm::kGta:
+      return SolveGta(instance, catalog);
+    case Algorithm::kFgt: {
+      FgtConfig config = options.fgt;
+      config.seed ^= wave_seed;
+      return SolveFgt(instance, catalog, config).assignment;
+    }
+    case Algorithm::kIegt: {
+      IegtConfig config = options.iegt;
+      config.seed ^= wave_seed;
+      return SolveIegt(instance, catalog, config).assignment;
+    }
+    case Algorithm::kRandom: {
+      Rng rng(wave_seed);
+      return SolveRandom(instance, catalog, rng);
+    }
+  }
+  return Assignment(instance.num_workers());
+}
+
+}  // namespace
+
+SimulationResult RunDispatchSimulation(const SimulationConfig& config) {
+  FTA_CHECK(config.num_waves > 0 && config.num_zones > 0);
+  Rng rng(config.seed);
+  const TravelModel travel(config.speed);
+
+  // Fixed geography: zones + the hub at the region center.
+  std::vector<Point> zones(config.num_zones);
+  for (Point& z : zones) {
+    z = {rng.Uniform(0, config.area), rng.Uniform(0, config.area)};
+  }
+  const Point hub{config.area / 2, config.area / 2};
+
+  std::vector<CourierState> couriers(config.num_workers);
+  for (CourierState& c : couriers) {
+    c.location = {rng.Uniform(0, config.area), rng.Uniform(0, config.area)};
+  }
+
+  std::vector<PendingTask> backlog;
+  SimulationResult result;
+
+  for (int wave = 0; wave < config.num_waves; ++wave) {
+    const double now = wave * config.wave_interval;
+
+    // New arrivals: constant per wave, or rush-hour Poisson workload.
+    const size_t arrivals =
+        config.use_workload
+            ? DrawArrivals(config.workload, now, config.wave_interval, rng)
+            : config.tasks_per_wave;
+    for (size_t t = 0; t < arrivals; ++t) {
+      backlog.push_back(
+          PendingTask{static_cast<uint32_t>(rng.Index(zones.size())),
+                      now + config.task_lifetime});
+    }
+    result.tasks_arrived += arrivals;
+
+    // Expire stale tasks.
+    WaveStats stats;
+    stats.wave = wave;
+    const size_t before = backlog.size();
+    backlog.erase(std::remove_if(backlog.begin(), backlog.end(),
+                                 [&](const PendingTask& t) {
+                                   return t.expires_at <= now + kEps;
+                                 }),
+                  backlog.end());
+    stats.expired_tasks = before - backlog.size();
+    result.tasks_expired += stats.expired_tasks;
+    stats.pending_tasks = backlog.size();
+
+    // Snapshot: zones with pending tasks become the instance's delivery
+    // points (expiries relative to `now`), idle couriers its workers.
+    std::vector<std::vector<PendingTask*>> by_zone(zones.size());
+    for (PendingTask& t : backlog) by_zone[t.zone].push_back(&t);
+
+    std::vector<DeliveryPoint> dps;
+    std::vector<uint32_t> dp_to_zone;
+    for (uint32_t z = 0; z < zones.size(); ++z) {
+      if (by_zone[z].empty()) continue;
+      std::vector<SpatialTask> tasks;
+      tasks.reserve(by_zone[z].size());
+      for (const PendingTask* t : by_zone[z]) {
+        tasks.push_back(SpatialTask{static_cast<uint32_t>(dp_to_zone.size()),
+                                    t->expires_at - now, 1.0});
+      }
+      dps.emplace_back(zones[z], std::move(tasks));
+      dp_to_zone.push_back(z);
+    }
+
+    std::vector<Worker> wave_workers;
+    std::vector<uint32_t> worker_to_courier;
+    for (uint32_t c = 0; c < couriers.size(); ++c) {
+      if (couriers[c].busy_until <= now + kEps) {
+        wave_workers.push_back(Worker{couriers[c].location, config.max_dp});
+        worker_to_courier.push_back(c);
+      }
+    }
+    stats.idle_workers = wave_workers.size();
+
+    if (!dps.empty() && !wave_workers.empty()) {
+      Instance instance(hub, std::move(dps), std::move(wave_workers),
+                        travel);
+      const VdpsCatalog catalog =
+          VdpsCatalog::Generate(instance, config.options.vdps);
+      const Assignment assignment =
+          SolveWave(config.algorithm, instance, catalog, config.options,
+                    config.seed * 7919 + static_cast<uint64_t>(wave));
+      FTA_DCHECK(assignment.Validate(instance).ok());
+
+      const std::vector<double> payoffs = assignment.Payoffs(instance);
+      stats.payoff_difference = MeanAbsolutePairwiseDifference(payoffs);
+      stats.average_payoff = Mean(payoffs);
+
+      // Commit: couriers leave, served tasks vanish from the backlog.
+      std::vector<bool> zone_served(zones.size(), false);
+      for (size_t w = 0; w < assignment.num_workers(); ++w) {
+        const Route& route = assignment.route(w);
+        if (route.empty()) continue;
+        const RouteEvaluation eval = EvaluateRoute(instance, w, route);
+        CourierState& courier = couriers[worker_to_courier[w]];
+        courier.busy_until = now + eval.total_time;
+        courier.location =
+            instance.delivery_point(route.back()).location();
+        courier.earnings += eval.total_reward;
+        stats.dispatched_workers += 1;
+        for (uint32_t dp : route) {
+          zone_served[dp_to_zone[dp]] = true;
+          stats.assigned_tasks += instance.delivery_point(dp).task_count();
+        }
+      }
+      result.tasks_served += stats.assigned_tasks;
+      backlog.erase(std::remove_if(backlog.begin(), backlog.end(),
+                                   [&](const PendingTask& t) {
+                                     return zone_served[t.zone];
+                                   }),
+                    backlog.end());
+    }
+    result.waves.push_back(stats);
+  }
+
+  result.tasks_leftover = backlog.size();
+  result.worker_earnings.reserve(couriers.size());
+  for (const CourierState& c : couriers) {
+    result.worker_earnings.push_back(c.earnings);
+  }
+  result.earnings_payoff_difference =
+      MeanAbsolutePairwiseDifference(result.worker_earnings);
+  result.earnings_gini = Gini(result.worker_earnings);
+  result.earnings_jain = JainFairnessIndex(result.worker_earnings);
+  return result;
+}
+
+}  // namespace fta

@@ -1,0 +1,56 @@
+#include "exp/stats.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace fta {
+
+std::string MetricSummary::ToString() const {
+  // ASCII on purpose: multibyte glyphs break the byte-width column
+  // alignment of ResultTable.
+  return StrFormat("%.4g +- %.2g", mean, ci95);
+}
+
+MetricSummary Summarize(const std::vector<double>& samples) {
+  MetricSummary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  s.mean = Mean(samples);
+  s.stddev = StdDev(samples);
+  s.min = Min(samples);
+  s.max = Max(samples);
+  if (s.n >= 2) {
+    s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+RepeatedRunSummary RunRepeated(
+    Algorithm algorithm,
+    const std::function<MultiCenterInstance(uint64_t seed)>& instance_for,
+    const SolverOptions& base_options, size_t num_seeds,
+    uint64_t first_seed) {
+  std::vector<double> pdif, avg, cpu, rounds;
+  pdif.reserve(num_seeds);
+  for (size_t i = 0; i < num_seeds; ++i) {
+    const uint64_t seed = first_seed + i;
+    const MultiCenterInstance multi = instance_for(seed);
+    SolverOptions options = base_options;
+    options.seed = seed;
+    const RunMetrics m = RunOnMulti(algorithm, multi, options);
+    pdif.push_back(m.payoff_difference);
+    avg.push_back(m.average_payoff);
+    cpu.push_back(m.cpu_seconds);
+    rounds.push_back(static_cast<double>(m.rounds));
+  }
+  RepeatedRunSummary summary;
+  summary.payoff_difference = Summarize(pdif);
+  summary.average_payoff = Summarize(avg);
+  summary.cpu_seconds = Summarize(cpu);
+  summary.rounds = Summarize(rounds);
+  return summary;
+}
+
+}  // namespace fta

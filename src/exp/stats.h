@@ -1,0 +1,52 @@
+#ifndef FTA_EXP_STATS_H_
+#define FTA_EXP_STATS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "model/instance.h"
+
+namespace fta {
+
+/// Summary statistics of one metric across repeated (re-seeded) runs.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  size_t n = 0;
+  /// Half-width of the ~95% normal confidence interval of the mean
+  /// (1.96 · stddev / sqrt(n)); 0 for n < 2.
+  double ci95 = 0.0;
+
+  /// "mean ± ci95" rendering.
+  std::string ToString() const;
+};
+
+/// Computes a MetricSummary from raw samples.
+MetricSummary Summarize(const std::vector<double>& samples);
+
+/// Aggregated multi-seed metrics of one algorithm on one instance family.
+struct RepeatedRunSummary {
+  MetricSummary payoff_difference;
+  MetricSummary average_payoff;
+  MetricSummary cpu_seconds;
+  MetricSummary rounds;
+};
+
+/// Runs `algorithm` `num_seeds` times against freshly generated instances
+/// (instance_for(seed)) and summarizes the paper's three metrics. This is
+/// the statistical-rigor layer the paper's single-run plots lack: it shows
+/// whether algorithm orderings are stable across random instances and
+/// game initializations.
+RepeatedRunSummary RunRepeated(
+    Algorithm algorithm,
+    const std::function<MultiCenterInstance(uint64_t seed)>& instance_for,
+    const SolverOptions& base_options, size_t num_seeds,
+    uint64_t first_seed = 1);
+
+}  // namespace fta
+
+#endif  // FTA_EXP_STATS_H_

@@ -1,0 +1,52 @@
+#include "exp/sweep.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fta {
+
+std::string SweepResult::ToText() const {
+  return payoff_difference.ToText() + "\n" + average_payoff.ToText() + "\n" +
+         cpu_time.ToText();
+}
+
+SweepResult RunParameterSweep(
+    const std::string& figure, const std::string& param_name,
+    const std::vector<std::string>& point_labels,
+    const std::function<MultiCenterInstance(size_t)>& instance_at,
+    const std::vector<SweepSeries>& series, size_t threads) {
+  std::vector<std::string> header = {param_name};
+  header.insert(header.end(), point_labels.begin(), point_labels.end());
+
+  SweepResult result{
+      ResultTable(figure + " — payoff difference", header),
+      ResultTable(figure + " — average payoff", header),
+      ResultTable(figure + " — CPU time (s)", header),
+  };
+
+  std::vector<std::vector<double>> pdif(series.size()),
+      avg(series.size()), cpu(series.size());
+  for (size_t p = 0; p < point_labels.size(); ++p) {
+    const MultiCenterInstance multi = instance_at(p);
+    for (size_t s = 0; s < series.size(); ++s) {
+      const RunMetrics m =
+          RunOnMulti(series[s].algorithm, multi, series[s].options, threads);
+      pdif[s].push_back(m.payoff_difference);
+      avg[s].push_back(m.average_payoff);
+      cpu[s].push_back(m.cpu_seconds);
+      FTA_LOG(kDebug) << figure << " " << series[s].name << " "
+                      << param_name << "=" << point_labels[p]
+                      << StrFormat(": pdif=%.4f avg=%.4f cpu=%.3fs",
+                                   m.payoff_difference, m.average_payoff,
+                                   m.cpu_seconds);
+    }
+  }
+  for (size_t s = 0; s < series.size(); ++s) {
+    result.payoff_difference.AddNumericRow(series[s].name, pdif[s]);
+    result.average_payoff.AddNumericRow(series[s].name, avg[s]);
+    result.cpu_time.AddNumericRow(series[s].name, cpu[s]);
+  }
+  return result;
+}
+
+}  // namespace fta

@@ -1,0 +1,43 @@
+#ifndef FTA_EXP_SWEEP_H_
+#define FTA_EXP_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+
+namespace fta {
+
+/// One curve of a paper figure: an algorithm under fixed options.
+struct SweepSeries {
+  std::string name;
+  Algorithm algorithm;
+  SolverOptions options;
+};
+
+/// The three metric tables of one figure (one row per series, one column
+/// per x-axis point), mirroring the paper's (a) payoff difference,
+/// (b) average payoff, (c/d) CPU time sub-figures.
+struct SweepResult {
+  ResultTable payoff_difference;
+  ResultTable average_payoff;
+  ResultTable cpu_time;
+
+  /// Renders all three tables.
+  std::string ToText() const;
+};
+
+/// Runs every series at every x-axis point. `instance_at(i)` materializes
+/// the instance for point i (called once per point; shared by all series).
+/// `threads` parallelizes across a multi-center instance's centers.
+SweepResult RunParameterSweep(
+    const std::string& figure, const std::string& param_name,
+    const std::vector<std::string>& point_labels,
+    const std::function<MultiCenterInstance(size_t)>& instance_at,
+    const std::vector<SweepSeries>& series, size_t threads = 1);
+
+}  // namespace fta
+
+#endif  // FTA_EXP_SWEEP_H_

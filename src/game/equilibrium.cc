@@ -1,0 +1,126 @@
+#include "game/equilibrium.h"
+
+#include <algorithm>
+
+#include "game/fgt.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace fta {
+namespace {
+
+/// Rebuilds a JointState from an assignment's routes by looking each route
+/// up in the catalog. Aborts if a route is not a catalog strategy.
+JointState StateFromAssignment(const Instance& instance,
+                               const VdpsCatalog& catalog,
+                               const Assignment& assignment) {
+  JointState state(instance, catalog);
+  for (size_t w = 0; w < assignment.num_workers(); ++w) {
+    const Route& route = assignment.route(w);
+    if (route.empty()) continue;
+    int32_t idx = kNullStrategy;
+    for (size_t i = 0; i < catalog.strategies(w).size(); ++i) {
+      if (catalog.strategies(w)[i].route == route) {
+        idx = static_cast<int32_t>(i);
+        break;
+      }
+    }
+    FTA_CHECK_MSG(idx != kNullStrategy,
+                  "assignment route is not a catalog strategy");
+    state.Apply(w, idx);
+  }
+  return state;
+}
+
+}  // namespace
+
+EquilibriumReport AnalyzeEquilibrium(const Instance& instance,
+                                     const VdpsCatalog& catalog,
+                                     const Assignment& assignment,
+                                     const IauParams& params) {
+  JointState state = StateFromAssignment(instance, catalog, assignment);
+  EquilibriumReport report;
+  report.regrets.resize(instance.num_workers());
+  for (size_t w = 0; w < instance.num_workers(); ++w) {
+    std::vector<double> others;
+    others.reserve(instance.num_workers());
+    for (size_t j = 0; j < instance.num_workers(); ++j) {
+      if (j != w) others.push_back(state.payoff_of(j));
+    }
+    const OthersView view(std::move(others));
+    WorkerRegret& regret = report.regrets[w];
+    regret.utility = view.Iau(state.payoff_of(w), params);
+    regret.best_response_utility = std::max(regret.utility,
+                                            view.Iau(0.0, params));
+    for (size_t i = 0; i < catalog.strategies(w).size(); ++i) {
+      const int32_t idx = static_cast<int32_t>(i);
+      if (idx == state.strategy_of(w)) continue;
+      if (!state.IsAvailable(w, idx)) continue;
+      regret.best_response_utility =
+          std::max(regret.best_response_utility,
+                   view.Iau(catalog.strategies(w)[i].payoff, params));
+    }
+    regret.regret = regret.best_response_utility - regret.utility;
+    report.max_regret = std::max(report.max_regret, regret.regret);
+    if (DefinitelyGreater(regret.best_response_utility, regret.utility)) {
+      ++report.deviating_workers;
+    }
+  }
+  report.is_nash = report.deviating_workers == 0;
+  return report;
+}
+
+namespace {
+
+struct NashSearch {
+  const Instance* instance;
+  const VdpsCatalog* catalog;
+  const IauParams* params;
+  JointState state;
+  NashEnumeration result;
+  size_t max_states;
+  bool capped = false;
+
+  NashSearch(const Instance& inst, const VdpsCatalog& cat,
+             const IauParams& p, size_t cap)
+      : instance(&inst),
+        catalog(&cat),
+        params(&p),
+        state(inst, cat),
+        max_states(cap) {}
+
+  void Recurse(size_t w) {
+    if (capped) return;
+    if (w == instance->num_workers()) {
+      ++result.states_explored;
+      if (result.states_explored >= max_states) capped = true;
+      if (IsPureNashEquilibrium(state, *params)) {
+        result.equilibria.push_back(state.ToAssignment());
+      }
+      return;
+    }
+    Recurse(w + 1);  // null strategy
+    const auto& strategies = catalog->strategies(w);
+    for (size_t i = 0; i < strategies.size() && !capped; ++i) {
+      const int32_t idx = static_cast<int32_t>(i);
+      if (!state.IsAvailable(w, idx)) continue;
+      state.Apply(w, idx);
+      Recurse(w + 1);
+      state.Apply(w, kNullStrategy);
+    }
+  }
+};
+
+}  // namespace
+
+NashEnumeration EnumeratePureNash(const Instance& instance,
+                                  const VdpsCatalog& catalog,
+                                  const IauParams& params,
+                                  size_t max_states) {
+  NashSearch search(instance, catalog, params, max_states);
+  search.Recurse(0);
+  search.result.complete = !search.capped;
+  return search.result;
+}
+
+}  // namespace fta

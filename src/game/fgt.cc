@@ -1,0 +1,131 @@
+#include "game/fgt.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "game/init.h"
+#include "game/potential.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace fta {
+namespace {
+
+/// Payoffs of everyone except w, for the responder's IAU evaluation.
+OthersView MakeOthersView(const JointState& state, size_t w) {
+  std::vector<double> others;
+  others.reserve(state.payoffs().size() - 1);
+  for (size_t j = 0; j < state.payoffs().size(); ++j) {
+    if (j != w) others.push_back(state.payoffs()[j]);
+  }
+  return OthersView(std::move(others));
+}
+
+IterationStats Snapshot(const JointState& state, int iteration,
+                        size_t num_changes, double alpha) {
+  IterationStats s;
+  s.iteration = iteration;
+  s.payoff_difference = MeanAbsolutePairwiseDifference(state.payoffs());
+  s.average_payoff = Mean(state.payoffs());
+  s.potential = ExactPotential(state.payoffs(), alpha);
+  s.num_changes = num_changes;
+  return s;
+}
+
+}  // namespace
+
+int32_t BestResponse(const JointState& state, size_t w,
+                     const IauParams& params) {
+  const OthersView others = MakeOthersView(state, w);
+  // The incumbent strategy is the default; any challenger (including the
+  // null strategy) must improve utility *strictly* to displace it. This
+  // tie-break prevents cycling between equal-utility strategies.
+  const int32_t current = state.strategy_of(w);
+  int32_t best_idx = current;
+  double best_u = others.Iau(state.payoff_of(w), params);
+  if (current != kNullStrategy) {
+    const double null_u = others.Iau(0.0, params);
+    if (DefinitelyGreater(null_u, best_u)) {
+      best_idx = kNullStrategy;
+      best_u = null_u;
+    }
+  }
+  const auto& strategies = state.catalog().strategies(w);
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    const int32_t idx = static_cast<int32_t>(i);
+    if (idx == current) continue;  // already evaluated (as incumbent)
+    if (!state.IsAvailable(w, idx)) continue;
+    const double u = others.Iau(strategies[i].payoff, params);
+    if (DefinitelyGreater(u, best_u)) {
+      best_idx = idx;
+      best_u = u;
+    }
+  }
+  return best_idx;
+}
+
+bool IsPureNashEquilibrium(const JointState& state, const IauParams& params) {
+  for (size_t w = 0; w < state.payoffs().size(); ++w) {
+    if (BestResponse(state, w, params) != state.strategy_of(w)) return false;
+  }
+  return true;
+}
+
+GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
+                    const FgtConfig& config) {
+  JointState state(instance, catalog);
+  Rng rng(config.seed);
+  RandomSingletonInit(state, rng);
+
+  GameResult result;
+  if (config.record_trace) {
+    result.trace.push_back(Snapshot(state, 0, 0, config.iau.alpha));
+  }
+
+  // Sequential asynchronous best responses (lines 18-24): one worker moves
+  // at a time; a full round with zero moves is the Nash equilibrium
+  // condition W.st^t == W.st^{t-1}.
+  EarlyStopMonitor early(config.early_stop);
+  std::vector<size_t> order(instance.num_workers());
+  for (size_t w = 0; w < order.size(); ++w) order[w] = w;
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    switch (config.order) {
+      case UpdateOrder::kSequential:
+        break;  // keep worker-id order
+      case UpdateOrder::kRandomPermutation:
+        rng.Shuffle(order);
+        break;
+      case UpdateOrder::kLowestPayoffFirst:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                           return state.payoff_of(a) < state.payoff_of(b);
+                         });
+        break;
+    }
+    size_t changes = 0;
+    for (size_t w : order) {
+      const int32_t br = BestResponse(state, w, config.iau);
+      if (br != state.strategy_of(w)) {
+        state.Apply(w, br);
+        ++changes;
+      }
+    }
+    result.rounds = round;
+    if (config.record_trace) {
+      result.trace.push_back(
+          Snapshot(state, round, changes, config.iau.alpha));
+    }
+    if (changes == 0) {
+      result.converged = true;
+      break;
+    }
+    if (early.ShouldStop(MeanAbsolutePairwiseDifference(state.payoffs()))) {
+      result.early_stopped = true;
+      break;
+    }
+  }
+  result.assignment = state.ToAssignment();
+  return result;
+}
+
+}  // namespace fta

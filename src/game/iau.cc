@@ -1,0 +1,49 @@
+#include "game/iau.h"
+
+#include <algorithm>
+
+namespace fta {
+
+double Iau(double own, const std::vector<double>& others,
+           const IauParams& params) {
+  if (others.empty()) return own;
+  double mp = 0.0;
+  double lp = 0.0;
+  for (double p : others) {
+    if (p > own) mp += p - own;
+    if (p < own) lp += own - p;
+  }
+  const double m = static_cast<double>(others.size());
+  return own - (params.alpha / m) * mp - (params.beta / m) * lp;
+}
+
+OthersView::OthersView(std::vector<double> others)
+    : sorted_(std::move(others)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  prefix_.resize(sorted_.size() + 1, 0.0);
+  for (size_t i = 0; i < sorted_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + sorted_[i];
+  }
+}
+
+double OthersView::Mp(double own) const {
+  // Elements strictly above `own` (ties contribute 0 either way).
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), own);
+  const size_t k = static_cast<size_t>(it - sorted_.begin());
+  const size_t above = sorted_.size() - k;
+  return (prefix_.back() - prefix_[k]) - static_cast<double>(above) * own;
+}
+
+double OthersView::Lp(double own) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), own);
+  const size_t k = static_cast<size_t>(it - sorted_.begin());
+  return static_cast<double>(k) * own - prefix_[k];
+}
+
+double OthersView::Iau(double own, const IauParams& params) const {
+  if (sorted_.empty()) return own;
+  const double m = static_cast<double>(sorted_.size());
+  return own - (params.alpha / m) * Mp(own) - (params.beta / m) * Lp(own);
+}
+
+}  // namespace fta

@@ -1,0 +1,46 @@
+#ifndef FTA_GAME_IAU_H_
+#define FTA_GAME_IAU_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fta {
+
+/// Parameters of the Inequity Aversion based Utility (Equation 5). The
+/// paper's experiments fix alpha = beta = 0.5; alpha weights disadvantageous
+/// inequity (others earn more: MP), beta advantageous inequity (LP).
+struct IauParams {
+  double alpha = 0.5;
+  double beta = 0.5;
+};
+
+/// IAU of a worker with payoff `own` among `others` (the remaining |W|-1
+/// workers' payoffs), directly from Equations 5-7. O(|others|).
+double Iau(double own, const std::vector<double>& others,
+           const IauParams& params);
+
+/// Precomputed view over the *other* workers' payoffs that evaluates IAU of
+/// a candidate own-payoff in O(log |others|). Build once per best-response
+/// call, evaluate once per candidate strategy.
+class OthersView {
+ public:
+  /// `others` are the payoffs of every worker except the responder.
+  explicit OthersView(std::vector<double> others);
+
+  size_t size() const { return sorted_.size(); }
+
+  /// MP (Equation 6): total payoff excess of others above `own`.
+  double Mp(double own) const;
+  /// LP (Equation 7): total payoff excess of `own` above others.
+  double Lp(double own) const;
+  /// IAU (Equation 5) for a candidate own payoff.
+  double Iau(double own, const IauParams& params) const;
+
+ private:
+  std::vector<double> sorted_;  // ascending
+  std::vector<double> prefix_;  // prefix_[k] = sum of first k
+};
+
+}  // namespace fta
+
+#endif  // FTA_GAME_IAU_H_

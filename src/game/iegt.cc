@@ -1,0 +1,95 @@
+#include "game/iegt.h"
+
+#include <vector>
+
+#include "game/init.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace fta {
+
+std::vector<double> ReplicatorDynamics(const JointState& state) {
+  const std::vector<double>& payoffs = state.payoffs();
+  const size_t n = payoffs.size();
+  std::vector<double> dynamics(n, 0.0);
+  if (n == 0) return dynamics;
+  const double avg = Mean(payoffs);
+  const double share = 1.0 / static_cast<double>(n);  // σ_km, Equations 12-13
+  for (size_t w = 0; w < n; ++w) {
+    // Workers on the null strategy hold no population share of any VDPS.
+    const double sigma = state.strategy_of(w) == kNullStrategy ? 0.0 : share;
+    dynamics[w] = sigma * (payoffs[w] - avg);  // Equation 11
+  }
+  return dynamics;
+}
+
+namespace {
+
+IterationStats Snapshot(const JointState& state, int iteration,
+                        size_t num_changes) {
+  IterationStats s;
+  s.iteration = iteration;
+  s.payoff_difference = MeanAbsolutePairwiseDifference(state.payoffs());
+  s.average_payoff = Mean(state.payoffs());
+  s.num_changes = num_changes;
+  return s;
+}
+
+}  // namespace
+
+GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
+                     const IegtConfig& config) {
+  JointState state(instance, catalog);
+  Rng rng(config.seed);
+  RandomSingletonInit(state, rng);
+
+  GameResult result;
+  if (config.record_trace) result.trace.push_back(Snapshot(state, 0, 0));
+
+  std::vector<int32_t> better;  // reused candidate buffer
+  EarlyStopMonitor early(config.early_stop);
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    // Ū is computed once per iteration: all players compare their utility
+    // with the average utility of the whole population (Section VI-C).
+    const double avg = Mean(state.payoffs());
+    size_t changes = 0;
+    for (size_t w = 0; w < instance.num_workers(); ++w) {
+      // σ̇_km < 0 ⇔ the worker's payoff is below the population average
+      // (null-strategy workers have σ = 0 but may still enter the game by
+      // natural selection when any positive-payoff strategy is available —
+      // σ̇ = 0 with payoff 0 is never better than evolving).
+      const double payoff = state.payoff_of(w);
+      const bool pressured = payoff < avg - kEps;
+      if (!pressured) continue;
+      better.clear();
+      const auto& strategies = catalog.strategies(w);
+      for (size_t i = 0; i < strategies.size(); ++i) {
+        const int32_t idx = static_cast<int32_t>(i);
+        if (idx == state.strategy_of(w)) continue;
+        if (strategies[i].payoff <= payoff + kEps) break;  // sorted desc
+        if (state.IsAvailable(w, idx)) better.push_back(idx);
+      }
+      if (!better.empty()) {
+        state.Apply(w, better[rng.Index(better.size())]);
+        ++changes;
+      }
+    }
+    result.rounds = round;
+    if (config.record_trace) {
+      result.trace.push_back(Snapshot(state, round, changes));
+    }
+    if (changes == 0) {
+      // Improved evolutionary equilibrium: σ̇_k(t) = 0 or st^t == st^{t-1}.
+      result.converged = true;
+      break;
+    }
+    if (early.ShouldStop(MeanAbsolutePairwiseDifference(state.payoffs()))) {
+      result.early_stopped = true;
+      break;
+    }
+  }
+  result.assignment = state.ToAssignment();
+  return result;
+}
+
+}  // namespace fta

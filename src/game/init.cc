@@ -1,0 +1,25 @@
+#include "game/init.h"
+
+#include <vector>
+
+namespace fta {
+
+void RandomSingletonInit(JointState& state, Rng& rng) {
+  const VdpsCatalog& catalog = state.catalog();
+  for (size_t w = 0; w < catalog.num_workers(); ++w) {
+    std::vector<int32_t> singles;
+    const auto& strategies = catalog.strategies(w);
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      const int32_t idx = static_cast<int32_t>(i);
+      if (catalog.entry(strategies[i].entry_id).dps.size() == 1 &&
+          state.IsAvailable(w, idx)) {
+        singles.push_back(idx);
+      }
+    }
+    if (!singles.empty()) {
+      state.Apply(w, singles[rng.Index(singles.size())]);
+    }
+  }
+}
+
+}  // namespace fta

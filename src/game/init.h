@@ -1,0 +1,17 @@
+#ifndef FTA_GAME_INIT_H_
+#define FTA_GAME_INIT_H_
+
+#include "game/joint_state.h"
+#include "util/rng.h"
+
+namespace fta {
+
+/// The random initial assignment shared by Algorithms 2 and 3 (lines 6-16):
+/// in worker order, each worker draws a uniformly random *available*
+/// singleton VDPS (|VDPS| = 1) and claims it; workers with no available
+/// singleton start on the null strategy.
+void RandomSingletonInit(JointState& state, Rng& rng);
+
+}  // namespace fta
+
+#endif  // FTA_GAME_INIT_H_

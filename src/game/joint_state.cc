@@ -1,0 +1,58 @@
+#include "game/joint_state.h"
+
+#include "util/logging.h"
+
+namespace fta {
+
+JointState::JointState(const Instance& instance, const VdpsCatalog& catalog)
+    : instance_(&instance),
+      catalog_(&catalog),
+      strategy_(instance.num_workers(), kNullStrategy),
+      payoff_(instance.num_workers(), 0.0),
+      owner_(instance.num_delivery_points(), -1) {
+  FTA_CHECK(catalog.num_workers() == instance.num_workers());
+}
+
+bool JointState::IsAvailable(size_t w, int32_t idx) const {
+  if (idx == kNullStrategy) return true;
+  const WorkerStrategy& st =
+      catalog_->strategies(w)[static_cast<size_t>(idx)];
+  for (uint32_t dp : catalog_->entry(st.entry_id).dps) {
+    const int32_t owner = owner_[dp];
+    if (owner != -1 && owner != static_cast<int32_t>(w)) return false;
+  }
+  return true;
+}
+
+void JointState::Apply(size_t w, int32_t idx) {
+  FTA_DCHECK(IsAvailable(w, idx));
+  const int32_t old = strategy_[w];
+  if (old == idx) return;
+  if (old != kNullStrategy) {
+    const WorkerStrategy& st =
+        catalog_->strategies(w)[static_cast<size_t>(old)];
+    for (uint32_t dp : catalog_->entry(st.entry_id).dps) owner_[dp] = -1;
+  }
+  strategy_[w] = idx;
+  if (idx == kNullStrategy) {
+    payoff_[w] = 0.0;
+    return;
+  }
+  const WorkerStrategy& st = catalog_->strategies(w)[static_cast<size_t>(idx)];
+  for (uint32_t dp : catalog_->entry(st.entry_id).dps) {
+    owner_[dp] = static_cast<int32_t>(w);
+  }
+  payoff_[w] = st.payoff;
+}
+
+Assignment JointState::ToAssignment() const {
+  Assignment a(instance_->num_workers());
+  for (size_t w = 0; w < strategy_.size(); ++w) {
+    if (strategy_[w] == kNullStrategy) continue;
+    a.SetRoute(w, catalog_->strategies(w)[static_cast<size_t>(strategy_[w])]
+                      .route);
+  }
+  return a;
+}
+
+}  // namespace fta

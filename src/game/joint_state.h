@@ -1,0 +1,66 @@
+#ifndef FTA_GAME_JOINT_STATE_H_
+#define FTA_GAME_JOINT_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+
+/// Sentinel strategy index for the null strategy (no delivery points).
+inline constexpr int32_t kNullStrategy = -1;
+
+/// The joint strategy vector of the FTA game plus delivery-point ownership
+/// bookkeeping. Strategies are indices into VdpsCatalog::strategies(w);
+/// kNullStrategy means the worker delivers nothing.
+///
+/// Invariant: the delivery point sets of the chosen strategies are pairwise
+/// disjoint (owner_of tracks who holds each point).
+class JointState {
+ public:
+  /// Starts with every worker on the null strategy.
+  JointState(const Instance& instance, const VdpsCatalog& catalog);
+
+  const Instance& instance() const { return *instance_; }
+  const VdpsCatalog& catalog() const { return *catalog_; }
+
+  /// Current strategy index of worker w (kNullStrategy if null).
+  int32_t strategy_of(size_t w) const { return strategy_[w]; }
+  /// Current payoff of worker w (0 under the null strategy).
+  double payoff_of(size_t w) const { return payoff_[w]; }
+  /// All current payoffs (one per worker).
+  const std::vector<double>& payoffs() const { return payoff_; }
+
+  /// True if worker w could switch to its strategy `idx` right now: every
+  /// delivery point of that VDPS is free or already owned by w itself.
+  /// kNullStrategy is always available.
+  bool IsAvailable(size_t w, int32_t idx) const;
+
+  /// Switches worker w to strategy `idx` (must be available): releases the
+  /// old VDPS's points and claims the new ones.
+  void Apply(size_t w, int32_t idx);
+
+  /// Owner worker of a delivery point, or -1 if unclaimed.
+  int32_t owner_of(uint32_t dp) const { return owner_[dp]; }
+
+  /// Snapshot of the joint strategy vector (for convergence tests
+  /// W.st^t == W.st^{t-1}).
+  const std::vector<int32_t>& joint_strategy() const { return strategy_; }
+
+  /// Materializes the assignment A from the current joint strategy.
+  Assignment ToAssignment() const;
+
+ private:
+  const Instance* instance_;
+  const VdpsCatalog* catalog_;
+  std::vector<int32_t> strategy_;
+  std::vector<double> payoff_;
+  std::vector<int32_t> owner_;  // per delivery point; -1 = free
+};
+
+}  // namespace fta
+
+#endif  // FTA_GAME_JOINT_STATE_H_

@@ -1,0 +1,35 @@
+#include "game/potential.h"
+
+#include <numeric>
+
+#include "util/math_util.h"
+
+namespace fta {
+
+double ExactPotential(const std::vector<double>& payoffs, double alpha) {
+  const double total =
+      std::accumulate(payoffs.begin(), payoffs.end(), 0.0);
+  const size_t n = payoffs.size();
+  if (n < 2) return total;
+  // Σ_{k<l} |P_k − P_l| = P_dif · n(n−1)/2.
+  const double pairwise_sum = MeanAbsolutePairwiseDifference(payoffs) *
+                              static_cast<double>(n) *
+                              static_cast<double>(n - 1) / 2.0;
+  return total - alpha / static_cast<double>(n - 1) * pairwise_sum;
+}
+
+double PaperPotential(const std::vector<double>& payoffs,
+                      const IauParams& params) {
+  double phi = 0.0;
+  for (size_t i = 0; i < payoffs.size(); ++i) {
+    std::vector<double> others;
+    others.reserve(payoffs.size() - 1);
+    for (size_t j = 0; j < payoffs.size(); ++j) {
+      if (j != i) others.push_back(payoffs[j]);
+    }
+    phi += Iau(payoffs[i], others, params);
+  }
+  return phi;
+}
+
+}  // namespace fta

@@ -1,0 +1,184 @@
+#include "game/priority.h"
+
+#include <cmath>
+
+#include "game/init.h"
+#include "game/joint_state.h"
+#include "game/potential.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace fta {
+
+bool ValidPriorities(const std::vector<double>& priorities,
+                     size_t num_workers) {
+  if (priorities.size() != num_workers) return false;
+  for (double p : priorities) {
+    if (!(p > 0.0) || std::isinf(p) || std::isnan(p)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::vector<double> Normalize(const std::vector<double>& payoffs,
+                              const std::vector<double>& priorities) {
+  std::vector<double> normalized(payoffs.size());
+  for (size_t i = 0; i < payoffs.size(); ++i) {
+    normalized[i] = payoffs[i] / priorities[i];
+  }
+  return normalized;
+}
+
+}  // namespace
+
+double PriorityPayoffDifference(const std::vector<double>& payoffs,
+                                const std::vector<double>& priorities) {
+  FTA_CHECK(payoffs.size() == priorities.size());
+  return MeanAbsolutePairwiseDifference(Normalize(payoffs, priorities));
+}
+
+double PriorityIau(double own_payoff, double own_priority,
+                   const std::vector<double>& other_payoffs,
+                   const std::vector<double>& other_priorities,
+                   const IauParams& params) {
+  FTA_CHECK(other_payoffs.size() == other_priorities.size());
+  FTA_CHECK(own_priority > 0.0);
+  return own_priority * Iau(own_payoff / own_priority,
+                            Normalize(other_payoffs, other_priorities),
+                            params);
+}
+
+GameResult SolvePriorityFgt(const Instance& instance,
+                            const VdpsCatalog& catalog,
+                            const PriorityFgtConfig& config) {
+  FTA_CHECK_MSG(ValidPriorities(config.priorities, instance.num_workers()),
+                "need one strictly positive priority per worker");
+  JointState state(instance, catalog);
+  Rng rng(config.seed);
+  RandomSingletonInit(state, rng);
+
+  const auto snapshot = [&](int round, size_t changes) {
+    IterationStats s;
+    s.iteration = round;
+    s.payoff_difference =
+        PriorityPayoffDifference(state.payoffs(), config.priorities);
+    s.average_payoff = Mean(state.payoffs());
+    s.potential = ExactPotential(Normalize(state.payoffs(),
+                                           config.priorities),
+                                 config.iau.alpha);
+    s.num_changes = changes;
+    return s;
+  };
+
+  GameResult result;
+  if (config.record_trace) result.trace.push_back(snapshot(0, 0));
+
+  // Best responses on the *normalized* payoffs: build the OthersView over
+  // P_j / p_j once per responder, evaluate each candidate's P / p_i.
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    size_t changes = 0;
+    for (size_t w = 0; w < instance.num_workers(); ++w) {
+      std::vector<double> others;
+      others.reserve(instance.num_workers() - 1);
+      for (size_t j = 0; j < instance.num_workers(); ++j) {
+        if (j != w) others.push_back(state.payoff_of(j) /
+                                     config.priorities[j]);
+      }
+      const OthersView view(std::move(others));
+      const double p_w = config.priorities[w];
+      const int32_t current = state.strategy_of(w);
+      int32_t best_idx = current;
+      double best_u = view.Iau(state.payoff_of(w) / p_w, config.iau);
+      if (current != kNullStrategy) {
+        const double null_u = view.Iau(0.0, config.iau);
+        if (DefinitelyGreater(null_u, best_u)) {
+          best_idx = kNullStrategy;
+          best_u = null_u;
+        }
+      }
+      const auto& strategies = catalog.strategies(w);
+      for (size_t i = 0; i < strategies.size(); ++i) {
+        const int32_t idx = static_cast<int32_t>(i);
+        if (idx == current) continue;
+        if (!state.IsAvailable(w, idx)) continue;
+        const double u = view.Iau(strategies[i].payoff / p_w, config.iau);
+        if (DefinitelyGreater(u, best_u)) {
+          best_idx = idx;
+          best_u = u;
+        }
+      }
+      if (best_idx != current) {
+        state.Apply(w, best_idx);
+        ++changes;
+      }
+    }
+    result.rounds = round;
+    if (config.record_trace) result.trace.push_back(snapshot(round, changes));
+    if (changes == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.assignment = state.ToAssignment();
+  return result;
+}
+
+GameResult SolvePriorityIegt(const Instance& instance,
+                             const VdpsCatalog& catalog,
+                             const PriorityIegtConfig& config) {
+  FTA_CHECK_MSG(ValidPriorities(config.priorities, instance.num_workers()),
+                "need one strictly positive priority per worker");
+  JointState state(instance, catalog);
+  Rng rng(config.seed);
+  RandomSingletonInit(state, rng);
+
+  const auto snapshot = [&](int round, size_t changes) {
+    IterationStats s;
+    s.iteration = round;
+    s.payoff_difference =
+        PriorityPayoffDifference(state.payoffs(), config.priorities);
+    s.average_payoff = Mean(state.payoffs());
+    s.num_changes = changes;
+    return s;
+  };
+
+  GameResult result;
+  if (config.record_trace) result.trace.push_back(snapshot(0, 0));
+
+  std::vector<int32_t> better;
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    // Selection pressure compares *normalized* payoffs to their mean: the
+    // evolutionary target state is P_w proportional to p_w.
+    const double avg_normalized =
+        Mean(Normalize(state.payoffs(), config.priorities));
+    size_t changes = 0;
+    for (size_t w = 0; w < instance.num_workers(); ++w) {
+      const double payoff = state.payoff_of(w);
+      if (payoff / config.priorities[w] >= avg_normalized - kEps) continue;
+      better.clear();
+      const auto& strategies = catalog.strategies(w);
+      for (size_t i = 0; i < strategies.size(); ++i) {
+        const int32_t idx = static_cast<int32_t>(i);
+        if (idx == state.strategy_of(w)) continue;
+        if (strategies[i].payoff <= payoff + kEps) break;  // sorted desc
+        if (state.IsAvailable(w, idx)) better.push_back(idx);
+      }
+      if (!better.empty()) {
+        state.Apply(w, better[rng.Index(better.size())]);
+        ++changes;
+      }
+    }
+    result.rounds = round;
+    if (config.record_trace) result.trace.push_back(snapshot(round, changes));
+    if (changes == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.assignment = state.ToAssignment();
+  return result;
+}
+
+}  // namespace fta

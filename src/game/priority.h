@@ -1,0 +1,94 @@
+#ifndef FTA_GAME_PRIORITY_H_
+#define FTA_GAME_PRIORITY_H_
+
+#include <vector>
+
+#include "game/fgt.h"
+#include "game/iau.h"
+#include "game/trace.h"
+#include "model/instance.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+
+/// Priority-aware fairness — the paper's first named future-work direction
+/// ("introduce additional descriptive models of fairness, e.g.,
+/// priority-aware fairness, into spatial crowdsourcing task assignment").
+///
+/// Each worker carries a priority weight p_w > 0 (seniority, rating,
+/// contract tier). Fairness now means payoffs *proportional to priority*:
+/// the equalized quantity is the normalized payoff P̂_w = P_w / p_w. All
+/// the machinery of the symmetric case carries over in normalized space —
+/// including the exact potential — because the normalization is a
+/// per-player constant rescaling of payoffs.
+
+/// Validates priorities (one strictly positive weight per worker).
+bool ValidPriorities(const std::vector<double>& priorities,
+                     size_t num_workers);
+
+/// Priority-weighted payoff difference: the mean absolute pairwise
+/// difference of normalized payoffs P_w / p_w. Reduces to Equation 2 when
+/// all priorities are 1.
+double PriorityPayoffDifference(const std::vector<double>& payoffs,
+                                const std::vector<double>& priorities);
+
+/// Priority-aware IAU of worker i: Equation 5 applied to normalized
+/// payoffs, rescaled back by p_i so that utilities stay comparable to raw
+/// payoffs: U_i = p_i · IAU(P̂_i among P̂_others).
+double PriorityIau(double own_payoff, double own_priority,
+                   const std::vector<double>& other_payoffs,
+                   const std::vector<double>& other_priorities,
+                   const IauParams& params);
+
+/// Configuration of the priority-aware FGT variant.
+struct PriorityFgtConfig {
+  /// One weight per worker; must validate via ValidPriorities.
+  std::vector<double> priorities;
+  IauParams iau;
+  int max_rounds = 200;
+  uint64_t seed = 42;
+  bool record_trace = false;
+};
+
+/// Priority-aware FGT: sequential best responses on the priority-aware IAU
+/// until a pure Nash equilibrium. With all-ones priorities this is exactly
+/// SolveFgt. The trace's payoff_difference column reports the
+/// priority-weighted P_dif.
+///
+/// NOTE (reproduction finding, see DESIGN.md): for beta < 1 the IAU of
+/// Equation 5 is *strictly increasing* in the worker's own payoff
+/// (dU/dP = 1 + (alpha/m)·n_above − (beta/m)·n_below ≥ 1 − beta > 0), so
+/// every best response is simply the max-payoff available strategy, and a
+/// per-worker monotone rescaling — priorities — cannot change any argmax:
+/// with the paper's alpha = beta = 0.5, SolvePriorityFgt coincides with
+/// SolveFgt. Fairness in the best-response game comes from the sequential
+/// dynamics, not from per-move trade-offs. For priorities to bite, use the
+/// evolutionary variant below, whose *selection pressure* genuinely
+/// depends on normalized payoffs.
+GameResult SolvePriorityFgt(const Instance& instance,
+                            const VdpsCatalog& catalog,
+                            const PriorityFgtConfig& config);
+
+/// Configuration of the priority-aware IEGT variant.
+struct PriorityIegtConfig {
+  /// One weight per worker; must validate via ValidPriorities.
+  std::vector<double> priorities;
+  int max_rounds = 500;
+  uint64_t seed = 42;
+  bool record_trace = false;
+};
+
+/// Priority-aware IEGT: replicator dynamics on *normalized* payoffs. A
+/// worker is pressured to evolve when P_w / p_w falls below the population
+/// average of normalized payoffs, so high-priority workers keep climbing
+/// to proportionally higher payoffs while low-priority workers settle
+/// earlier; the improved evolutionary equilibrium equalizes P_w / p_w.
+/// With all-ones priorities this is exactly SolveIegt. The trace's
+/// payoff_difference column reports the priority-weighted P_dif.
+GameResult SolvePriorityIegt(const Instance& instance,
+                             const VdpsCatalog& catalog,
+                             const PriorityIegtConfig& config);
+
+}  // namespace fta
+
+#endif  // FTA_GAME_PRIORITY_H_

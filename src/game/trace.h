@@ -1,0 +1,76 @@
+#ifndef FTA_GAME_TRACE_H_
+#define FTA_GAME_TRACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/assignment.h"
+
+namespace fta {
+
+/// Per-iteration snapshot of a game-theoretic solver; one row of Figure 12.
+struct IterationStats {
+  int iteration = 0;
+  /// P_dif of the current joint strategy.
+  double payoff_difference = 0.0;
+  /// Mean worker payoff of the current joint strategy.
+  double average_payoff = 0.0;
+  /// Exact potential Φ (FGT only; 0 for IEGT).
+  double potential = 0.0;
+  /// Number of workers that changed strategy in this iteration.
+  size_t num_changes = 0;
+};
+
+/// Outcome of a game-theoretic solver run.
+struct GameResult {
+  Assignment assignment;
+  /// Iterations actually executed (the paper's T factor).
+  int rounds = 0;
+  /// True if the termination condition (equilibrium) was reached before the
+  /// round cap.
+  bool converged = false;
+  /// True if the run was cut short by the early-termination rule (the
+  /// paper's future-work efficiency extension) rather than by reaching an
+  /// equilibrium.
+  bool early_stopped = false;
+  /// Per-iteration statistics; filled only when the config asks for it.
+  std::vector<IterationStats> trace;
+};
+
+/// Early-termination rule shared by FGT and IEGT (the paper's future-work
+/// item "improve the game-theoretic algorithm's efficiency by enabling
+/// early termination of iterations"): stop once the payoff difference has
+/// failed to improve by more than `tolerance` for `patience` consecutive
+/// rounds. patience == 0 disables the rule.
+struct EarlyStopRule {
+  double tolerance = 1e-3;
+  int patience = 0;
+};
+
+/// Stateful evaluator of an EarlyStopRule over a run's P_dif sequence.
+class EarlyStopMonitor {
+ public:
+  explicit EarlyStopMonitor(const EarlyStopRule& rule) : rule_(rule) {}
+
+  /// Feeds the current round's payoff difference; returns true when the
+  /// rule says to stop.
+  bool ShouldStop(double payoff_difference) {
+    if (rule_.patience <= 0) return false;
+    if (payoff_difference < best_ - rule_.tolerance) {
+      best_ = payoff_difference;
+      stale_rounds_ = 0;
+      return false;
+    }
+    ++stale_rounds_;
+    return stale_rounds_ >= rule_.patience;
+  }
+
+ private:
+  EarlyStopRule rule_;
+  double best_ = 1e300;
+  int stale_rounds_ = 0;
+};
+
+}  // namespace fta
+
+#endif  // FTA_GAME_TRACE_H_

@@ -1,0 +1,76 @@
+#ifndef FTA_GEO_BOUNDING_BOX_H_
+#define FTA_GEO_BOUNDING_BOX_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace fta {
+
+/// Axis-aligned bounding box. Default-constructed boxes are empty and can be
+/// grown with Extend().
+class BoundingBox {
+ public:
+  /// Creates an empty (inverted) box.
+  BoundingBox() = default;
+  /// Creates a box spanning the two corners (in any order).
+  BoundingBox(const Point& a, const Point& b)
+      : min_{std::min(a.x, b.x), std::min(a.y, b.y)},
+        max_{std::max(a.x, b.x), std::max(a.y, b.y)} {}
+
+  /// Tightest box around a point set; empty box for an empty set.
+  static BoundingBox Of(const std::vector<Point>& points) {
+    BoundingBox box;
+    for (const Point& p : points) box.Extend(p);
+    return box;
+  }
+
+  bool empty() const { return min_.x > max_.x; }
+
+  const Point& min() const { return min_; }
+  const Point& max() const { return max_; }
+
+  double width() const { return empty() ? 0.0 : max_.x - min_.x; }
+  double height() const { return empty() ? 0.0 : max_.y - min_.y; }
+
+  /// Grows the box to cover p.
+  void Extend(const Point& p) {
+    min_.x = std::min(min_.x, p.x);
+    min_.y = std::min(min_.y, p.y);
+    max_.x = std::max(max_.x, p.x);
+    max_.y = std::max(max_.y, p.y);
+  }
+
+  /// Grows the box by `margin` on every side.
+  void Inflate(double margin) {
+    if (empty()) return;
+    min_.x -= margin;
+    min_.y -= margin;
+    max_.x += margin;
+    max_.y += margin;
+  }
+
+  /// True if p lies inside or on the border.
+  bool Contains(const Point& p) const {
+    return !empty() && p.x >= min_.x && p.x <= max_.x && p.y >= min_.y &&
+           p.y <= max_.y;
+  }
+
+  /// Smallest distance from p to the box (0 if inside).
+  double Distance(const Point& p) const {
+    if (empty()) return kEmptyDistance;
+    const double dx = std::max({min_.x - p.x, 0.0, p.x - max_.x});
+    const double dy = std::max({min_.y - p.y, 0.0, p.y - max_.y});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+ private:
+  static constexpr double kEmptyDistance = 1e300;
+  Point min_{1.0, 1.0};
+  Point max_{-1.0, -1.0};  // inverted => empty
+};
+
+}  // namespace fta
+
+#endif  // FTA_GEO_BOUNDING_BOX_H_

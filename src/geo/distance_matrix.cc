@@ -1,0 +1,27 @@
+#include "geo/distance_matrix.h"
+
+namespace fta {
+
+DistanceMatrix::DistanceMatrix(const Point& origin,
+                               const std::vector<Point>& points,
+                               const TravelModel& travel)
+    : n_(points.size()) {
+  times_.resize(n_ * n_);
+  dists_.resize(n_ * n_);
+  from_origin_.resize(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    from_origin_[i] = travel.TravelTime(origin, points[i]);
+    times_[i * n_ + i] = 0.0;
+    dists_[i * n_ + i] = 0.0;
+    for (size_t j = i + 1; j < n_; ++j) {
+      const double d = Distance(points[i], points[j]);
+      const double t = travel.TimeForDistance(d);
+      dists_[i * n_ + j] = d;
+      dists_[j * n_ + i] = d;
+      times_[i * n_ + j] = t;
+      times_[j * n_ + i] = t;
+    }
+  }
+}
+
+}  // namespace fta

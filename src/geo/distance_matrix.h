@@ -1,0 +1,46 @@
+#ifndef FTA_GEO_DISTANCE_MATRIX_H_
+#define FTA_GEO_DISTANCE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/travel.h"
+
+namespace fta {
+
+/// Dense pairwise travel-time matrix over a point set, plus travel times
+/// from one distinguished origin (the distribution center). Precomputing
+/// this once makes the VDPS dynamic program and the sequence enumerator
+/// branch on array lookups only.
+class DistanceMatrix {
+ public:
+  /// Builds the n x n travel-time matrix for `points` and the origin row
+  /// (origin -> each point) under `travel`.
+  DistanceMatrix(const Point& origin, const std::vector<Point>& points,
+                 const TravelModel& travel);
+
+  size_t size() const { return n_; }
+
+  /// Travel time between points i and j.
+  double Between(size_t i, size_t j) const { return times_[i * n_ + j]; }
+
+  /// Travel time from the origin (distribution center) to point i.
+  double FromOrigin(size_t i) const { return from_origin_[i]; }
+
+  /// Euclidean distance (not time) between points i and j; used by the
+  /// ε-pruning predicate, which the paper states in distance units.
+  double DistanceBetween(size_t i, size_t j) const {
+    return dists_[i * n_ + j];
+  }
+
+ private:
+  size_t n_;
+  std::vector<double> times_;        // n*n travel times
+  std::vector<double> dists_;       // n*n distances
+  std::vector<double> from_origin_;  // n origin->point travel times
+};
+
+}  // namespace fta
+
+#endif  // FTA_GEO_DISTANCE_MATRIX_H_

@@ -1,0 +1,57 @@
+#ifndef FTA_GEO_GRID_INDEX_H_
+#define FTA_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/point.h"
+
+namespace fta {
+
+/// Uniform grid over a point set, supporting radius queries. This is the
+/// index behind the distance-constrained pruning strategy of Section IV:
+/// D(dp_j) = { dp_q : d(dp_j, dp_q) <= epsilon } is one RadiusQuery.
+///
+/// The grid is immutable after construction; cell size defaults to the query
+/// radius the caller expects (pass it explicitly for best performance).
+class GridIndex {
+ public:
+  /// Builds an index over `points`. `cell_size` <= 0 picks a heuristic cell
+  /// size (~sqrt(area / n)).
+  explicit GridIndex(std::vector<Point> points, double cell_size = 0.0);
+
+  size_t size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+  double cell_size() const { return cell_size_; }
+
+  /// Indices of all points within `radius` of `center` (inclusive), in
+  /// ascending index order. Includes the query point itself if it is in the
+  /// set and within the radius.
+  std::vector<uint32_t> RadiusQuery(const Point& center, double radius) const;
+
+  /// Index of the nearest point to `center`, or -1 for an empty index.
+  int64_t Nearest(const Point& center) const;
+
+ private:
+  struct Cell {
+    uint32_t begin = 0;  // range into sorted_ids_
+    uint32_t end = 0;
+  };
+
+  int64_t CellX(double x) const;
+  int64_t CellY(double y) const;
+  const Cell& CellAt(int64_t cx, int64_t cy) const;
+
+  std::vector<Point> points_;
+  BoundingBox bounds_;
+  double cell_size_ = 1.0;
+  int64_t nx_ = 0;
+  int64_t ny_ = 0;
+  std::vector<Cell> cells_;          // nx_ * ny_ cells, row-major
+  std::vector<uint32_t> sorted_ids_;  // point ids grouped by cell
+};
+
+}  // namespace fta
+
+#endif  // FTA_GEO_GRID_INDEX_H_

@@ -1,0 +1,121 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/math_util.h"
+
+namespace fta {
+
+KdTree::KdTree(std::vector<Point> points) : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<uint32_t> ids(points_.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  nodes_.reserve(points_.size());
+  root_ = Build(ids, 0, ids.size(), 0);
+}
+
+int32_t KdTree::Build(std::vector<uint32_t>& ids, size_t begin, size_t end,
+                      int depth) {
+  if (begin >= end) return -1;
+  const uint8_t axis = static_cast<uint8_t>(depth % 2);
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids.begin() + static_cast<ptrdiff_t>(begin),
+                   ids.begin() + static_cast<ptrdiff_t>(mid),
+                   ids.begin() + static_cast<ptrdiff_t>(end),
+                   [&](uint32_t a, uint32_t b) {
+                     return axis == 0 ? points_[a].x < points_[b].x
+                                      : points_[a].y < points_[b].y;
+                   });
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{-1, -1, ids[mid], axis});
+  const int32_t left = Build(ids, begin, mid, depth + 1);
+  const int32_t right = Build(ids, mid + 1, end, depth + 1);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+int64_t KdTree::Nearest(const Point& query) const {
+  if (root_ < 0) return -1;
+  double best_d2 = kInfinity;
+  int64_t best_id = -1;
+  NearestRec(root_, query, best_d2, best_id);
+  return best_id;
+}
+
+void KdTree::NearestRec(int32_t node, const Point& query, double& best_d2,
+                        int64_t& best_id) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Point& p = points_[n.point_id];
+  const double d2 = SquaredDistance(p, query);
+  if (d2 < best_d2) {
+    best_d2 = d2;
+    best_id = n.point_id;
+  }
+  const double delta = n.axis == 0 ? query.x - p.x : query.y - p.y;
+  const int32_t near_side = delta < 0 ? n.left : n.right;
+  const int32_t far_side = delta < 0 ? n.right : n.left;
+  NearestRec(near_side, query, best_d2, best_id);
+  if (delta * delta < best_d2) NearestRec(far_side, query, best_d2, best_id);
+}
+
+std::vector<uint32_t> KdTree::KNearest(const Point& query, size_t k) const {
+  std::vector<std::pair<double, uint32_t>> heap;  // max-heap on distance
+  if (root_ >= 0 && k > 0) KNearestRec(root_, query, k, heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<uint32_t> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, id] : heap) out.push_back(id);
+  return out;
+}
+
+void KdTree::KNearestRec(
+    int32_t node, const Point& query, size_t k,
+    std::vector<std::pair<double, uint32_t>>& heap) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Point& p = points_[n.point_id];
+  const double d2 = SquaredDistance(p, query);
+  if (heap.size() < k) {
+    heap.emplace_back(d2, n.point_id);
+    std::push_heap(heap.begin(), heap.end());
+  } else if (d2 < heap.front().first) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = {d2, n.point_id};
+    std::push_heap(heap.begin(), heap.end());
+  }
+  const double delta = n.axis == 0 ? query.x - p.x : query.y - p.y;
+  const int32_t near_side = delta < 0 ? n.left : n.right;
+  const int32_t far_side = delta < 0 ? n.right : n.left;
+  KNearestRec(near_side, query, k, heap);
+  if (heap.size() < k || delta * delta < heap.front().first) {
+    KNearestRec(far_side, query, k, heap);
+  }
+}
+
+std::vector<uint32_t> KdTree::RadiusQuery(const Point& query,
+                                          double radius) const {
+  std::vector<uint32_t> out;
+  if (root_ >= 0 && radius >= 0.0) {
+    RadiusRec(root_, query, radius * radius, out);
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+void KdTree::RadiusRec(int32_t node, const Point& query, double r2,
+                       std::vector<uint32_t>& out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Point& p = points_[n.point_id];
+  if (SquaredDistance(p, query) <= r2) out.push_back(n.point_id);
+  const double delta = n.axis == 0 ? query.x - p.x : query.y - p.y;
+  const int32_t near_side = delta < 0 ? n.left : n.right;
+  const int32_t far_side = delta < 0 ? n.right : n.left;
+  RadiusRec(near_side, query, r2, out);
+  if (delta * delta <= r2) RadiusRec(far_side, query, r2, out);
+}
+
+}  // namespace fta

@@ -1,0 +1,56 @@
+#ifndef FTA_GEO_KDTREE_H_
+#define FTA_GEO_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace fta {
+
+/// Static 2D k-d tree over a point set. Supports nearest-neighbor, k-NN and
+/// radius queries. Used by k-means assignment steps and by data-prep
+/// pipelines; the grid index is preferred for the hot ε-pruning path.
+class KdTree {
+ public:
+  /// Builds a balanced tree (median splits) over `points`.
+  explicit KdTree(std::vector<Point> points);
+
+  size_t size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Index of the nearest point to `query`; -1 for an empty tree.
+  int64_t Nearest(const Point& query) const;
+
+  /// Indices of the k nearest points, closest first. Returns fewer than k
+  /// if the tree is smaller.
+  std::vector<uint32_t> KNearest(const Point& query, size_t k) const;
+
+  /// Indices of all points within `radius` (inclusive), ascending order.
+  std::vector<uint32_t> RadiusQuery(const Point& query, double radius) const;
+
+ private:
+  struct Node {
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t point_id = 0;
+    uint8_t axis = 0;
+  };
+
+  int32_t Build(std::vector<uint32_t>& ids, size_t begin, size_t end,
+                int depth);
+  void NearestRec(int32_t node, const Point& query, double& best_d2,
+                  int64_t& best_id) const;
+  void KNearestRec(int32_t node, const Point& query, size_t k,
+                   std::vector<std::pair<double, uint32_t>>& heap) const;
+  void RadiusRec(int32_t node, const Point& query, double r2,
+                 std::vector<uint32_t>& out) const;
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace fta
+
+#endif  // FTA_GEO_KDTREE_H_

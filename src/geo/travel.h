@@ -1,0 +1,38 @@
+#ifndef FTA_GEO_TRAVEL_H_
+#define FTA_GEO_TRAVEL_H_
+
+#include "geo/point.h"
+#include "util/logging.h"
+
+namespace fta {
+
+/// Travel-time model c(a, b) = Distance(a, b) / speed. The paper sets the
+/// worker speed to 5 km/h on both datasets (1 in the intro example).
+class TravelModel {
+ public:
+  /// Speed must be strictly positive (distance units per time unit).
+  explicit TravelModel(double speed = 5.0) : speed_(speed) {
+    FTA_CHECK_MSG(speed > 0.0, "speed must be > 0");
+  }
+
+  double speed() const { return speed_; }
+
+  /// Travel time c(a, b) from location a to location b.
+  double TravelTime(const Point& a, const Point& b) const {
+    return Distance(a, b) / speed_;
+  }
+
+  /// Travel time corresponding to a given distance.
+  double TimeForDistance(double distance) const { return distance / speed_; }
+
+  friend bool operator==(const TravelModel& a, const TravelModel& b) {
+    return a.speed_ == b.speed_;
+  }
+
+ private:
+  double speed_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_GEO_TRAVEL_H_

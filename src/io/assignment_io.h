@@ -1,0 +1,28 @@
+#ifndef FTA_IO_ASSIGNMENT_IO_H_
+#define FTA_IO_ASSIGNMENT_IO_H_
+
+#include <string>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "util/status.h"
+
+namespace fta {
+
+/// Assignment (de)serialization: one row per worker with a non-null route,
+///   A,<worker>,<dp_1>,<dp_2>,...
+/// plus a leading comment row. Null-strategy workers are omitted and
+/// restored as null on load (the total worker count is recorded).
+std::string SerializeAssignment(const Assignment& assignment);
+Status SaveAssignment(const std::string& path, const Assignment& assignment);
+
+/// Parses the format above and validates the result against `instance`
+/// (route shapes, maxDP, deadlines, disjointness).
+StatusOr<Assignment> DeserializeAssignment(const std::string& text,
+                                           const Instance& instance);
+StatusOr<Assignment> LoadAssignment(const std::string& path,
+                                    const Instance& instance);
+
+}  // namespace fta
+
+#endif  // FTA_IO_ASSIGNMENT_IO_H_

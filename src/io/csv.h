@@ -1,0 +1,35 @@
+#ifndef FTA_IO_CSV_H_
+#define FTA_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fta {
+
+/// A parsed CSV document: one row per record, one string per field.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Supports quoted fields with embedded delimiters,
+/// doubled-quote escapes, and both \n and \r\n line endings. Empty lines
+/// are skipped; lines starting with '#' (outside quotes) are comments.
+StatusOr<CsvDocument> ParseCsv(const std::string& text, char delim = ',');
+
+/// Reads and parses a CSV file.
+StatusOr<CsvDocument> ReadCsvFile(const std::string& path, char delim = ',');
+
+/// Serializes rows to CSV text, quoting fields that need it.
+std::string ToCsv(const std::vector<std::vector<std::string>>& rows,
+                  char delim = ',');
+
+/// Writes rows to a file as CSV.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delim = ',');
+
+}  // namespace fta
+
+#endif  // FTA_IO_CSV_H_

@@ -1,0 +1,27 @@
+#ifndef FTA_IO_DATASET_IO_H_
+#define FTA_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "model/instance.h"
+#include "util/status.h"
+
+namespace fta {
+
+/// Serializes a multi-center instance to a typed-row CSV:
+///   C,<x>,<y>,<speed>              — starts a new center block
+///   D,<x>,<y>                      — a delivery point of the current center
+///   T,<dp_index>,<expiry>,<reward> — a task of the current center
+///   W,<x>,<y>,<maxDP>              — a worker of the current center
+/// Single-center instances are a one-block file.
+std::string SerializeInstances(const MultiCenterInstance& multi);
+Status SaveInstances(const std::string& path,
+                     const MultiCenterInstance& multi);
+
+/// Parses the format above. Validates every parsed center.
+StatusOr<MultiCenterInstance> DeserializeInstances(const std::string& text);
+StatusOr<MultiCenterInstance> LoadInstances(const std::string& path);
+
+}  // namespace fta
+
+#endif  // FTA_IO_DATASET_IO_H_

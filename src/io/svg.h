@@ -1,0 +1,44 @@
+#ifndef FTA_IO_SVG_H_
+#define FTA_IO_SVG_H_
+
+#include <string>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "util/status.h"
+
+namespace fta {
+
+/// Rendering options for RenderInstanceSvg.
+struct SvgOptions {
+  /// Output canvas width in pixels (height follows the instance's aspect
+  /// ratio).
+  double width_px = 800.0;
+  /// Margin around the drawing, in pixels.
+  double margin_px = 30.0;
+  /// Scale delivery point circles by their task count.
+  bool scale_by_tasks = true;
+  /// Draw each assigned worker's route as a polyline (worker -> center ->
+  /// stops) in a per-worker color.
+  bool draw_routes = true;
+  /// Annotate delivery points with their task counts.
+  bool label_task_counts = false;
+};
+
+/// Renders an instance — and optionally an assignment's routes — as a
+/// standalone SVG document: the distribution center as a square, delivery
+/// points as circles (sized by pending tasks), workers as triangles, and
+/// routes as colored polylines. Handy for eyeballing what the fairness
+/// algorithms actually did. Pass nullptr to draw the bare instance.
+std::string RenderInstanceSvg(const Instance& instance,
+                              const Assignment* assignment = nullptr,
+                              const SvgOptions& options = SvgOptions());
+
+/// Renders and writes to a file.
+Status WriteInstanceSvg(const std::string& path, const Instance& instance,
+                        const Assignment* assignment = nullptr,
+                        const SvgOptions& options = SvgOptions());
+
+}  // namespace fta
+
+#endif  // FTA_IO_SVG_H_

@@ -1,0 +1,32 @@
+#ifndef FTA_IO_TRACE_IO_H_
+#define FTA_IO_TRACE_IO_H_
+
+#include <string>
+
+#include "datagen/gmission.h"
+#include "util/status.h"
+
+namespace fta {
+
+/// (De)serialization of *raw* crowdsourcing traces in the schema the
+/// paper's gMission prep consumes — tasks with location / expiration /
+/// reward, workers with location:
+///
+///   task,<x>,<y>,<expiry>,<reward>
+///   worker,<x>,<y>
+///
+/// This is the plug-in point for the real gMission dump (not
+/// redistributable here): export it to this trivial CSV schema and the
+/// whole pipeline — k-means prep, VDPS generation, all four algorithms —
+/// runs on the real data unchanged.
+std::string SerializeRawTrace(const RawCrowdData& raw);
+Status SaveRawTrace(const std::string& path, const RawCrowdData& raw);
+
+/// Parses the schema above. Rejects malformed rows, non-positive
+/// expirations, and negative rewards.
+StatusOr<RawCrowdData> DeserializeRawTrace(const std::string& text);
+StatusOr<RawCrowdData> LoadRawTrace(const std::string& path);
+
+}  // namespace fta
+
+#endif  // FTA_IO_TRACE_IO_H_

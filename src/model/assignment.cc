@@ -1,0 +1,102 @@
+#include "model/assignment.h"
+
+#include <numeric>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace fta {
+
+std::vector<double> Assignment::Payoffs(const Instance& instance) const {
+  std::vector<double> payoffs(routes_.size(), 0.0);
+  for (size_t w = 0; w < routes_.size(); ++w) {
+    if (routes_[w].empty()) continue;
+    payoffs[w] = EvaluateRoute(instance, w, routes_[w]).payoff;
+  }
+  return payoffs;
+}
+
+double Assignment::PayoffDifference(const Instance& instance) const {
+  return MeanAbsolutePairwiseDifference(Payoffs(instance));
+}
+
+double Assignment::AveragePayoff(const Instance& instance) const {
+  return Mean(Payoffs(instance));
+}
+
+double Assignment::TotalPayoff(const Instance& instance) const {
+  const std::vector<double> p = Payoffs(instance);
+  return std::accumulate(p.begin(), p.end(), 0.0);
+}
+
+size_t Assignment::num_assigned_workers() const {
+  size_t n = 0;
+  for (const Route& r : routes_) n += r.empty() ? 0 : 1;
+  return n;
+}
+
+size_t Assignment::num_covered_delivery_points() const {
+  size_t n = 0;
+  for (const Route& r : routes_) n += r.size();
+  return n;  // Validate() guarantees disjointness, so no dedup needed.
+}
+
+size_t Assignment::num_covered_tasks(const Instance& instance) const {
+  size_t n = 0;
+  for (const Route& r : routes_) {
+    for (uint32_t dp : r) n += instance.delivery_point(dp).task_count();
+  }
+  return n;
+}
+
+Status Assignment::Validate(const Instance& instance) const {
+  if (routes_.size() != instance.num_workers()) {
+    return Status::InvalidArgument(
+        StrFormat("assignment covers %zu workers, instance has %zu",
+                  routes_.size(), instance.num_workers()));
+  }
+  std::vector<bool> used(instance.num_delivery_points(), false);
+  for (size_t w = 0; w < routes_.size(); ++w) {
+    const Route& route = routes_[w];
+    if (route.empty()) continue;
+    if (!IsValidRouteShape(instance, route)) {
+      return Status::InvalidArgument(
+          StrFormat("worker %zu has a malformed route", w));
+    }
+    if (route.size() > instance.worker(w).max_delivery_points) {
+      return Status::InvalidArgument(
+          StrFormat("worker %zu exceeds maxDP (%zu > %u)", w, route.size(),
+                    instance.worker(w).max_delivery_points));
+    }
+    for (uint32_t dp : route) {
+      if (used[dp]) {
+        return Status::InvalidArgument(StrFormat(
+            "delivery point %u assigned to more than one worker", dp));
+      }
+      used[dp] = true;
+    }
+    const RouteEvaluation eval = EvaluateRoute(instance, w, route);
+    if (!eval.feasible) {
+      return Status::FailedPrecondition(
+          StrFormat("worker %zu misses a deadline on its route", w));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Assignment::ToString(const Instance& instance) const {
+  std::string out;
+  for (size_t w = 0; w < routes_.size(); ++w) {
+    if (routes_[w].empty()) continue;
+    const RouteEvaluation eval = EvaluateRoute(instance, w, routes_[w]);
+    out += StrFormat("w%zu: [", w);
+    for (size_t i = 0; i < routes_[w].size(); ++i) {
+      out += StrFormat(i == 0 ? "dp%u" : " -> dp%u", routes_[w][i]);
+    }
+    out += StrFormat("] reward=%.2f time=%.2f payoff=%.3f\n",
+                     eval.total_reward, eval.total_time, eval.payoff);
+  }
+  return out;
+}
+
+}  // namespace fta

@@ -1,0 +1,63 @@
+#ifndef FTA_MODEL_ASSIGNMENT_H_
+#define FTA_MODEL_ASSIGNMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/route.h"
+#include "util/status.h"
+
+namespace fta {
+
+/// A spatial task assignment A (Definition 8): one (possibly empty) route
+/// per worker, over pairwise-disjoint delivery point sets. An empty route is
+/// the null strategy.
+class Assignment {
+ public:
+  Assignment() = default;
+  /// Creates an all-null assignment for `num_workers` workers.
+  explicit Assignment(size_t num_workers) : routes_(num_workers) {}
+
+  size_t num_workers() const { return routes_.size(); }
+  const Route& route(size_t worker_id) const { return routes_[worker_id]; }
+  const std::vector<Route>& routes() const { return routes_; }
+
+  /// Replaces worker `worker_id`'s route.
+  void SetRoute(size_t worker_id, Route route) {
+    routes_[worker_id] = std::move(route);
+  }
+
+  /// Payoff of each worker under `instance` (0 for null strategies).
+  std::vector<double> Payoffs(const Instance& instance) const;
+
+  /// The paper's three effectiveness metrics for this assignment.
+  /// P_dif (Equation 2): mean absolute pairwise payoff difference.
+  double PayoffDifference(const Instance& instance) const;
+  /// Mean worker payoff (secondary objective).
+  double AveragePayoff(const Instance& instance) const;
+  /// Sum of worker payoffs (MPTA's objective).
+  double TotalPayoff(const Instance& instance) const;
+
+  /// Number of workers with a non-null route.
+  size_t num_assigned_workers() const;
+  /// Number of distinct delivery points covered.
+  size_t num_covered_delivery_points() const;
+  /// Number of tasks covered (all tasks of every covered delivery point).
+  size_t num_covered_tasks(const Instance& instance) const;
+
+  /// Verifies Definition 8: every route has a valid shape, respects its
+  /// worker's maxDP, meets every deadline, and the delivery point sets are
+  /// pairwise disjoint.
+  Status Validate(const Instance& instance) const;
+
+  /// Human-readable rendering: one line per non-null worker.
+  std::string ToString(const Instance& instance) const;
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_MODEL_ASSIGNMENT_H_

@@ -1,0 +1,32 @@
+#include "model/builder.h"
+
+#include "util/logging.h"
+
+namespace fta {
+
+InstanceBuilder& InstanceBuilder::Task(uint32_t delivery_point, double expiry,
+                                       double reward) {
+  FTA_CHECK_MSG(delivery_point < dps_.size(),
+                "Task() before its DeliveryPoint()");
+  dps_[delivery_point].AddTask(SpatialTask{delivery_point, expiry, reward});
+  return *this;
+}
+
+Instance InstanceBuilder::Build() {
+  StatusOr<Instance> instance = TryBuild();
+  FTA_CHECK_MSG(instance.ok(), instance.status().ToString().c_str());
+  return std::move(instance).value();
+}
+
+StatusOr<Instance> InstanceBuilder::TryBuild() {
+  if (speed_ <= 0.0) {
+    return Status::InvalidArgument("speed must be positive");
+  }
+  Instance instance(center_, std::move(dps_), std::move(workers_),
+                    TravelModel(speed_));
+  Status s = instance.Validate();
+  if (!s.ok()) return s;
+  return instance;
+}
+
+}  // namespace fta

@@ -1,0 +1,80 @@
+#ifndef FTA_MODEL_BUILDER_H_
+#define FTA_MODEL_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "model/instance.h"
+#include "util/status.h"
+
+namespace fta {
+
+/// Fluent builder for hand-constructed instances (examples, tests, docs):
+///
+///   auto instance = InstanceBuilder(Point{2, 2})
+///                       .Speed(1.0)
+///                       .DeliveryPoint({3, 3}, /*tasks=*/6, /*expiry=*/8.0)
+///                       .DeliveryPoint({1, 3}, 5, 8.0)
+///                       .Worker({1, 2})
+///                       .Worker({3, 1}, /*max_dp=*/2)
+///                       .Build();
+///
+/// Build() validates and aborts on programming errors; TryBuild() returns
+/// the Status instead for untrusted inputs.
+class InstanceBuilder {
+ public:
+  /// Starts an instance whose distribution center sits at `center`.
+  explicit InstanceBuilder(Point center) : center_(center) {}
+
+  /// Sets the worker speed (distance per time unit).
+  InstanceBuilder& Speed(double speed) {
+    speed_ = speed;
+    return *this;
+  }
+
+  /// Adds a delivery point with `num_tasks` unit-reward tasks all expiring
+  /// at `expiry`.
+  InstanceBuilder& DeliveryPoint(Point location, size_t num_tasks,
+                                 double expiry) {
+    const uint32_t id = static_cast<uint32_t>(dps_.size());
+    std::vector<SpatialTask> tasks(num_tasks, SpatialTask{id, expiry, 1.0});
+    dps_.emplace_back(location, std::move(tasks));
+    return *this;
+  }
+
+  /// Adds a delivery point with explicit tasks; their delivery_point field
+  /// is rewritten to this point's index.
+  InstanceBuilder& DeliveryPointWithTasks(Point location,
+                                          std::vector<SpatialTask> tasks) {
+    const uint32_t id = static_cast<uint32_t>(dps_.size());
+    for (SpatialTask& t : tasks) t.delivery_point = id;
+    dps_.emplace_back(location, std::move(tasks));
+    return *this;
+  }
+
+  /// Adds a single task to an existing delivery point.
+  InstanceBuilder& Task(uint32_t delivery_point, double expiry,
+                        double reward = 1.0);
+
+  /// Adds a worker.
+  InstanceBuilder& Worker(Point location, uint32_t max_dp = 3) {
+    workers_.push_back(fta::Worker{location, max_dp});
+    return *this;
+  }
+
+  /// Builds and validates; aborts on invalid data (use in tests/examples).
+  /// The builder is consumed: its points and workers are moved out.
+  Instance Build();
+  /// Builds and validates; returns the error instead (untrusted input).
+  StatusOr<Instance> TryBuild();
+
+ private:
+  Point center_;
+  double speed_ = 5.0;
+  std::vector<fta::DeliveryPoint> dps_;
+  std::vector<fta::Worker> workers_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_MODEL_BUILDER_H_

@@ -1,0 +1,59 @@
+#ifndef FTA_MODEL_DELIVERY_POINT_H_
+#define FTA_MODEL_DELIVERY_POINT_H_
+
+#include <vector>
+
+#include "geo/point.h"
+#include "model/task.h"
+#include "util/math_util.h"
+
+namespace fta {
+
+/// A delivery point dp = (l, S) (Definition 2): a location plus the set of
+/// tasks to be delivered there. The quantities the algorithms consume —
+/// earliest expiration among dp.S and the summed reward — are cached.
+class DeliveryPoint {
+ public:
+  DeliveryPoint() = default;
+  /// Builds a delivery point at `location` holding `tasks`.
+  DeliveryPoint(Point location, std::vector<SpatialTask> tasks)
+      : location_(location), tasks_(std::move(tasks)) {
+    RecomputeAggregates();
+  }
+
+  const Point& location() const { return location_; }
+  const std::vector<SpatialTask>& tasks() const { return tasks_; }
+  size_t task_count() const { return tasks_.size(); }
+
+  /// dp.e: earliest expiration among the tasks here; +infinity if empty.
+  double earliest_expiry() const { return earliest_expiry_; }
+  /// Sum of rewards of all tasks here; 0 if empty.
+  double total_reward() const { return total_reward_; }
+
+  /// Adds a task (must target this delivery point's index; the instance
+  /// enforces that) and refreshes the cached aggregates.
+  void AddTask(const SpatialTask& task) {
+    tasks_.push_back(task);
+    earliest_expiry_ = std::min(earliest_expiry_, task.expiry);
+    total_reward_ += task.reward;
+  }
+
+ private:
+  void RecomputeAggregates() {
+    earliest_expiry_ = kInfinity;
+    total_reward_ = 0.0;
+    for (const SpatialTask& t : tasks_) {
+      earliest_expiry_ = std::min(earliest_expiry_, t.expiry);
+      total_reward_ += t.reward;
+    }
+  }
+
+  Point location_;
+  std::vector<SpatialTask> tasks_;
+  double earliest_expiry_ = kInfinity;
+  double total_reward_ = 0.0;
+};
+
+}  // namespace fta
+
+#endif  // FTA_MODEL_DELIVERY_POINT_H_

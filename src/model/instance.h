@@ -1,0 +1,85 @@
+#ifndef FTA_MODEL_INSTANCE_H_
+#define FTA_MODEL_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/travel.h"
+#include "model/delivery_point.h"
+#include "model/worker.h"
+#include "util/status.h"
+
+namespace fta {
+
+/// A single-distribution-center FTA problem instance: the center dc (with
+/// location), its delivery points dc.DP (each with tasks dc.S split by
+/// destination), and the online workers affiliated with the center.
+///
+/// Task assignment across centers is independent (Section VII-A), so the
+/// multi-center case is simply a vector of these (see MultiCenterInstance).
+class Instance {
+ public:
+  Instance() = default;
+  /// Builds an instance; call Validate() afterwards for user-supplied data.
+  Instance(Point center, std::vector<DeliveryPoint> delivery_points,
+           std::vector<Worker> workers, TravelModel travel = TravelModel())
+      : center_(center),
+        delivery_points_(std::move(delivery_points)),
+        workers_(std::move(workers)),
+        travel_(travel) {}
+
+  const Point& center() const { return center_; }
+  const std::vector<DeliveryPoint>& delivery_points() const {
+    return delivery_points_;
+  }
+  const std::vector<Worker>& workers() const { return workers_; }
+  const TravelModel& travel() const { return travel_; }
+
+  size_t num_delivery_points() const { return delivery_points_.size(); }
+  size_t num_workers() const { return workers_.size(); }
+  /// Total number of tasks across all delivery points (|dc.S|).
+  size_t num_tasks() const;
+  /// Total reward across all delivery points.
+  double total_reward() const;
+
+  const DeliveryPoint& delivery_point(size_t i) const {
+    return delivery_points_[i];
+  }
+  const Worker& worker(size_t i) const { return workers_[i]; }
+
+  /// Travel time from worker i's location to the center: the offset added
+  /// to every arrival time of the worker's route.
+  double WorkerToCenterTime(size_t worker_id) const {
+    return travel_.TravelTime(workers_[worker_id].location, center_);
+  }
+
+  /// Locations of all delivery points (for building spatial indexes).
+  std::vector<Point> DeliveryPointLocations() const;
+
+  /// Checks structural invariants: task destinations point at their own
+  /// delivery point, expirations are positive and finite, rewards are
+  /// non-negative, maxDP >= 1.
+  Status Validate() const;
+
+ private:
+  Point center_;
+  std::vector<DeliveryPoint> delivery_points_;
+  std::vector<Worker> workers_;
+  TravelModel travel_;
+};
+
+/// A set of independent single-center instances (one per distribution
+/// center); the experiment runner can solve them in parallel.
+struct MultiCenterInstance {
+  std::vector<Instance> centers;
+
+  size_t num_workers() const;
+  size_t num_tasks() const;
+  size_t num_delivery_points() const;
+};
+
+}  // namespace fta
+
+#endif  // FTA_MODEL_INSTANCE_H_

@@ -1,0 +1,55 @@
+#include "model/route.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace fta {
+
+RouteEvaluation EvaluateRouteFromCenter(const Instance& instance,
+                                        const Route& route,
+                                        double start_offset) {
+  RouteEvaluation eval;
+  eval.arrivals.reserve(route.size());
+  if (route.empty()) {
+    // The null strategy: nothing delivered, no travel, payoff 0.
+    eval.feasible = true;
+    eval.total_time = 0.0;
+    eval.slack = kInfinity;
+    return eval;
+  }
+  const TravelModel& travel = instance.travel();
+  double t = start_offset;
+  Point prev = instance.center();
+  eval.feasible = true;
+  eval.slack = kInfinity;
+  for (uint32_t dp_id : route) {
+    const DeliveryPoint& dp = instance.delivery_point(dp_id);
+    t += travel.TravelTime(prev, dp.location());
+    eval.arrivals.push_back(t);
+    eval.slack = std::min(eval.slack, dp.earliest_expiry() - t);
+    if (t > dp.earliest_expiry() + kEps) eval.feasible = false;
+    eval.total_reward += dp.total_reward();
+    prev = dp.location();
+  }
+  eval.total_time = t;
+  if (eval.total_time > 0.0) {
+    eval.payoff = eval.total_reward / eval.total_time;
+  }
+  return eval;
+}
+
+RouteEvaluation EvaluateRoute(const Instance& instance, size_t worker_id,
+                              const Route& route) {
+  return EvaluateRouteFromCenter(instance, route,
+                                 instance.WorkerToCenterTime(worker_id));
+}
+
+bool IsValidRouteShape(const Instance& instance, const Route& route) {
+  std::vector<uint32_t> seen = route;
+  std::sort(seen.begin(), seen.end());
+  if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) return false;
+  return seen.empty() || seen.back() < instance.num_delivery_points();
+}
+
+}  // namespace fta

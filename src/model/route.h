@@ -1,0 +1,59 @@
+#ifndef FTA_MODEL_ROUTE_H_
+#define FTA_MODEL_ROUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace fta {
+
+/// A delivery point sequence R(DP_w) (Definition 5): the order in which a
+/// worker visits the delivery points of a VDPS. Stored as indices into the
+/// instance's delivery-point list.
+using Route = std::vector<uint32_t>;
+
+/// Everything the algorithms need to know about one worker following one
+/// route, computed by EvaluateRoute below.
+struct RouteEvaluation {
+  /// True iff every delivery point is reached before its earliest task
+  /// expiration (Definition 6 applied to this particular ordering).
+  bool feasible = false;
+  /// Arrival time at the final delivery point — the worker's total travel
+  /// time, i.e. the payoff denominator (Definition 7). 0 for an empty route.
+  double total_time = 0.0;
+  /// Sum of rewards collected along the route.
+  double total_reward = 0.0;
+  /// Worker payoff P(w, VDPS(w)) = total_reward / total_time; 0 for an
+  /// empty route (the null strategy earns nothing).
+  double payoff = 0.0;
+  /// min_i (e_i - arrival_i) over the route under a *center-origin* start:
+  /// how much extra initial delay the route tolerates before some deadline
+  /// breaks. Only meaningful when computed center-origin.
+  double slack = 0.0;
+  /// Arrival time at each route position (same length as the route).
+  std::vector<double> arrivals;
+};
+
+/// Evaluates `route` for worker `worker_id` of `instance`: arrival times
+/// per Definition 5 (worker -> center -> dp_1 -> ...), feasibility against
+/// each delivery point's earliest expiry, and the payoff per Definition 7.
+/// An empty route is feasible with payoff 0.
+RouteEvaluation EvaluateRoute(const Instance& instance, size_t worker_id,
+                              const Route& route);
+
+/// Same, but starting at the distribution center with initial time offset
+/// `start_offset` (0 gives the C-VDPS view of Section IV; pass the
+/// worker-to-center travel time to re-anchor a center-origin route on a
+/// worker). `slack` is reported relative to the given offset.
+RouteEvaluation EvaluateRouteFromCenter(const Instance& instance,
+                                        const Route& route,
+                                        double start_offset);
+
+/// True if the route visits pairwise-distinct delivery points that all
+/// exist in the instance.
+bool IsValidRouteShape(const Instance& instance, const Route& route);
+
+}  // namespace fta
+
+#endif  // FTA_MODEL_ROUTE_H_

@@ -1,0 +1,72 @@
+#include "model/route_opt.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace fta {
+namespace {
+
+/// Total-time of a candidate ordering if feasible, +inf otherwise.
+double FeasibleTime(const Instance& instance, const Route& route,
+                    double start_offset) {
+  const RouteEvaluation eval =
+      EvaluateRouteFromCenter(instance, route, start_offset);
+  return eval.feasible ? eval.total_time : kInfinity;
+}
+
+}  // namespace
+
+RouteOptResult ImproveRoute(const Instance& instance, const Route& route,
+                            double start_offset) {
+  FTA_CHECK_MSG(IsValidRouteShape(instance, route), "malformed route");
+  RouteOptResult result;
+  result.route = route;
+  double best_time = FeasibleTime(instance, result.route, start_offset);
+
+  const size_t n = result.route.size();
+  if (n >= 2 && best_time < kInfinity) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      // 2-opt: reverse [i, j].
+      for (size_t i = 0; i < n - 1 && !improved; ++i) {
+        for (size_t j = i + 1; j < n && !improved; ++j) {
+          Route candidate = result.route;
+          std::reverse(candidate.begin() + static_cast<ptrdiff_t>(i),
+                       candidate.begin() + static_cast<ptrdiff_t>(j) + 1);
+          const double t = FeasibleTime(instance, candidate, start_offset);
+          if (t < best_time - kEps) {
+            result.route = std::move(candidate);
+            best_time = t;
+            ++result.moves;
+            improved = true;
+          }
+        }
+      }
+      // Or-opt: relocate one stop to another position.
+      for (size_t i = 0; i < n && !improved; ++i) {
+        for (size_t j = 0; j < n && !improved; ++j) {
+          if (i == j) continue;
+          Route candidate = result.route;
+          const uint32_t stop = candidate[i];
+          candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+          candidate.insert(candidate.begin() + static_cast<ptrdiff_t>(j),
+                           stop);
+          const double t = FeasibleTime(instance, candidate, start_offset);
+          if (t < best_time - kEps) {
+            result.route = std::move(candidate);
+            best_time = t;
+            ++result.moves;
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+  result.eval = EvaluateRouteFromCenter(instance, result.route, start_offset);
+  return result;
+}
+
+}  // namespace fta

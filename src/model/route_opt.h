@@ -1,0 +1,34 @@
+#ifndef FTA_MODEL_ROUTE_OPT_H_
+#define FTA_MODEL_ROUTE_OPT_H_
+
+#include "model/instance.h"
+#include "model/route.h"
+
+namespace fta {
+
+/// Outcome of a local-search route refinement.
+struct RouteOptResult {
+  Route route;
+  /// Center-origin evaluation of the refined route (offset 0).
+  RouteEvaluation eval;
+  /// Number of improving moves applied.
+  int moves = 0;
+};
+
+/// Deadline-aware local search over delivery-point orderings: repeatedly
+/// applies the best improving 2-opt segment reversal or Or-opt single-stop
+/// relocation that keeps every deadline satisfied, until a local optimum.
+/// The objective is the final arrival time (the payoff denominator of
+/// Definition 7).
+///
+/// The exact subset DP already yields optimal orderings for the small sets
+/// the paper's maxDP allows; this refiner exists for the beam-generated
+/// long routes (maxDP >= 5), where the beam keeps good-but-not-optimal
+/// orderings, and as an independent cross-check of the DP in tests.
+/// `start_offset` anchors feasibility at a worker's center-arrival time.
+RouteOptResult ImproveRoute(const Instance& instance, const Route& route,
+                            double start_offset = 0.0);
+
+}  // namespace fta
+
+#endif  // FTA_MODEL_ROUTE_OPT_H_

@@ -1,0 +1,30 @@
+#ifndef FTA_MODEL_TASK_H_
+#define FTA_MODEL_TASK_H_
+
+#include <cstdint>
+
+namespace fta {
+
+/// A spatial task s = (dp, e, r) (Definition 3): a delivery from the
+/// distribution center to delivery point `dp`, expiring at time `e`
+/// (measured from the assignment instant), rewarding `r` on completion.
+struct SpatialTask {
+  /// Index of the delivery point this task is delivered to, within its
+  /// distribution center's delivery-point list.
+  uint32_t delivery_point = 0;
+  /// Expiration deadline s.e: the worker must arrive at the delivery point
+  /// no later than this.
+  double expiry = 0.0;
+  /// Reward s.r earned by the worker completing the task. The paper's
+  /// experiments fix r = 1.
+  double reward = 1.0;
+
+  friend bool operator==(const SpatialTask& a, const SpatialTask& b) {
+    return a.delivery_point == b.delivery_point && a.expiry == b.expiry &&
+           a.reward == b.reward;
+  }
+};
+
+}  // namespace fta
+
+#endif  // FTA_MODEL_TASK_H_

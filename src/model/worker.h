@@ -1,0 +1,27 @@
+#ifndef FTA_MODEL_WORKER_H_
+#define FTA_MODEL_WORKER_H_
+
+#include <cstdint>
+
+#include "geo/point.h"
+
+namespace fta {
+
+/// A worker w = (l, maxDP) (Definition 4): current location plus the
+/// maximum number of delivery points the worker will accept in one
+/// assignment. Online/offline mode is implicit: instances only contain
+/// online workers at the assignment instant.
+struct Worker {
+  Point location;
+  /// w.maxDP — upper bound on |VDPS(w)|.
+  uint32_t max_delivery_points = 3;
+
+  friend bool operator==(const Worker& a, const Worker& b) {
+    return a.location == b.location &&
+           a.max_delivery_points == b.max_delivery_points;
+  }
+};
+
+}  // namespace fta
+
+#endif  // FTA_MODEL_WORKER_H_

@@ -1,0 +1,26 @@
+#include "treedec/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fta {
+
+void Graph::AddEdge(uint32_t u, uint32_t v) {
+  FTA_CHECK(u < adj_.size() && v < adj_.size());
+  if (u == v) return;
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it != adj_[u].end() && *it == v) return;  // duplicate
+  adj_[u].insert(it, v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++num_edges_;
+}
+
+bool Graph::HasEdge(uint32_t u, uint32_t v) const {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const uint32_t needle = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(a.begin(), a.end(), needle);
+}
+
+}  // namespace fta

@@ -1,0 +1,40 @@
+#ifndef FTA_TREEDEC_GRAPH_H_
+#define FTA_TREEDEC_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fta {
+
+/// Simple undirected graph with adjacency lists, used as the conflict graph
+/// of (worker, VDPS) candidates in MPTA and by the tree-decomposition
+/// machinery. Vertices are 0..n-1; self-loops and duplicate edges are
+/// ignored.
+class Graph {
+ public:
+  /// Creates a graph with n isolated vertices.
+  explicit Graph(size_t n) : adj_(n) {}
+
+  size_t num_vertices() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}; no-op for self-loops and duplicates.
+  void AddEdge(uint32_t u, uint32_t v);
+
+  /// True if {u, v} is an edge.
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+  /// Neighbors of u, sorted ascending.
+  const std::vector<uint32_t>& Neighbors(uint32_t u) const { return adj_[u]; }
+
+  size_t Degree(uint32_t u) const { return adj_[u].size(); }
+
+ private:
+  std::vector<std::vector<uint32_t>> adj_;  // each sorted ascending
+  size_t num_edges_ = 0;
+};
+
+}  // namespace fta
+
+#endif  // FTA_TREEDEC_GRAPH_H_

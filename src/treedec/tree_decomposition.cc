@@ -1,0 +1,181 @@
+#include "treedec/tree_decomposition.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fta {
+namespace {
+
+/// Mutable adjacency (as sets) for elimination simulations.
+std::vector<std::set<uint32_t>> MutableAdjacency(const Graph& graph) {
+  std::vector<std::set<uint32_t>> adj(graph.num_vertices());
+  for (uint32_t u = 0; u < graph.num_vertices(); ++u) {
+    adj[u].insert(graph.Neighbors(u).begin(), graph.Neighbors(u).end());
+  }
+  return adj;
+}
+
+/// Eliminates v: pairwise-connects its remaining neighbors (fill-in) and
+/// removes v from the adjacency structure.
+void Eliminate(std::vector<std::set<uint32_t>>& adj, uint32_t v) {
+  const std::vector<uint32_t> nbrs(adj[v].begin(), adj[v].end());
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      adj[nbrs[i]].insert(nbrs[j]);
+      adj[nbrs[j]].insert(nbrs[i]);
+    }
+  }
+  for (uint32_t u : nbrs) adj[u].erase(v);
+  adj[v].clear();
+}
+
+/// Number of missing edges among the neighbors of v (min-fill score).
+size_t FillCost(const std::vector<std::set<uint32_t>>& adj, uint32_t v) {
+  const std::vector<uint32_t> nbrs(adj[v].begin(), adj[v].end());
+  size_t missing = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (adj[nbrs[i]].count(nbrs[j]) == 0) ++missing;
+    }
+  }
+  return missing;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ComputeEliminationOrder(
+    const Graph& graph, EliminationHeuristic heuristic) {
+  const size_t n = graph.num_vertices();
+  std::vector<std::set<uint32_t>> adj = MutableAdjacency(graph);
+  std::vector<bool> removed(n, false);
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  for (size_t step = 0; step < n; ++step) {
+    uint32_t best = 0;
+    size_t best_score = std::numeric_limits<size_t>::max();
+    for (uint32_t v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      const size_t score = heuristic == EliminationHeuristic::kMinDegree
+                               ? adj[v].size()
+                               : FillCost(adj, v);
+      if (score < best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    order.push_back(best);
+    removed[best] = true;
+    Eliminate(adj, best);
+  }
+  return order;
+}
+
+TreeDecomposition TreeDecomposition::FromEliminationOrder(
+    const Graph& graph, const std::vector<uint32_t>& order) {
+  const size_t n = graph.num_vertices();
+  FTA_CHECK_MSG(order.size() == n, "elimination order must cover all vertices");
+  std::vector<std::set<uint32_t>> adj = MutableAdjacency(graph);
+  std::vector<uint32_t> position(n);
+  for (uint32_t i = 0; i < n; ++i) position[order[i]] = i;
+
+  TreeDecomposition td;
+  td.bags_.resize(n);
+  td.parent_.assign(n, -1);
+  td.children_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t v = order[i];
+    // Bag_i = {v} ∪ current (fill-in) neighbors of v.
+    std::vector<uint32_t>& bag = td.bags_[i];
+    bag.assign(adj[v].begin(), adj[v].end());
+    bag.push_back(v);
+    std::sort(bag.begin(), bag.end());
+    // Parent: the bag of the earliest-eliminated remaining neighbor.
+    if (!adj[v].empty()) {
+      uint32_t parent_pos = std::numeric_limits<uint32_t>::max();
+      for (uint32_t u : adj[v]) parent_pos = std::min(parent_pos, position[u]);
+      td.parent_[i] = static_cast<int32_t>(parent_pos);
+      td.children_[parent_pos].push_back(i);
+    } else {
+      td.roots_.push_back(i);
+    }
+    Eliminate(adj, v);
+  }
+  return td;
+}
+
+TreeDecomposition TreeDecomposition::Build(const Graph& graph,
+                                           EliminationHeuristic heuristic) {
+  return FromEliminationOrder(graph,
+                              ComputeEliminationOrder(graph, heuristic));
+}
+
+int TreeDecomposition::width() const {
+  int w = -1;
+  for (const auto& bag : bags_) {
+    w = std::max(w, static_cast<int>(bag.size()) - 1);
+  }
+  return w;
+}
+
+Status TreeDecomposition::Validate(const Graph& graph) const {
+  const size_t n = graph.num_vertices();
+  // Bags containing each vertex.
+  std::vector<std::vector<uint32_t>> bags_of(n);
+  for (uint32_t b = 0; b < bags_.size(); ++b) {
+    for (uint32_t v : bags_[b]) {
+      if (v >= n) {
+        return Status::Internal(StrFormat("bag %u holds unknown vertex %u",
+                                          b, v));
+      }
+      bags_of[v].push_back(b);
+    }
+  }
+  // Property 1: vertex coverage.
+  for (uint32_t v = 0; v < n; ++v) {
+    if (bags_of[v].empty()) {
+      return Status::Internal(StrFormat("vertex %u is in no bag", v));
+    }
+  }
+  // Property 2: edge coverage.
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v : graph.Neighbors(u)) {
+      if (v < u) continue;
+      bool covered = false;
+      for (uint32_t b : bags_of[u]) {
+        if (std::binary_search(bags_[b].begin(), bags_[b].end(), v)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return Status::Internal(
+            StrFormat("edge {%u, %u} is inside no bag", u, v));
+      }
+    }
+  }
+  // Property 3: connected subtrees. For each vertex, the number of bags
+  // containing it minus the number of (bag, parent-bag) links where both
+  // contain it must be exactly 1.
+  for (uint32_t v = 0; v < n; ++v) {
+    size_t links = 0;
+    for (uint32_t b : bags_of[v]) {
+      const int32_t p = parent_[b];
+      if (p >= 0 && std::binary_search(bags_[static_cast<size_t>(p)].begin(),
+                                       bags_[static_cast<size_t>(p)].end(),
+                                       v)) {
+        ++links;
+      }
+    }
+    if (bags_of[v].size() - links != 1) {
+      return Status::Internal(
+          StrFormat("vertex %u induces a disconnected subtree", v));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace fta

@@ -1,0 +1,69 @@
+#ifndef FTA_TREEDEC_TREE_DECOMPOSITION_H_
+#define FTA_TREEDEC_TREE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "treedec/graph.h"
+#include "util/status.h"
+
+namespace fta {
+
+/// Heuristic for ordering vertex eliminations when building a tree
+/// decomposition.
+enum class EliminationHeuristic {
+  /// Repeatedly eliminate a vertex of minimum current degree. Fast, good
+  /// widths on sparse conflict graphs.
+  kMinDegree,
+  /// Repeatedly eliminate the vertex introducing the fewest fill-in edges.
+  /// Slower, usually lower width.
+  kMinFill,
+};
+
+/// Computes an elimination order of `graph` under the chosen heuristic.
+std::vector<uint32_t> ComputeEliminationOrder(const Graph& graph,
+                                              EliminationHeuristic heuristic);
+
+/// A tree decomposition: bags of vertices arranged in a rooted tree such
+/// that (1) every vertex appears in a bag, (2) every edge is inside some
+/// bag, (3) the bags containing any vertex form a connected subtree.
+class TreeDecomposition {
+ public:
+  /// Builds a decomposition from an elimination order (the standard
+  /// fill-in construction). The result is rooted at the last bag created.
+  static TreeDecomposition FromEliminationOrder(
+      const Graph& graph, const std::vector<uint32_t>& order);
+
+  /// Convenience: order + build in one step.
+  static TreeDecomposition Build(
+      const Graph& graph,
+      EliminationHeuristic heuristic = EliminationHeuristic::kMinDegree);
+
+  size_t num_bags() const { return bags_.size(); }
+  /// Bag b's vertices, sorted ascending.
+  const std::vector<uint32_t>& bag(size_t b) const { return bags_[b]; }
+  /// Parent bag of b; -1 for the root (and for isolated roots of a forest).
+  int32_t parent(size_t b) const { return parent_[b]; }
+  /// Children bags of b.
+  const std::vector<uint32_t>& children(size_t b) const {
+    return children_[b];
+  }
+  /// Roots of the decomposition forest (one per connected component).
+  const std::vector<uint32_t>& roots() const { return roots_; }
+
+  /// Width = max bag size - 1; -1 for an empty decomposition.
+  int width() const;
+
+  /// Verifies the three tree-decomposition properties against `graph`.
+  Status Validate(const Graph& graph) const;
+
+ private:
+  std::vector<std::vector<uint32_t>> bags_;
+  std::vector<int32_t> parent_;
+  std::vector<std::vector<uint32_t>> children_;
+  std::vector<uint32_t> roots_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_TREEDEC_TREE_DECOMPOSITION_H_

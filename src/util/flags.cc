@@ -1,0 +1,155 @@
+#include "util/flags.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fta {
+
+void FlagParser::Add(const std::string& name, Type type, void* target,
+                     std::string help) {
+  FTA_CHECK_MSG(Find(name) == nullptr, "duplicate flag registration");
+  FTA_CHECK(target != nullptr);
+  Flag flag{name, type, target, std::move(help), ""};
+  flag.default_value = Render(flag);
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           std::string help) {
+  Add(name, Type::kString, target, std::move(help));
+}
+void FlagParser::AddInt(const std::string& name, int64_t* target,
+                        std::string help) {
+  Add(name, Type::kInt, target, std::move(help));
+}
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           std::string help) {
+  Add(name, Type::kDouble, target, std::move(help));
+}
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         std::string help) {
+  Add(name, Type::kBool, target, std::move(help));
+}
+void FlagParser::AddSizeT(const std::string& name, size_t* target,
+                          std::string help) {
+  Add(name, Type::kSizeT, target, std::move(help));
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagParser::Assign(const Flag& flag, const std::string& value) {
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::Ok();
+    case Type::kInt: {
+      StatusOr<int64_t> v = ParseInt(value);
+      if (!v.ok()) return v.status();
+      *static_cast<int64_t*>(flag.target) = *v;
+      return Status::Ok();
+    }
+    case Type::kSizeT: {
+      StatusOr<int64_t> v = ParseInt(value);
+      if (!v.ok()) return v.status();
+      if (*v < 0) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " must be non-negative");
+      }
+      *static_cast<size_t*>(flag.target) = static_cast<size_t>(*v);
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      StatusOr<double> v = ParseDouble(value);
+      if (!v.ok()) return v.status();
+      *static_cast<double*>(flag.target) = *v;
+      return Status::Ok();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unhandled flag type");
+}
+
+std::string FlagParser::Render(const Flag& flag) {
+  switch (flag.type) {
+    case Type::kString:
+      return *static_cast<std::string*>(flag.target);
+    case Type::kInt:
+      return StrFormat("%lld", static_cast<long long>(
+                                   *static_cast<int64_t*>(flag.target)));
+    case Type::kSizeT:
+      return StrFormat("%zu", *static_cast<size_t*>(flag.target));
+    case Type::kDouble:
+      return StrFormat("%g", *static_cast<double*>(flag.target));
+    case Type::kBool:
+      return *static_cast<bool*>(flag.target) ? "true" : "false";
+  }
+  return "";
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (flags_done || !StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!have_value) {
+      if (flag->type == Type::kBool) {
+        value = "true";  // bare --bool_flag
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+    }
+    Status s = Assign(*flag, value);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+std::string FlagParser::Usage() const {
+  std::string out;
+  for (const Flag& f : flags_) {
+    out += StrFormat("  --%-24s %s [default: %s]\n", f.name.c_str(),
+                     f.help.c_str(), f.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace fta

@@ -1,0 +1,58 @@
+#ifndef FTA_UTIL_FLAGS_H_
+#define FTA_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fta {
+
+/// Minimal command-line flag parser for the example binaries and the CLI
+/// tool: `--name=value`, `--name value`, and bare `--bool_flag` forms.
+/// Flags are registered on a parser instance (no global registry), parsed
+/// once, and leftover positional arguments are preserved in order.
+class FlagParser {
+ public:
+  /// Registers a flag bound to `target`. `help` is shown by Usage().
+  void AddString(const std::string& name, std::string* target,
+                 std::string help);
+  void AddInt(const std::string& name, int64_t* target, std::string help);
+  void AddDouble(const std::string& name, double* target, std::string help);
+  void AddBool(const std::string& name, bool* target, std::string help);
+  void AddSizeT(const std::string& name, size_t* target, std::string help);
+
+  /// Parses argv (skipping argv[0]). On success, positional (non-flag)
+  /// arguments are available via positional(). Unknown flags, missing
+  /// values and unparsable values are errors. `--` ends flag parsing.
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// One line per registered flag: "--name (help) [default: ...]".
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool, kSizeT };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  void Add(const std::string& name, Type type, void* target,
+           std::string help);
+  const Flag* Find(const std::string& name) const;
+  static Status Assign(const Flag& flag, const std::string& value);
+  static std::string Render(const Flag& flag);
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_UTIL_FLAGS_H_

@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fta {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+/// Trims a path down to its basename for compact log prefixes.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < GetLogLevel()) return;
+  const std::string msg = stream_.str();
+  std::fputs(msg.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& extra) {
+  std::fprintf(stderr, "[FATAL %s:%d] check failed: %s%s%s\n", Basename(file),
+               line, expr, extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace fta

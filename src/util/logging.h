@@ -1,0 +1,76 @@
+#ifndef FTA_UTIL_LOGGING_H_
+#define FTA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fta {
+
+/// Log severity, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level: messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Use via the FTA_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Prints the message (if FATAL-checked) and aborts. Used by FTA_CHECK.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& extra);
+
+}  // namespace internal_logging
+}  // namespace fta
+
+/// Stream-style logging: FTA_LOG(kInfo) << "x=" << x;
+#define FTA_LOG(severity)                                           \
+  ::fta::internal_logging::LogMessage(::fta::LogLevel::severity,    \
+                                      __FILE__, __LINE__)           \
+      .stream()
+
+/// Always-on invariant check; aborts with a message on failure. Use for
+/// programming errors, not recoverable conditions (those return Status).
+#define FTA_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::fta::internal_logging::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                       \
+  } while (false)
+
+/// FTA_CHECK with an extra streamed message built by the caller.
+#define FTA_CHECK_MSG(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::std::ostringstream fta_check_oss_;                                   \
+      fta_check_oss_ << msg; /* NOLINT */                                    \
+      ::fta::internal_logging::CheckFailed(#expr, __FILE__, __LINE__,        \
+                                           fta_check_oss_.str());            \
+    }                                                                        \
+  } while (false)
+
+/// Debug-only check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define FTA_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define FTA_DCHECK(expr) FTA_CHECK(expr)
+#endif
+
+#endif  // FTA_UTIL_LOGGING_H_

@@ -1,0 +1,76 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fta {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double Min(const std::vector<double>& v) {
+  if (v.empty()) return kInfinity;
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  if (v.empty()) return -kInfinity;
+  return *std::max_element(v.begin(), v.end());
+}
+
+double MeanAbsolutePairwiseDifference(const std::vector<double>& v) {
+  const size_t n = v.size();
+  if (n < 2) return 0.0;
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  // For sorted x: sum_{i<j} (x_j - x_i) = sum_j x_j * j - prefix_sum_j.
+  double total = 0.0;
+  double prefix = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    total += sorted[j] * static_cast<double>(j) - prefix;
+    prefix += sorted[j];
+  }
+  // Equation 2 sums over ordered pairs (i, j), i != j — i.e. each unordered
+  // pair twice — and divides by n(n-1).
+  return 2.0 * total / (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+double Gini(const std::vector<double>& v) {
+  const size_t n = v.size();
+  if (n < 2) return 0.0;
+  const double m = Mean(v);
+  if (m <= 0.0) return 0.0;
+  return MeanAbsolutePairwiseDifference(v) / (2.0 * m);
+}
+
+double JainFairnessIndex(const std::vector<double>& v) {
+  if (v.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : v) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(v.size()) * sum_sq);
+}
+
+double MinMaxRatio(const std::vector<double>& v) {
+  if (v.empty()) return 1.0;
+  const double hi = Max(v);
+  if (hi <= 0.0) return 0.0;
+  return Min(v) / hi;
+}
+
+}  // namespace fta

@@ -1,0 +1,58 @@
+#ifndef FTA_UTIL_MATH_UTIL_H_
+#define FTA_UTIL_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace fta {
+
+/// Sentinel for "unreachable / infeasible" travel and arrival times.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Tolerance used for payoff / utility comparisons throughout the library.
+inline constexpr double kEps = 1e-9;
+
+/// a ~ b under the library-wide tolerance.
+inline bool ApproxEq(double a, double b, double eps = kEps) {
+  return std::fabs(a - b) <= eps * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+/// a is strictly greater than b beyond tolerance.
+inline bool DefinitelyGreater(double a, double b, double eps = kEps) {
+  return a > b + eps * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+/// Arithmetic mean; 0 for an empty range.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+double StdDev(const std::vector<double>& v);
+
+/// Smallest / largest element; +/-infinity for empty input.
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Mean absolute pairwise difference: sum_{i != j} |v_i - v_j| / (n(n-1)).
+/// This is exactly the paper's P_dif (Equation 2) applied to payoffs.
+/// Computed in O(n log n) via sorting. Returns 0 for n < 2.
+double MeanAbsolutePairwiseDifference(const std::vector<double>& v);
+
+/// Gini coefficient of a non-negative vector (auxiliary fairness metric).
+/// Returns 0 for n < 2 or an all-zero vector.
+double Gini(const std::vector<double>& v);
+
+/// Jain's fairness index: (Σx)² / (n · Σx²), in (0, 1]; 1 means perfectly
+/// equal, 1/n means one participant takes everything. Returns 1 for empty
+/// or all-zero input (vacuously fair).
+double JainFairnessIndex(const std::vector<double>& v);
+
+/// min(v) / max(v) for non-negative input; 1 for empty input, 0 when the
+/// maximum is 0.
+double MinMaxRatio(const std::vector<double>& v);
+
+}  // namespace fta
+
+#endif  // FTA_UTIL_MATH_UTIL_H_

@@ -1,0 +1,98 @@
+#ifndef FTA_UTIL_RNG_H_
+#define FTA_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace fta {
+
+/// SplitMix64 — used to seed Xoshiro256** and as a cheap stateless mixer.
+/// Reference: Sebastiano Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Deterministic pseudo-random generator (xoshiro256**). All randomized
+/// components of the library (generators, game initialization, k-means
+/// seeding) take an explicit Rng so that every experiment is reproducible
+/// from a single seed.
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions if ever needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// bounded rejection method.
+  uint64_t NextBounded(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double Gaussian();
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of the whole vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  size_t Index(size_t size) { return static_cast<size_t>(NextBounded(size)); }
+
+  /// Derives an independent child generator; stable given (seed, stream).
+  Rng Fork(uint64_t stream) const;
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+  uint64_t seed_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_UTIL_RNG_H_

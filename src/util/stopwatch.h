@@ -1,0 +1,55 @@
+#ifndef FTA_UTIL_STOPWATCH_H_
+#define FTA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace fta {
+
+/// Wall-clock stopwatch (steady clock). Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed wall time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// CPU-time stopwatch (calling thread's CPU clock); this is the "CPU time"
+/// metric the paper reports. Thread-scoped so that per-center timings can
+/// be summed meaningfully when centers run on a thread pool. Started on
+/// construction.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  /// Elapsed CPU time of the calling thread, in seconds.
+  double ElapsedSeconds() const { return Now() - start_; }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_UTIL_STOPWATCH_H_

@@ -1,0 +1,36 @@
+#ifndef FTA_UTIL_STRING_UTIL_H_
+#define FTA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fta {
+
+/// Splits `s` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Joins the elements with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a double; rejects trailing garbage and empty input.
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Parses a signed 64-bit integer; rejects trailing garbage and empty input.
+StatusOr<int64_t> ParseInt(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace fta
+
+#endif  // FTA_UTIL_STRING_UTIL_H_

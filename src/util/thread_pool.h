@@ -1,0 +1,55 @@
+#ifndef FTA_UTIL_THREAD_POOL_H_
+#define FTA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fta {
+
+/// Fixed-size worker pool for running independent jobs, e.g. per-center task
+/// assignment (the paper notes centers are independent and parallelizable).
+///
+/// Jobs must not throw; the library reports recoverable errors via Status
+/// captured inside the job closure.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Never blocks.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// fn must be safe to invoke concurrently for distinct i.
+  static void ParallelFor(size_t n, size_t num_threads,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_UTIL_THREAD_POOL_H_

@@ -1,0 +1,159 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/distance_matrix.h"
+#include "geo/grid_index.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "vdps/generators.h"
+#include "vdps/pareto.h"
+
+namespace fta {
+namespace {
+
+/// One partial delivery-point sequence in the beam.
+struct BeamItem {
+  Route route;
+  double arrival = 0.0;   // center-origin arrival at the last point
+  double slack = 0.0;     // max tolerable start offset so far
+  double reward = 0.0;
+  /// Beam score: payoff rate of the partial sequence. Higher is more
+  /// promising — workers ultimately rank VDPSs by reward / time.
+  double Score() const {
+    return reward / std::max(arrival, 1e-12);
+  }
+};
+
+/// FNV-1a over a sorted id vector (same as the exhaustive enumerator).
+struct VectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+GenerationResult GenerateCVdpsBeam(const Instance& instance,
+                                   const VdpsConfig& config,
+                                   size_t beam_width) {
+  FTA_CHECK_MSG(beam_width > 0, "beam_width must be positive");
+  GenerationResult result;
+  const uint32_t n = static_cast<uint32_t>(instance.num_delivery_points());
+  if (n == 0) return result;
+
+  const DistanceMatrix dm(instance.center(), instance.DeliveryPointLocations(),
+                          instance.travel());
+  const GridIndex grid(instance.DeliveryPointLocations(),
+                       std::isinf(config.epsilon) ? 0.0 : config.epsilon);
+  const uint32_t cap =
+      config.max_set_size == 0 ? n : std::min(config.max_set_size, n);
+
+  std::unordered_map<std::vector<uint32_t>, CVdpsEntry, VectorHash> entries;
+  bool truncated = false;
+  const auto record = [&](const BeamItem& item) {
+    std::vector<uint32_t> key = item.route;
+    std::sort(key.begin(), key.end());
+    auto it = entries.find(key);
+    if (it == entries.end()) {
+      if (config.max_entries > 0 && entries.size() >= config.max_entries) {
+        truncated = true;
+        return;
+      }
+      CVdpsEntry entry;
+      entry.dps = key;
+      entry.total_reward = item.reward;
+      it = entries.emplace(std::move(key), std::move(entry)).first;
+    }
+    SequenceOption opt;
+    opt.route = item.route;
+    opt.center_time = item.arrival;
+    opt.slack = item.slack;
+    InsertParetoOption(it->second.options, std::move(opt),
+                       config.max_pareto);
+  };
+
+  // Level 1: every feasible center -> dp start (first hop is never
+  // ε-pruned, matching the exhaustive enumerator).
+  std::vector<BeamItem> beam;
+  for (uint32_t j = 0; j < n; ++j) {
+    const double arr = dm.FromOrigin(j);
+    const double slack = instance.delivery_point(j).earliest_expiry() - arr;
+    if (slack < 0.0) continue;
+    BeamItem item;
+    item.route = {j};
+    item.arrival = arr;
+    item.slack = slack;
+    item.reward = instance.delivery_point(j).total_reward();
+    beam.push_back(std::move(item));
+  }
+
+  const auto shrink = [&](std::vector<BeamItem>& level) {
+    if (level.size() <= beam_width) return;
+    std::nth_element(level.begin(),
+                     level.begin() + static_cast<ptrdiff_t>(beam_width),
+                     level.end(), [](const BeamItem& a, const BeamItem& b) {
+                       return a.Score() > b.Score();
+                     });
+    level.resize(beam_width);
+    truncated = true;  // some partial sequences were dropped
+  };
+
+  shrink(beam);
+  for (const BeamItem& item : beam) record(item);
+
+  for (uint32_t level = 2; level <= cap && !beam.empty(); ++level) {
+    std::vector<BeamItem> next;
+    for (const BeamItem& item : beam) {
+      const uint32_t last = item.route.back();
+      const auto extend = [&](uint32_t j) {
+        for (uint32_t r : item.route) {
+          if (r == j) return;
+        }
+        const double arr = item.arrival + dm.Between(last, j);
+        const double slack = std::min(
+            item.slack, instance.delivery_point(j).earliest_expiry() - arr);
+        if (slack < 0.0) return;
+        BeamItem child;
+        child.route = item.route;
+        child.route.push_back(j);
+        child.arrival = arr;
+        child.slack = slack;
+        child.reward =
+            item.reward + instance.delivery_point(j).total_reward();
+        next.push_back(std::move(child));
+      };
+      if (std::isinf(config.epsilon)) {
+        for (uint32_t j = 0; j < n; ++j) extend(j);
+      } else {
+        const Point& at = instance.delivery_point(last).location();
+        for (uint32_t j : grid.RadiusQuery(at, config.epsilon)) extend(j);
+      }
+    }
+    shrink(next);
+    for (const BeamItem& item : next) record(item);
+    beam = std::move(next);
+  }
+
+  result.entries.reserve(entries.size());
+  for (auto& [key, entry] : entries) {
+    result.entries.push_back(std::move(entry));
+  }
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const CVdpsEntry& a, const CVdpsEntry& b) {
+              if (a.dps.size() != b.dps.size())
+                return a.dps.size() < b.dps.size();
+              return a.dps < b.dps;
+            });
+  result.truncated = truncated;
+  return result;
+}
+
+}  // namespace fta

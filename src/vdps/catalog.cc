@@ -1,0 +1,76 @@
+#include "vdps/catalog.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "vdps/generators.h"
+
+namespace fta {
+namespace {
+
+/// Denominator floor guarding against degenerate zero travel times (worker
+/// standing at the center with a delivery point there too).
+constexpr double kMinTravelTime = 1e-12;
+
+}  // namespace
+
+VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
+                                  const VdpsConfig& config) {
+  GenerationResult gen =
+      config.use_exact_dp
+          ? GenerateCVdpsExact(instance, config)
+          : (config.beam_width > 0
+                 ? GenerateCVdpsBeam(instance, config, config.beam_width)
+                 : GenerateCVdpsSequences(instance, config));
+  VdpsCatalog catalog;
+  catalog.entries_ = std::move(gen.entries);
+  catalog.truncated_ = gen.truncated;
+
+  // Materialize per-worker strategies: a C-VDPS is valid for worker w iff
+  // some retained sequence tolerates the worker's center offset, and the
+  // set respects the worker's maxDP.
+  catalog.strategies_.resize(instance.num_workers());
+  for (size_t w = 0; w < instance.num_workers(); ++w) {
+    const double offset = instance.WorkerToCenterTime(w);
+    const uint32_t max_dp = instance.worker(w).max_delivery_points;
+    std::vector<WorkerStrategy>& out = catalog.strategies_[w];
+    for (uint32_t e = 0; e < catalog.entries_.size(); ++e) {
+      const CVdpsEntry& entry = catalog.entries_[e];
+      if (entry.dps.size() > max_dp) continue;
+      const SequenceOption* opt = entry.BestOptionFor(offset);
+      if (opt == nullptr) continue;
+      WorkerStrategy st;
+      st.entry_id = e;
+      st.route = opt->route;
+      st.total_time = offset + opt->center_time;
+      st.total_reward = entry.total_reward;
+      st.payoff =
+          entry.total_reward / std::max(st.total_time, kMinTravelTime);
+      out.push_back(std::move(st));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const WorkerStrategy& a, const WorkerStrategy& b) {
+                if (a.payoff != b.payoff) return a.payoff > b.payoff;
+                return a.entry_id < b.entry_id;
+              });
+  }
+  return catalog;
+}
+
+size_t VdpsCatalog::MaxStrategiesPerWorker() const {
+  size_t m = 0;
+  for (const auto& s : strategies_) m = std::max(m, s.size());
+  return m;
+}
+
+std::string VdpsCatalog::Summary() const {
+  size_t total = 0;
+  for (const auto& s : strategies_) total += s.size();
+  return StrFormat(
+      "VdpsCatalog{entries=%zu, workers=%zu, strategies=%zu, max/worker=%zu%s}",
+      entries_.size(), strategies_.size(), total, MaxStrategiesPerWorker(),
+      truncated_ ? ", TRUNCATED" : "");
+}
+
+}  // namespace fta

@@ -1,0 +1,131 @@
+#ifndef FTA_VDPS_CATALOG_H_
+#define FTA_VDPS_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/route.h"
+#include "util/math_util.h"
+
+namespace fta {
+
+/// One center-origin delivery point sequence retained for a C-VDPS: the
+/// route, its final arrival time when starting at the center at time 0, and
+/// its slack (the largest start delay that still meets every deadline).
+struct SequenceOption {
+  Route route;
+  /// Arrival at the last delivery point for a start offset of 0.
+  double center_time = 0.0;
+  /// max o >= 0 such that starting the route at time o still meets every
+  /// deadline: o <= min_i (e_i - arrival_i).
+  double slack = 0.0;
+};
+
+/// A Center-origin Valid Delivery Point Set (C-VDPS, Section IV): a set of
+/// delivery points for which at least one deadline-feasible sequence from
+/// the distribution center exists. Keeps a small Pareto frontier of
+/// sequences over (center_time minimized, slack maximized): the fastest
+/// sequence for nearby workers, plus slower but slack-richer orderings that
+/// admit farther workers.
+struct CVdpsEntry {
+  /// The delivery point set, sorted ascending.
+  std::vector<uint32_t> dps;
+  /// Total reward collected by visiting every point of the set.
+  double total_reward = 0.0;
+  /// Pareto frontier, sorted by center_time ascending (slack ascending).
+  std::vector<SequenceOption> options;
+
+  /// The fastest sequence whose slack admits a start offset of `offset`,
+  /// or nullptr if the set is infeasible for that offset.
+  const SequenceOption* BestOptionFor(double offset) const {
+    for (const SequenceOption& opt : options) {
+      if (opt.slack + kEps >= offset) return &opt;
+    }
+    return nullptr;
+  }
+};
+
+/// Tuning knobs for C-VDPS generation.
+struct VdpsConfig {
+  /// Distance-constrained pruning threshold ε (Section IV): when extending
+  /// a sequence at dp_j, only delivery points within distance ε of dp_j are
+  /// considered. kInfinity disables pruning (the paper's "-W" variants).
+  double epsilon = kInfinity;
+  /// Global cap on |VDPS|; the effective cap also respects each worker's
+  /// maxDP when strategies are materialized. 0 means "no cap" (use with the
+  /// exact engine on tiny instances only).
+  uint32_t max_set_size = 4;
+  /// Maximum Pareto options kept per C-VDPS.
+  uint32_t max_pareto = 4;
+  /// Soft cap on the number of generated C-VDPS entries (0 = unlimited).
+  /// Generation stops expanding once reached; a warning is logged.
+  size_t max_entries = 0;
+  /// Force the exact bitmask dynamic program (Algorithm 1). Requires
+  /// |dc.DP| <= 24. The default sequence enumerator produces identical
+  /// catalogs for matched (epsilon, max_set_size) and scales much further.
+  /// Takes precedence over beam_width.
+  bool use_exact_dp = false;
+  /// When > 0 (and use_exact_dp is off), generate with the approximate
+  /// level-wise beam search instead of the exhaustive enumerator — the
+  /// scalable choice for large max_set_size. See GenerateCVdpsBeam.
+  size_t beam_width = 0;
+};
+
+/// One strategy of a worker in the FTA game: a VDPS (catalog entry) plus
+/// the concrete sequence and payoff for that worker. The null strategy is
+/// represented implicitly (see StrategySpace).
+struct WorkerStrategy {
+  /// Index into VdpsCatalog::entries().
+  uint32_t entry_id = 0;
+  /// The sequence the worker would follow (chosen from the entry's Pareto
+  /// frontier as the fastest one admitting the worker's offset).
+  Route route;
+  /// Worker travel time from its location through the full route.
+  double total_time = 0.0;
+  double total_reward = 0.0;
+  /// P(w, VDPS(w)) (Definition 7).
+  double payoff = 0.0;
+};
+
+/// The set of C-VDPSs of one instance plus per-worker strategy
+/// materialization. Generated once and shared by every solver.
+class VdpsCatalog {
+ public:
+  /// Runs C-VDPS generation (sequence enumerator by default, Algorithm 1's
+  /// exact DP when config.use_exact_dp) and builds per-worker strategies.
+  static VdpsCatalog Generate(const Instance& instance,
+                              const VdpsConfig& config);
+
+  const std::vector<CVdpsEntry>& entries() const { return entries_; }
+  const CVdpsEntry& entry(size_t i) const { return entries_[i]; }
+  size_t num_entries() const { return entries_.size(); }
+
+  /// Strategies available to worker w (VDPS(w) of Section V-B, minus the
+  /// null strategy which every worker implicitly has). Sorted by payoff
+  /// descending.
+  const std::vector<WorkerStrategy>& strategies(size_t worker_id) const {
+    return strategies_[worker_id];
+  }
+  size_t num_workers() const { return strategies_.size(); }
+
+  /// max_w |VDPS(w)| — the |maxVDPS| factor in the paper's complexity
+  /// bounds.
+  size_t MaxStrategiesPerWorker() const;
+
+  /// True if generation hit the max_entries cap (results may be partial).
+  bool truncated() const { return truncated_; }
+
+  /// Summary line for logs: entry/strategy counts.
+  std::string Summary() const;
+
+ private:
+  std::vector<CVdpsEntry> entries_;
+  std::vector<std::vector<WorkerStrategy>> strategies_;
+  bool truncated_ = false;
+};
+
+}  // namespace fta
+
+#endif  // FTA_VDPS_CATALOG_H_

@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/distance_matrix.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "vdps/generators.h"
+#include "vdps/pareto.h"
+
+namespace fta {
+namespace {
+
+/// DP state key: subset mask * n + last delivery point.
+using StateKey = uint64_t;
+
+StateKey MakeKey(uint32_t mask, uint32_t last, uint32_t n) {
+  return static_cast<StateKey>(mask) * n + last;
+}
+
+}  // namespace
+
+GenerationResult GenerateCVdpsExact(const Instance& instance,
+                                    const VdpsConfig& config) {
+  const uint32_t n = static_cast<uint32_t>(instance.num_delivery_points());
+  FTA_CHECK_MSG(n <= 24,
+                "GenerateCVdpsExact is a bitmask DP; use "
+                "GenerateCVdpsSequences beyond 24 delivery points");
+  GenerationResult result;
+  if (n == 0) return result;
+
+  const uint32_t cap =
+      config.max_set_size == 0 ? n : std::min(config.max_set_size, n);
+  const DistanceMatrix dm(instance.center(), instance.DeliveryPointLocations(),
+                          instance.travel());
+
+  // dp[(mask, last)] -> Pareto frontier of (arrival, slack) with routes.
+  std::unordered_map<StateKey, std::vector<SequenceOption>> dp;
+  dp.reserve(1u << std::min(n, 20u));
+
+  // Base case |Q| = 1 (Equation 3): center -> dp_j.
+  for (uint32_t j = 0; j < n; ++j) {
+    const double arr = dm.FromOrigin(j);
+    const double slack = instance.delivery_point(j).earliest_expiry() - arr;
+    if (slack < 0.0) continue;  // infeasible even with offset 0
+    SequenceOption opt;
+    opt.route = {j};
+    opt.center_time = arr;
+    opt.slack = slack;
+    dp[MakeKey(1u << j, j, n)].push_back(std::move(opt));
+  }
+
+  // Expand masks in increasing numeric order; every submask precedes its
+  // supersets, which realizes Algorithm 1's by-size iteration (Equation 4).
+  const uint32_t full = (n >= 32) ? 0xffffffffu : ((1u << n) - 1);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size > static_cast<int>(cap)) continue;
+    for (uint32_t last = 0; last < n; ++last) {
+      if ((mask & (1u << last)) == 0) continue;
+      auto it = dp.find(MakeKey(mask, last, n));
+      if (it == dp.end()) continue;
+      if (size == static_cast<int>(cap)) continue;  // no further expansion
+      for (uint32_t next = 0; next < n; ++next) {
+        if (mask & (1u << next)) continue;
+        // Distance-constrained pruning: only ε-neighbors of `last`.
+        if (dm.DistanceBetween(last, next) > config.epsilon) continue;
+        const double hop = dm.Between(last, next);
+        const double e_next = instance.delivery_point(next).earliest_expiry();
+        auto& target = dp[MakeKey(mask | (1u << next), next, n)];
+        // NOTE: dp[] above may rehash; re-find the source options after.
+        const auto& sources = dp.find(MakeKey(mask, last, n))->second;
+        for (const SequenceOption& src : sources) {
+          const double arr = src.center_time + hop;
+          const double slack = std::min(src.slack, e_next - arr);
+          if (slack < 0.0) continue;  // delta_ij = 0: next misses deadline
+          SequenceOption opt;
+          opt.route = src.route;
+          opt.route.push_back(next);
+          opt.center_time = arr;
+          opt.slack = slack;
+          InsertParetoOption(target, std::move(opt), config.max_pareto);
+        }
+      }
+    }
+  }
+
+  // Collect: every mask with at least one feasible (last, option) is a
+  // C-VDPS; merge options across last points into one frontier per set.
+  std::unordered_map<uint32_t, CVdpsEntry> by_mask;
+  for (const auto& [key, options] : dp) {
+    // operator[] during expansion default-creates target states that may
+    // end up with no feasible option; those are not C-VDPSs.
+    if (options.empty()) continue;
+    const uint32_t mask = static_cast<uint32_t>(key / n);
+    CVdpsEntry& entry = by_mask[mask];
+    if (entry.dps.empty()) {
+      for (uint32_t j = 0; j < n; ++j) {
+        if (mask & (1u << j)) {
+          entry.dps.push_back(j);
+          entry.total_reward += instance.delivery_point(j).total_reward();
+        }
+      }
+    }
+    for (const SequenceOption& opt : options) {
+      InsertParetoOption(entry.options, opt, config.max_pareto);
+    }
+  }
+  result.entries.reserve(by_mask.size());
+  for (auto& [mask, entry] : by_mask) {
+    result.entries.push_back(std::move(entry));
+  }
+  // Deterministic order: by set size, then lexicographic dps.
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const CVdpsEntry& a, const CVdpsEntry& b) {
+              if (a.dps.size() != b.dps.size())
+                return a.dps.size() < b.dps.size();
+              return a.dps < b.dps;
+            });
+  if (config.max_entries > 0 && result.entries.size() > config.max_entries) {
+    result.entries.resize(config.max_entries);
+    result.truncated = true;
+  }
+  return result;
+}
+
+}  // namespace fta

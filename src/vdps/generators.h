@@ -1,0 +1,48 @@
+#ifndef FTA_VDPS_GENERATORS_H_
+#define FTA_VDPS_GENERATORS_H_
+
+#include <vector>
+
+#include "model/instance.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+
+/// Result of a raw C-VDPS generation pass (before per-worker strategy
+/// materialization).
+struct GenerationResult {
+  std::vector<CVdpsEntry> entries;
+  /// True if the max_entries cap stopped the search early.
+  bool truncated = false;
+};
+
+/// Exact C-VDPS generation following Algorithm 1: a dynamic program over
+/// (subset, last delivery point) states with deadline checks, optionally
+/// restricted by the ε-pruning predicate of Section IV and capped at
+/// config.max_set_size. Requires |dc.DP| <= 24 (checked).
+GenerationResult GenerateCVdpsExact(const Instance& instance,
+                                    const VdpsConfig& config);
+
+/// Scalable C-VDPS generation: depth-first enumeration of deadline-feasible
+/// delivery point sequences from the center, extending only to ε-neighbors
+/// of the current point (grid-index lookups) and at most max_set_size deep.
+/// Sequences are merged per set into Pareto frontiers. Produces the same
+/// catalog as GenerateCVdpsExact for matched parameters.
+GenerationResult GenerateCVdpsSequences(const Instance& instance,
+                                        const VdpsConfig& config);
+
+/// Approximate C-VDPS generation for large max_set_size, where exhaustive
+/// sequence enumeration explodes combinatorially: a level-wise beam search
+/// that keeps only the `beam_width` most promising partial sequences per
+/// length (scored by payoff rate, reward / travel time). Sound — every
+/// produced entry is a genuine C-VDPS with a feasible sequence — but not
+/// complete: low-scoring sets may be missed. With beam_width >= the number
+/// of feasible partial sequences at every level it matches
+/// GenerateCVdpsSequences.
+GenerationResult GenerateCVdpsBeam(const Instance& instance,
+                                   const VdpsConfig& config,
+                                   size_t beam_width);
+
+}  // namespace fta
+
+#endif  // FTA_VDPS_GENERATORS_H_

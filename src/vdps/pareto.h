@@ -1,0 +1,23 @@
+#ifndef FTA_VDPS_PARETO_H_
+#define FTA_VDPS_PARETO_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "vdps/catalog.h"
+
+namespace fta {
+
+/// Inserts `opt` into `frontier` (kept sorted by center_time ascending,
+/// slack ascending), dropping dominated options. Option A dominates B when
+/// A.center_time <= B.center_time and A.slack >= B.slack. When the frontier
+/// would exceed `max_size`, the option whose removal loses the least slack
+/// coverage is dropped (the first one after the minimum-time option).
+///
+/// Returns true if `opt` was inserted.
+bool InsertParetoOption(std::vector<SequenceOption>& frontier,
+                        SequenceOption opt, size_t max_size);
+
+}  // namespace fta
+
+#endif  // FTA_VDPS_PARETO_H_

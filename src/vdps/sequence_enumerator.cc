@@ -1,0 +1,154 @@
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/distance_matrix.h"
+#include "geo/grid_index.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "vdps/generators.h"
+#include "vdps/pareto.h"
+
+namespace fta {
+namespace {
+
+/// FNV-1a over a sorted id vector, used to key C-VDPS sets.
+struct VectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Mutable DFS state shared across recursive calls.
+struct Search {
+  const Instance* instance = nullptr;
+  const VdpsConfig* config = nullptr;
+  const DistanceMatrix* dm = nullptr;
+  const GridIndex* grid = nullptr;
+  uint32_t cap = 0;
+
+  std::unordered_map<std::vector<uint32_t>, CVdpsEntry, VectorHash> entries;
+  std::vector<bool> in_route;
+  Route route;
+  bool truncated = false;
+
+  bool AtEntryCap() const {
+    return config->max_entries > 0 && entries.size() >= config->max_entries;
+  }
+
+  /// Records the current route into its set's entry.
+  void Record(double arrival, double slack) {
+    std::vector<uint32_t> key = route;
+    std::sort(key.begin(), key.end());
+    auto it = entries.find(key);
+    if (it == entries.end()) {
+      if (AtEntryCap()) {
+        truncated = true;
+        return;
+      }
+      CVdpsEntry entry;
+      entry.dps = key;
+      for (uint32_t dp : key) {
+        entry.total_reward += instance->delivery_point(dp).total_reward();
+      }
+      it = entries.emplace(std::move(key), std::move(entry)).first;
+    }
+    SequenceOption opt;
+    opt.route = route;
+    opt.center_time = arrival;
+    opt.slack = slack;
+    InsertParetoOption(it->second.options, std::move(opt),
+                       config->max_pareto);
+  }
+
+  void Dfs(uint32_t last, double arrival, double slack) {
+    Record(arrival, slack);
+    if (route.size() >= cap) return;
+    if (truncated && AtEntryCap()) return;
+    // Distance-constrained pruning (Section IV): extend only to delivery
+    // points within ε of the current one.
+    const auto extend = [&](uint32_t next) {
+      if (in_route[next]) return;
+      const double arr = arrival + dm->Between(last, next);
+      const double slk = std::min(
+          slack, instance->delivery_point(next).earliest_expiry() - arr);
+      if (slk < 0.0) return;  // misses a deadline even with offset 0
+      in_route[next] = true;
+      route.push_back(next);
+      Dfs(next, arr, slk);
+      route.pop_back();
+      in_route[next] = false;
+    };
+    if (std::isinf(config->epsilon)) {
+      for (uint32_t next = 0; next < instance->num_delivery_points(); ++next) {
+        extend(next);
+      }
+    } else {
+      const Point& at = instance->delivery_point(last).location();
+      for (uint32_t next : grid->RadiusQuery(at, config->epsilon)) {
+        extend(next);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+GenerationResult GenerateCVdpsSequences(const Instance& instance,
+                                        const VdpsConfig& config) {
+  GenerationResult result;
+  const uint32_t n = static_cast<uint32_t>(instance.num_delivery_points());
+  if (n == 0) return result;
+
+  const DistanceMatrix dm(instance.center(), instance.DeliveryPointLocations(),
+                          instance.travel());
+  // Cell size tuned to the query radius; for ε = inf the grid is unused.
+  const GridIndex grid(instance.DeliveryPointLocations(),
+                       std::isinf(config.epsilon) ? 0.0 : config.epsilon);
+
+  Search search;
+  search.instance = &instance;
+  search.config = &config;
+  search.dm = &dm;
+  search.grid = &grid;
+  search.cap = config.max_set_size == 0 ? n : std::min(config.max_set_size, n);
+  search.in_route.assign(n, false);
+
+  // The first hop (center -> dp) is not ε-pruned: Equation 4 constrains
+  // inter-point hops only.
+  for (uint32_t j = 0; j < n; ++j) {
+    const double arr = dm.FromOrigin(j);
+    const double slack = instance.delivery_point(j).earliest_expiry() - arr;
+    if (slack < 0.0) continue;
+    search.in_route[j] = true;
+    search.route.push_back(j);
+    search.Dfs(j, arr, slack);
+    search.route.pop_back();
+    search.in_route[j] = false;
+  }
+
+  result.entries.reserve(search.entries.size());
+  for (auto& [key, entry] : search.entries) {
+    result.entries.push_back(std::move(entry));
+  }
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const CVdpsEntry& a, const CVdpsEntry& b) {
+              if (a.dps.size() != b.dps.size())
+                return a.dps.size() < b.dps.size();
+              return a.dps < b.dps;
+            });
+  result.truncated = search.truncated;
+  if (result.truncated) {
+    FTA_LOG(kWarning) << "C-VDPS generation truncated at "
+                      << result.entries.size() << " entries";
+  }
+  return result;
+}
+
+}  // namespace fta

@@ -1,0 +1,64 @@
+#include "model/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace fta {
+namespace {
+
+TEST(InstanceBuilderTest, FluentConstruction) {
+  const Instance inst = InstanceBuilder(Point{2, 2})
+                            .Speed(1.0)
+                            .DeliveryPoint({3, 3}, 6, 8.0)
+                            .DeliveryPoint({1, 3}, 5, 8.0)
+                            .Worker({1, 2})
+                            .Worker({3, 1}, 2)
+                            .Build();
+  EXPECT_EQ(inst.num_delivery_points(), 2u);
+  EXPECT_EQ(inst.num_workers(), 2u);
+  EXPECT_EQ(inst.num_tasks(), 11u);
+  EXPECT_DOUBLE_EQ(inst.travel().speed(), 1.0);
+  EXPECT_EQ(inst.worker(1).max_delivery_points, 2u);
+  EXPECT_DOUBLE_EQ(inst.delivery_point(0).total_reward(), 6.0);
+}
+
+TEST(InstanceBuilderTest, ExplicitTasksGetRetargeted) {
+  const Instance inst =
+      InstanceBuilder(Point{0, 0})
+          .DeliveryPointWithTasks({1, 1}, {SpatialTask{99, 2.0, 3.0},
+                                           SpatialTask{42, 1.0, 1.0}})
+          .Build();
+  // delivery_point fields are rewritten to the actual index.
+  for (const SpatialTask& t : inst.delivery_point(0).tasks()) {
+    EXPECT_EQ(t.delivery_point, 0u);
+  }
+  EXPECT_DOUBLE_EQ(inst.delivery_point(0).total_reward(), 4.0);
+  EXPECT_DOUBLE_EQ(inst.delivery_point(0).earliest_expiry(), 1.0);
+}
+
+TEST(InstanceBuilderTest, TaskAppendsToExistingPoint) {
+  const Instance inst = InstanceBuilder(Point{0, 0})
+                            .DeliveryPoint({1, 0}, 1, 5.0)
+                            .Task(0, 2.0, 0.5)
+                            .Build();
+  EXPECT_EQ(inst.delivery_point(0).task_count(), 2u);
+  EXPECT_DOUBLE_EQ(inst.delivery_point(0).earliest_expiry(), 2.0);
+}
+
+TEST(InstanceBuilderTest, TryBuildRejectsBadData) {
+  EXPECT_FALSE(InstanceBuilder(Point{0, 0})
+                   .DeliveryPoint({1, 1}, 1, -2.0)  // negative expiry
+                   .TryBuild()
+                   .ok());
+  EXPECT_FALSE(
+      InstanceBuilder(Point{0, 0}).Speed(0.0).TryBuild().ok());
+}
+
+TEST(InstanceBuilderTest, EmptyInstanceIsValid) {
+  const StatusOr<Instance> inst = InstanceBuilder(Point{5, 5}).TryBuild();
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->num_workers(), 0u);
+  EXPECT_EQ(inst->num_delivery_points(), 0u);
+}
+
+}  // namespace
+}  // namespace fta

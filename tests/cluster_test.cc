@@ -1,0 +1,134 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace fta {
+namespace {
+
+std::vector<Point> ThreeBlobs(Rng& rng, size_t per_blob = 50) {
+  const std::vector<Point> centers{{0, 0}, {20, 0}, {0, 20}};
+  std::vector<Point> pts;
+  for (const Point& c : centers) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      pts.push_back({rng.Gaussian(c.x, 1.0), rng.Gaussian(c.y, 1.0)});
+    }
+  }
+  return pts;
+}
+
+TEST(KMeansTest, EmptyInput) {
+  Rng rng(1);
+  const KMeansResult r = KMeans({}, 3, rng);
+  EXPECT_TRUE(r.centroids.empty());
+  EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(KMeansTest, KZero) {
+  Rng rng(2);
+  const KMeansResult r = KMeans({{1, 1}}, 0, rng);
+  EXPECT_TRUE(r.centroids.empty());
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Rng rng(3);
+  const KMeansResult r = KMeans({{1, 1}, {2, 2}}, 10, rng);
+  EXPECT_EQ(r.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  Rng rng(4);
+  const std::vector<Point> pts{{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  const KMeansResult r = KMeans(pts, 1, rng);
+  ASSERT_EQ(r.centroids.size(), 1u);
+  EXPECT_NEAR(r.centroids[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(r.centroids[0].y, 1.0, 1e-9);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng data_rng(5);
+  const std::vector<Point> pts = ThreeBlobs(data_rng);
+  Rng rng(6);
+  const KMeansResult r = KMeans(pts, 3, rng);
+  ASSERT_EQ(r.centroids.size(), 3u);
+  EXPECT_TRUE(r.converged);
+  // Each centroid should land near one of the true blob centers.
+  const std::vector<Point> truth{{0, 0}, {20, 0}, {0, 20}};
+  for (const Point& t : truth) {
+    double best = kInfinity;
+    for (const Point& c : r.centroids) best = std::min(best, Distance(c, t));
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(KMeansTest, LabelsConsistentWithNearestCentroid) {
+  Rng data_rng(7);
+  const std::vector<Point> pts = ThreeBlobs(data_rng, 30);
+  Rng rng(8);
+  const KMeansResult r = KMeans(pts, 3, rng);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double assigned = Distance(pts[i], r.centroids[r.labels[i]]);
+    for (const Point& c : r.centroids) {
+      EXPECT_LE(assigned, Distance(pts[i], c) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng data_rng(9);
+  const std::vector<Point> pts = ThreeBlobs(data_rng, 40);
+  double prev = kInfinity;
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    Rng rng(10);
+    const KMeansResult r = KMeans(pts, k, rng);
+    EXPECT_LE(r.inertia, prev + 1e-9);
+    prev = r.inertia;
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenRngState) {
+  Rng data_rng(11);
+  const std::vector<Point> pts = ThreeBlobs(data_rng, 20);
+  Rng rng_a(12), rng_b(12);
+  const KMeansResult a = KMeans(pts, 4, rng_a);
+  const KMeansResult b = KMeans(pts, 4, rng_b);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, UniformSeedingAlsoWorks) {
+  Rng data_rng(13);
+  const std::vector<Point> pts = ThreeBlobs(data_rng, 30);
+  Rng rng(14);
+  KMeansConfig config;
+  config.plus_plus = false;
+  const KMeansResult r = KMeans(pts, 3, rng, config);
+  EXPECT_EQ(r.centroids.size(), 3u);
+  std::set<uint32_t> used(r.labels.begin(), r.labels.end());
+  EXPECT_GE(used.size(), 2u);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  Rng rng(15);
+  const std::vector<Point> pts(10, Point{3, 3});
+  const KMeansResult r = KMeans(pts, 3, rng);
+  EXPECT_EQ(r.labels.size(), 10u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, AllLabelsInRange) {
+  Rng data_rng(16);
+  const std::vector<Point> pts = ThreeBlobs(data_rng, 25);
+  Rng rng(17);
+  const KMeansResult r = KMeans(pts, 5, rng);
+  for (uint32_t label : r.labels) EXPECT_LT(label, r.centroids.size());
+}
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,138 @@
+#include "cluster/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fta {
+namespace {
+
+std::vector<Point> Blob(Rng& rng, Point center, size_t n, double sigma) {
+  std::vector<Point> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Gaussian(center.x, sigma),
+                   rng.Gaussian(center.y, sigma)});
+  }
+  return pts;
+}
+
+TEST(DbscanTest, EmptyInput) {
+  const DbscanResult r = Dbscan({}, DbscanConfig{});
+  EXPECT_EQ(r.num_clusters, 0u);
+  EXPECT_EQ(r.num_noise, 0u);
+  EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(DbscanTest, SinglePointIsNoiseUnlessMinPointsOne) {
+  DbscanConfig config;
+  config.min_points = 2;
+  const DbscanResult noise = Dbscan({{1, 1}}, config);
+  EXPECT_EQ(noise.num_clusters, 0u);
+  EXPECT_EQ(noise.num_noise, 1u);
+  config.min_points = 1;
+  const DbscanResult cluster = Dbscan({{1, 1}}, config);
+  EXPECT_EQ(cluster.num_clusters, 1u);
+  EXPECT_EQ(cluster.num_noise, 0u);
+}
+
+TEST(DbscanTest, RecoversSeparatedBlobsAndNoise) {
+  Rng rng(41);
+  std::vector<Point> pts = Blob(rng, {0, 0}, 60, 0.3);
+  const std::vector<Point> blob2 = Blob(rng, {20, 20}, 60, 0.3);
+  pts.insert(pts.end(), blob2.begin(), blob2.end());
+  pts.push_back({10, 10});  // isolated noise point
+  DbscanConfig config;
+  config.epsilon = 1.0;
+  config.min_points = 4;
+  const DbscanResult r = Dbscan(pts, config);
+  EXPECT_EQ(r.num_clusters, 2u);
+  EXPECT_GE(r.num_noise, 1u);
+  EXPECT_EQ(r.labels.back(), kDbscanNoise);
+  // The two blobs get distinct labels.
+  EXPECT_NE(r.labels[0], r.labels[60]);
+}
+
+TEST(DbscanTest, AllPointsSameClusterWhenDense) {
+  Rng rng(42);
+  const std::vector<Point> pts = Blob(rng, {5, 5}, 100, 0.2);
+  DbscanConfig config;
+  config.epsilon = 2.0;
+  config.min_points = 3;
+  const DbscanResult r = Dbscan(pts, config);
+  EXPECT_EQ(r.num_clusters, 1u);
+  EXPECT_EQ(r.num_noise, 0u);
+}
+
+TEST(DbscanTest, LabelsInRange) {
+  Rng rng(43);
+  std::vector<Point> pts = Blob(rng, {0, 0}, 40, 0.5);
+  const std::vector<Point> blob2 = Blob(rng, {8, 8}, 40, 0.5);
+  pts.insert(pts.end(), blob2.begin(), blob2.end());
+  const DbscanResult r = Dbscan(pts, {1.0, 4});
+  for (int32_t label : r.labels) {
+    EXPECT_GE(label, kDbscanNoise);
+    EXPECT_LT(label, static_cast<int32_t>(r.num_clusters));
+  }
+}
+
+TEST(DbscanTest, ClusterSizesSumPlusNoiseIsTotal) {
+  Rng rng(44);
+  std::vector<Point> pts = Blob(rng, {0, 0}, 50, 0.4);
+  const std::vector<Point> blob2 = Blob(rng, {15, 0}, 30, 0.4);
+  pts.insert(pts.end(), blob2.begin(), blob2.end());
+  pts.push_back({7, 30});
+  const DbscanResult r = Dbscan(pts, {1.2, 4});
+  size_t total = r.num_noise;
+  for (size_t s : r.ClusterSizes()) total += s;
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(DbscanTest, CentroidsLandNearBlobCenters) {
+  Rng rng(45);
+  std::vector<Point> pts = Blob(rng, {0, 0}, 80, 0.3);
+  const std::vector<Point> blob2 = Blob(rng, {12, -4}, 80, 0.3);
+  pts.insert(pts.end(), blob2.begin(), blob2.end());
+  const DbscanResult r = Dbscan(pts, {1.0, 4});
+  ASSERT_EQ(r.num_clusters, 2u);
+  const std::vector<Point> centroids = r.Centroids(pts);
+  for (const Point& truth : {Point{0, 0}, Point{12, -4}}) {
+    double best = 1e18;
+    for (const Point& c : centroids) best = std::min(best, Distance(c, truth));
+    EXPECT_LT(best, 0.5);
+  }
+}
+
+TEST(DbscanTest, ChainOfCorePointsFormsOneCluster) {
+  // Points spaced 0.9 apart with epsilon 1.0 and min_points 2: every point
+  // is core, the chain is density-connected end to end.
+  std::vector<Point> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({0.9 * i, 0.0});
+  const DbscanResult r = Dbscan(pts, {1.0, 2});
+  EXPECT_EQ(r.num_clusters, 1u);
+  EXPECT_EQ(r.num_noise, 0u);
+}
+
+TEST(DbscanTest, BorderPointJoinsFirstClaimingCluster) {
+  // A sparse point within epsilon of a dense blob joins it as a border
+  // point instead of staying noise.
+  Rng rng(46);
+  std::vector<Point> pts = Blob(rng, {0, 0}, 30, 0.2);
+  pts.push_back({0.7, 0.0});  // near the blob but itself not core
+  const DbscanResult r = Dbscan(pts, {0.8, 10});
+  EXPECT_EQ(r.num_clusters, 1u);
+  EXPECT_NE(r.labels.back(), kDbscanNoise);
+}
+
+TEST(DbscanTest, DeterministicLabels) {
+  Rng rng(47);
+  const std::vector<Point> pts = Blob(rng, {3, 3}, 100, 1.0);
+  const DbscanResult a = Dbscan(pts, {0.7, 4});
+  const DbscanResult b = Dbscan(pts, {0.7, 4});
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,162 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fta {
+namespace {
+
+/// argv helper: builds a const char* array from literals.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : store_(std::move(args)) {
+    ptrs_.push_back("prog");
+    for (const std::string& s : store_) ptrs_.push_back(s.c_str());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  const char* const* argv() const { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> store_;
+  std::vector<const char*> ptrs_;
+};
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  FlagParser parser;
+  std::string s = "x";
+  int64_t i = 0;
+  double d = 0.0;
+  parser.AddString("name", &s, "a string");
+  parser.AddInt("count", &i, "an int");
+  parser.AddDouble("ratio", &d, "a double");
+  Args args({"--name=abc", "--count=42", "--ratio=2.5"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(s, "abc");
+  EXPECT_EQ(i, 42);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  FlagParser parser;
+  int64_t i = 0;
+  parser.AddInt("count", &i, "");
+  Args args({"--count", "7"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(i, 7);
+}
+
+TEST(FlagsTest, BareBoolFlag) {
+  FlagParser parser;
+  bool verbose = false;
+  parser.AddBool("verbose", &verbose, "");
+  Args args({"--verbose"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, ExplicitBoolValues) {
+  FlagParser parser;
+  bool a = false, b = true;
+  parser.AddBool("a", &a, "");
+  parser.AddBool("b", &b, "");
+  Args args({"--a=true", "--b=false"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, PositionalArgsPreserved) {
+  FlagParser parser;
+  int64_t i = 0;
+  parser.AddInt("n", &i, "");
+  Args args({"cmd", "--n=3", "file.csv"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"cmd", "file.csv"}));
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  FlagParser parser;
+  bool v = false;
+  parser.AddBool("v", &v, "");
+  Args args({"--", "--v"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_FALSE(v);
+  EXPECT_EQ(parser.positional(), (std::vector<std::string>{"--v"}));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagParser parser;
+  Args args({"--nope=1"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagParser parser;
+  int64_t i = 0;
+  parser.AddInt("n", &i, "");
+  Args args({"--n"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadValueFails) {
+  FlagParser parser;
+  int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  size_t z = 0;
+  parser.AddInt("i", &i, "");
+  parser.AddDouble("d", &d, "");
+  parser.AddBool("b", &b, "");
+  parser.AddSizeT("z", &z, "");
+  EXPECT_FALSE(parser.Parse(Args({"--i=abc"}).argc(),
+                            Args({"--i=abc"}).argv())
+                   .ok());
+  {
+    Args args({"--d=xyz"});
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+  }
+  {
+    Args args({"--b=maybe"});
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+  }
+  {
+    Args args({"--z=-3"});
+    EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+  }
+}
+
+TEST(FlagsTest, SizeTFlag) {
+  FlagParser parser;
+  size_t z = 0;
+  parser.AddSizeT("z", &z, "");
+  Args args({"--z=123"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(z, 123u);
+}
+
+TEST(FlagsTest, UsageMentionsFlagsAndDefaults) {
+  FlagParser parser;
+  int64_t n = 5;
+  parser.AddInt("workers", &n, "number of workers");
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("--workers"), std::string::npos);
+  EXPECT_NE(usage.find("number of workers"), std::string::npos);
+  EXPECT_NE(usage.find("default: 5"), std::string::npos);
+}
+
+TEST(FlagsTest, DefaultsSurviveWhenUnset) {
+  FlagParser parser;
+  int64_t n = 5;
+  std::string s = "keep";
+  parser.AddInt("n", &n, "");
+  parser.AddString("s", &s, "");
+  Args args({});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 5);
+  EXPECT_EQ(s, "keep");
+}
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/distance_matrix.h"
+#include "geo/grid_index.h"
+#include "geo/kdtree.h"
+#include "geo/point.h"
+#include "geo/travel.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace fta {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, Rng& rng, double area = 100.0) {
+  std::vector<Point> pts(n);
+  for (Point& p : pts) p = {rng.Uniform(0, area), rng.Uniform(0, area)};
+  return pts;
+}
+
+std::vector<uint32_t> BruteRadius(const std::vector<Point>& pts,
+                                  const Point& center, double radius) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < pts.size(); ++i) {
+    if (Distance(pts[i], center) <= radius) out.push_back(i);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- Point --
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ((Point{1, 2}), (Point{1, 2}));
+  EXPECT_NE((Point{1, 2}), (Point{2, 1}));
+}
+
+// ----------------------------------------------------------- BoundingBox --
+
+TEST(BoundingBoxTest, EmptyByDefault) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_FALSE(box.Contains({0, 0}));
+  EXPECT_DOUBLE_EQ(box.width(), 0.0);
+}
+
+TEST(BoundingBoxTest, ExtendAndContains) {
+  BoundingBox box;
+  box.Extend({1, 1});
+  box.Extend({3, 5});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains({2, 3}));
+  EXPECT_TRUE(box.Contains({1, 1}));
+  EXPECT_FALSE(box.Contains({0.9, 3}));
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 4.0);
+}
+
+TEST(BoundingBoxTest, CornersInAnyOrder) {
+  BoundingBox box({5, 6}, {1, 2});
+  EXPECT_EQ(box.min(), (Point{1, 2}));
+  EXPECT_EQ(box.max(), (Point{5, 6}));
+}
+
+TEST(BoundingBoxTest, DistanceToPoint) {
+  BoundingBox box({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(box.Distance({1, 1}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(box.Distance({5, 2}), 3.0);   // right of box
+  EXPECT_DOUBLE_EQ(box.Distance({5, 6}), 5.0);   // corner: 3-4-5
+}
+
+TEST(BoundingBoxTest, Inflate) {
+  BoundingBox box({1, 1}, {2, 2});
+  box.Inflate(0.5);
+  EXPECT_TRUE(box.Contains({0.6, 0.6}));
+  EXPECT_FALSE(box.Contains({0.4, 0.4}));
+}
+
+// ------------------------------------------------------------- GridIndex --
+
+TEST(GridIndexTest, EmptyIndex) {
+  GridIndex index({});
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.RadiusQuery({0, 0}, 10).empty());
+  EXPECT_EQ(index.Nearest({0, 0}), -1);
+}
+
+TEST(GridIndexTest, RadiusMatchesBruteForce) {
+  Rng rng(31);
+  const std::vector<Point> pts = RandomPoints(500, rng);
+  GridIndex index(pts, 5.0);
+  for (int q = 0; q < 50; ++q) {
+    const Point c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const double r = rng.Uniform(0, 20);
+    EXPECT_EQ(index.RadiusQuery(c, r), BruteRadius(pts, c, r));
+  }
+}
+
+TEST(GridIndexTest, RadiusIsInclusive) {
+  GridIndex index({{0, 0}, {3, 4}});
+  EXPECT_EQ(index.RadiusQuery({0, 0}, 5.0).size(), 2u);
+  EXPECT_EQ(index.RadiusQuery({0, 0}, 4.999).size(), 1u);
+}
+
+TEST(GridIndexTest, NegativeRadiusIsEmpty) {
+  GridIndex index({{0, 0}});
+  EXPECT_TRUE(index.RadiusQuery({0, 0}, -1.0).empty());
+}
+
+TEST(GridIndexTest, NearestMatchesBruteForce) {
+  Rng rng(32);
+  const std::vector<Point> pts = RandomPoints(300, rng);
+  GridIndex index(pts, 3.0);
+  for (int q = 0; q < 100; ++q) {
+    const Point c{rng.Uniform(-10, 110), rng.Uniform(-10, 110)};
+    const int64_t got = index.Nearest(c);
+    ASSERT_GE(got, 0);
+    double best = kInfinity;
+    for (const Point& p : pts) best = std::min(best, Distance(p, c));
+    EXPECT_NEAR(Distance(pts[static_cast<size_t>(got)], c), best, 1e-9);
+  }
+}
+
+TEST(GridIndexTest, SinglePoint) {
+  GridIndex index({{7, 7}});
+  EXPECT_EQ(index.Nearest({0, 0}), 0);
+  EXPECT_EQ(index.RadiusQuery({7, 7}, 0.0),
+            (std::vector<uint32_t>{0}));
+}
+
+TEST(GridIndexTest, CoincidentPoints) {
+  GridIndex index({{1, 1}, {1, 1}, {1, 1}});
+  EXPECT_EQ(index.RadiusQuery({1, 1}, 0.1).size(), 3u);
+}
+
+// ---------------------------------------------------------------- KdTree --
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_EQ(tree.Nearest({0, 0}), -1);
+  EXPECT_TRUE(tree.KNearest({0, 0}, 3).empty());
+  EXPECT_TRUE(tree.RadiusQuery({0, 0}, 5).empty());
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  Rng rng(33);
+  const std::vector<Point> pts = RandomPoints(400, rng);
+  KdTree tree(pts);
+  for (int q = 0; q < 100; ++q) {
+    const Point c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const int64_t got = tree.Nearest(c);
+    ASSERT_GE(got, 0);
+    double best = kInfinity;
+    for (const Point& p : pts) best = std::min(best, Distance(p, c));
+    EXPECT_NEAR(Distance(pts[static_cast<size_t>(got)], c), best, 1e-9);
+  }
+}
+
+TEST(KdTreeTest, KNearestSortedAndCorrect) {
+  Rng rng(34);
+  const std::vector<Point> pts = RandomPoints(200, rng);
+  KdTree tree(pts);
+  const Point c{50, 50};
+  const auto knn = tree.KNearest(c, 10);
+  ASSERT_EQ(knn.size(), 10u);
+  // Sorted by distance.
+  for (size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(Distance(pts[knn[i - 1]], c), Distance(pts[knn[i]], c) + 1e-12);
+  }
+  // Matches a brute-force top-10.
+  std::vector<double> dists;
+  for (const Point& p : pts) dists.push_back(Distance(p, c));
+  std::sort(dists.begin(), dists.end());
+  EXPECT_NEAR(Distance(pts[knn.back()], c), dists[9], 1e-9);
+}
+
+TEST(KdTreeTest, KNearestClampedToTreeSize) {
+  KdTree tree({{0, 0}, {1, 1}});
+  EXPECT_EQ(tree.KNearest({0, 0}, 5).size(), 2u);
+}
+
+TEST(KdTreeTest, RadiusMatchesBruteForce) {
+  Rng rng(35);
+  const std::vector<Point> pts = RandomPoints(300, rng);
+  KdTree tree(pts);
+  for (int q = 0; q < 30; ++q) {
+    const Point c{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const double r = rng.Uniform(0, 25);
+    EXPECT_EQ(tree.RadiusQuery(c, r), BruteRadius(pts, c, r));
+  }
+}
+
+// ----------------------------------------------------------- TravelModel --
+
+TEST(TravelModelTest, TravelTimeScalesWithSpeed) {
+  const TravelModel walk(5.0);
+  EXPECT_DOUBLE_EQ(walk.TravelTime({0, 0}, {0, 10}), 2.0);
+  EXPECT_DOUBLE_EQ(walk.TimeForDistance(2.5), 0.5);
+  const TravelModel unit(1.0);
+  EXPECT_DOUBLE_EQ(unit.TravelTime({0, 0}, {3, 4}), 5.0);
+}
+
+// -------------------------------------------------------- DistanceMatrix --
+
+TEST(DistanceMatrixTest, MatchesDirectComputation) {
+  const Point origin{0, 0};
+  const std::vector<Point> pts{{1, 0}, {0, 2}, {3, 4}};
+  const TravelModel travel(2.0);
+  DistanceMatrix dm(origin, pts, travel);
+  ASSERT_EQ(dm.size(), 3u);
+  EXPECT_DOUBLE_EQ(dm.FromOrigin(0), 0.5);
+  EXPECT_DOUBLE_EQ(dm.FromOrigin(2), 2.5);
+  EXPECT_DOUBLE_EQ(dm.Between(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dm.Between(0, 1), dm.Between(1, 0));
+  EXPECT_DOUBLE_EQ(dm.DistanceBetween(0, 1), Distance(pts[0], pts[1]));
+  EXPECT_DOUBLE_EQ(dm.Between(0, 1),
+                   travel.TimeForDistance(Distance(pts[0], pts[1])));
+}
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "model/route.h"
+
+namespace fta {
+namespace {
+
+/// An instance in the spirit of Figure 1: a center, two workers, and five
+/// delivery points with unit-reward task bundles. Unit speed so travel
+/// time == distance.
+Instance Figure1Style() {
+  std::vector<DeliveryPoint> dps;
+  // dp0 near the center with 6 tasks, then a chain of further points.
+  dps.emplace_back(Point{3, 3},
+                   std::vector<SpatialTask>(6, SpatialTask{0, 8.0, 1.0}));
+  dps.emplace_back(Point{4, 3.5},
+                   std::vector<SpatialTask>(3, SpatialTask{1, 8.0, 1.0}));
+  dps.emplace_back(Point{4.5, 2.5},
+                   std::vector<SpatialTask>(4, SpatialTask{2, 8.0, 1.0}));
+  dps.emplace_back(Point{1, 3},
+                   std::vector<SpatialTask>(5, SpatialTask{3, 8.0, 1.0}));
+  dps.emplace_back(Point{0.5, 1},
+                   std::vector<SpatialTask>(2, SpatialTask{4, 8.0, 1.0}));
+  std::vector<Worker> workers{{{1, 2}, 3}, {{3, 1}, 3}};
+  return Instance(Point{2, 2}, std::move(dps), std::move(workers),
+                  TravelModel(1.0));
+}
+
+// -------------------------------------------------------- DeliveryPoint --
+
+TEST(DeliveryPointTest, AggregatesFromConstruction) {
+  DeliveryPoint dp(Point{1, 1}, {SpatialTask{0, 2.5, 1.0},
+                                 SpatialTask{0, 1.5, 2.0}});
+  EXPECT_EQ(dp.task_count(), 2u);
+  EXPECT_DOUBLE_EQ(dp.earliest_expiry(), 1.5);
+  EXPECT_DOUBLE_EQ(dp.total_reward(), 3.0);
+}
+
+TEST(DeliveryPointTest, EmptyHasInfiniteExpiry) {
+  DeliveryPoint dp(Point{0, 0}, {});
+  EXPECT_TRUE(std::isinf(dp.earliest_expiry()));
+  EXPECT_DOUBLE_EQ(dp.total_reward(), 0.0);
+}
+
+TEST(DeliveryPointTest, AddTaskUpdatesAggregates) {
+  DeliveryPoint dp(Point{0, 0}, {SpatialTask{0, 3.0, 1.0}});
+  dp.AddTask(SpatialTask{0, 2.0, 0.5});
+  EXPECT_DOUBLE_EQ(dp.earliest_expiry(), 2.0);
+  EXPECT_DOUBLE_EQ(dp.total_reward(), 1.5);
+  EXPECT_EQ(dp.task_count(), 2u);
+}
+
+// -------------------------------------------------------------- Instance --
+
+TEST(InstanceTest, Counts) {
+  const Instance inst = Figure1Style();
+  EXPECT_EQ(inst.num_delivery_points(), 5u);
+  EXPECT_EQ(inst.num_workers(), 2u);
+  EXPECT_EQ(inst.num_tasks(), 20u);
+  EXPECT_DOUBLE_EQ(inst.total_reward(), 20.0);
+}
+
+TEST(InstanceTest, WorkerToCenterTime) {
+  const Instance inst = Figure1Style();
+  EXPECT_DOUBLE_EQ(inst.WorkerToCenterTime(0), 1.0);  // (1,2) -> (2,2)
+  EXPECT_DOUBLE_EQ(inst.WorkerToCenterTime(1), std::sqrt(2.0));
+}
+
+TEST(InstanceTest, ValidateAcceptsGoodInstance) {
+  EXPECT_TRUE(Figure1Style().Validate().ok());
+}
+
+TEST(InstanceTest, ValidateRejectsWrongDestination) {
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{1, 1},
+                   std::vector<SpatialTask>{SpatialTask{1, 2.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {});
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceTest, ValidateRejectsNonPositiveExpiry) {
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{1, 1},
+                   std::vector<SpatialTask>{SpatialTask{0, 0.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {});
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceTest, ValidateRejectsNegativeReward) {
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{1, 1},
+                   std::vector<SpatialTask>{SpatialTask{0, 2.0, -1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {});
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(InstanceTest, ValidateRejectsZeroMaxDp) {
+  Instance inst(Point{0, 0}, {}, {Worker{{1, 1}, 0}});
+  EXPECT_FALSE(inst.Validate().ok());
+}
+
+TEST(MultiCenterInstanceTest, AggregatesAcrossCenters) {
+  MultiCenterInstance multi;
+  multi.centers.push_back(Figure1Style());
+  multi.centers.push_back(Figure1Style());
+  EXPECT_EQ(multi.num_workers(), 4u);
+  EXPECT_EQ(multi.num_tasks(), 40u);
+  EXPECT_EQ(multi.num_delivery_points(), 10u);
+}
+
+// ----------------------------------------------------------------- Route --
+
+TEST(RouteTest, EmptyRouteIsNullStrategy) {
+  const Instance inst = Figure1Style();
+  const RouteEvaluation eval = EvaluateRoute(inst, 0, {});
+  EXPECT_TRUE(eval.feasible);
+  EXPECT_DOUBLE_EQ(eval.payoff, 0.0);
+  EXPECT_DOUBLE_EQ(eval.total_reward, 0.0);
+  EXPECT_DOUBLE_EQ(eval.total_time, 0.0);
+}
+
+TEST(RouteTest, SingleHopArrivalAndPayoff) {
+  const Instance inst = Figure1Style();
+  // Worker 0 at (1,2): 1.0 to center (2,2), then sqrt(2) to dp0 (3,3).
+  const RouteEvaluation eval = EvaluateRoute(inst, 0, {0});
+  const double expected_time = 1.0 + std::sqrt(2.0);
+  ASSERT_EQ(eval.arrivals.size(), 1u);
+  EXPECT_NEAR(eval.arrivals[0], expected_time, 1e-12);
+  EXPECT_NEAR(eval.total_time, expected_time, 1e-12);
+  EXPECT_DOUBLE_EQ(eval.total_reward, 6.0);
+  EXPECT_NEAR(eval.payoff, 6.0 / expected_time, 1e-12);
+  EXPECT_TRUE(eval.feasible);
+}
+
+TEST(RouteTest, MultiHopAccumulatesArrivals) {
+  const Instance inst = Figure1Style();
+  const RouteEvaluation eval = EvaluateRoute(inst, 0, {0, 1, 2});
+  ASSERT_EQ(eval.arrivals.size(), 3u);
+  const double leg1 = 1.0 + std::sqrt(2.0);
+  const double leg2 = Distance({3, 3}, {4, 3.5});
+  const double leg3 = Distance({4, 3.5}, {4.5, 2.5});
+  EXPECT_NEAR(eval.arrivals[2], leg1 + leg2 + leg3, 1e-12);
+  EXPECT_DOUBLE_EQ(eval.total_reward, 13.0);
+  EXPECT_NEAR(eval.payoff, 13.0 / (leg1 + leg2 + leg3), 1e-12);
+}
+
+TEST(RouteTest, DeadlineViolationDetected) {
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{10, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 5.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {Worker{{0, 0}, 3}},
+                TravelModel(1.0));
+  const RouteEvaluation eval = EvaluateRoute(inst, 0, {0});
+  EXPECT_FALSE(eval.feasible);  // arrives at t=10 > expiry 5
+  EXPECT_LT(eval.slack, 0.0);
+}
+
+TEST(RouteTest, SlackMeasuresStartDelayTolerance) {
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{3, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 5.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {}, TravelModel(1.0));
+  const RouteEvaluation eval = EvaluateRouteFromCenter(inst, {0}, 0.0);
+  EXPECT_TRUE(eval.feasible);
+  EXPECT_NEAR(eval.slack, 2.0, 1e-12);  // arrives at 3, expires at 5
+  // Starting exactly `slack` late is still feasible; any later is not.
+  EXPECT_TRUE(EvaluateRouteFromCenter(inst, {0}, 2.0).feasible);
+  EXPECT_FALSE(EvaluateRouteFromCenter(inst, {0}, 2.1).feasible);
+}
+
+TEST(RouteTest, ValidRouteShape) {
+  const Instance inst = Figure1Style();
+  EXPECT_TRUE(IsValidRouteShape(inst, {}));
+  EXPECT_TRUE(IsValidRouteShape(inst, {0, 2, 4}));
+  EXPECT_FALSE(IsValidRouteShape(inst, {0, 0}));  // duplicate
+  EXPECT_FALSE(IsValidRouteShape(inst, {5}));     // out of range
+}
+
+// ------------------------------------------------------------ Assignment --
+
+TEST(AssignmentTest, PayoffsAndMetrics) {
+  const Instance inst = Figure1Style();
+  Assignment a(2);
+  a.SetRoute(0, {0, 1});
+  a.SetRoute(1, {2});
+  const std::vector<double> payoffs = a.Payoffs(inst);
+  ASSERT_EQ(payoffs.size(), 2u);
+  EXPECT_GT(payoffs[0], 0.0);
+  EXPECT_GT(payoffs[1], 0.0);
+  EXPECT_NEAR(a.PayoffDifference(inst), std::fabs(payoffs[0] - payoffs[1]),
+              1e-12);
+  EXPECT_NEAR(a.AveragePayoff(inst), (payoffs[0] + payoffs[1]) / 2, 1e-12);
+  EXPECT_NEAR(a.TotalPayoff(inst), payoffs[0] + payoffs[1], 1e-12);
+  EXPECT_EQ(a.num_assigned_workers(), 2u);
+  EXPECT_EQ(a.num_covered_delivery_points(), 3u);
+  EXPECT_EQ(a.num_covered_tasks(inst), 6u + 3u + 4u);
+}
+
+TEST(AssignmentTest, NullWorkersHaveZeroPayoff) {
+  const Instance inst = Figure1Style();
+  Assignment a(2);
+  a.SetRoute(0, {0});
+  const std::vector<double> payoffs = a.Payoffs(inst);
+  EXPECT_GT(payoffs[0], 0.0);
+  EXPECT_DOUBLE_EQ(payoffs[1], 0.0);
+  EXPECT_EQ(a.num_assigned_workers(), 1u);
+}
+
+TEST(AssignmentTest, ValidateAcceptsDisjointFeasible) {
+  const Instance inst = Figure1Style();
+  Assignment a(2);
+  a.SetRoute(0, {0, 1});
+  a.SetRoute(1, {3, 4});
+  EXPECT_TRUE(a.Validate(inst).ok());
+}
+
+TEST(AssignmentTest, ValidateRejectsOverlap) {
+  const Instance inst = Figure1Style();
+  Assignment a(2);
+  a.SetRoute(0, {0, 1});
+  a.SetRoute(1, {1});
+  EXPECT_FALSE(a.Validate(inst).ok());
+}
+
+TEST(AssignmentTest, ValidateRejectsMaxDpViolation) {
+  const Instance inst = Figure1Style();
+  Assignment a(2);
+  a.SetRoute(0, {0, 1, 2, 3});  // maxDP is 3
+  EXPECT_FALSE(a.Validate(inst).ok());
+}
+
+TEST(AssignmentTest, ValidateRejectsWorkerCountMismatch) {
+  const Instance inst = Figure1Style();
+  Assignment a(3);
+  EXPECT_FALSE(a.Validate(inst).ok());
+}
+
+TEST(AssignmentTest, ValidateRejectsDeadlineMiss) {
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{10, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 5.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {Worker{{0, 0}, 3}},
+                TravelModel(1.0));
+  Assignment a(1);
+  a.SetRoute(0, {0});
+  EXPECT_FALSE(a.Validate(inst).ok());
+}
+
+TEST(AssignmentTest, ToStringMentionsAssignedWorkers) {
+  const Instance inst = Figure1Style();
+  Assignment a(2);
+  a.SetRoute(0, {0});
+  const std::string s = a.ToString(inst);
+  EXPECT_NE(s.find("w0"), std::string::npos);
+  EXPECT_EQ(s.find("w1"), std::string::npos);
+}
+
+/// The paper's motivating comparison (Section I): a fairness-aware split
+/// has a much smaller payoff difference than a greedy assignment where one
+/// worker grabs everything. Symmetric two-point geometry makes the fair
+/// split perfectly equal.
+TEST(AssignmentTest, FairSplitBeatsGreedyOnFairness) {
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{1, 0},
+                   std::vector<SpatialTask>(4, SpatialTask{0, 10.0, 1.0}));
+  dps.emplace_back(Point{-1, 0},
+                   std::vector<SpatialTask>(4, SpatialTask{1, 10.0, 1.0}));
+  std::vector<Worker> workers{{{0, 0}, 2}, {{0, 0}, 2}};
+  Instance inst(Point{0, 0}, std::move(dps), std::move(workers),
+                TravelModel(1.0));
+  Assignment greedy(2);  // w0 grabs both delivery points
+  greedy.SetRoute(0, {0, 1});
+  Assignment fair(2);  // one each: identical payoffs
+  fair.SetRoute(0, {0});
+  fair.SetRoute(1, {1});
+  EXPECT_DOUBLE_EQ(fair.PayoffDifference(inst), 0.0);
+  EXPECT_GT(greedy.PayoffDifference(inst), 0.0);
+  EXPECT_LT(fair.PayoffDifference(inst), greedy.PayoffDifference(inst));
+  // And the fair split even has the better average payoff here (no long
+  // cross-town leg).
+  EXPECT_GT(fair.AveragePayoff(inst), greedy.AveragePayoff(inst));
+}
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,241 @@
+#include "game/priority.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "game/fgt.h"
+#include "game/iegt.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+namespace {
+
+Instance RandomInstance(uint64_t seed, size_t num_dps, size_t num_workers,
+                        double area = 10.0) {
+  Rng rng(seed);
+  std::vector<DeliveryPoint> dps;
+  for (uint32_t d = 0; d < num_dps; ++d) {
+    std::vector<SpatialTask> tasks;
+    const size_t n = 1 + rng.Index(4);
+    for (size_t t = 0; t < n; ++t) {
+      tasks.push_back(SpatialTask{d, rng.Uniform(1.0, 4.0), 1.0});
+    }
+    dps.emplace_back(Point{rng.Uniform(0, area), rng.Uniform(0, area)},
+                     std::move(tasks));
+  }
+  std::vector<Worker> workers;
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers.push_back(
+        Worker{{rng.Uniform(0, area), rng.Uniform(0, area)}, 3});
+  }
+  return Instance(Point{area / 2, area / 2}, std::move(dps),
+                  std::move(workers), TravelModel(5.0));
+}
+
+TEST(PriorityValidationTest, AcceptsPositiveWeights) {
+  EXPECT_TRUE(ValidPriorities({1.0, 2.5, 0.1}, 3));
+}
+
+TEST(PriorityValidationTest, RejectsBadWeights) {
+  EXPECT_FALSE(ValidPriorities({1.0, 2.0}, 3));       // wrong count
+  EXPECT_FALSE(ValidPriorities({1.0, 0.0, 1.0}, 3));  // zero
+  EXPECT_FALSE(ValidPriorities({1.0, -1.0, 1.0}, 3)); // negative
+  EXPECT_FALSE(ValidPriorities({1.0, kInfinity, 1.0}, 3));
+}
+
+TEST(PriorityPayoffDifferenceTest, AllOnesReducesToPdif) {
+  const std::vector<double> payoffs{1.0, 3.0, 2.0};
+  EXPECT_NEAR(PriorityPayoffDifference(payoffs, {1.0, 1.0, 1.0}),
+              MeanAbsolutePairwiseDifference(payoffs), 1e-12);
+}
+
+TEST(PriorityPayoffDifferenceTest, ProportionalPayoffsArePerfectlyFair) {
+  // Payoffs exactly proportional to priorities -> zero weighted P_dif.
+  const std::vector<double> priorities{1.0, 2.0, 4.0};
+  const std::vector<double> payoffs{3.0, 6.0, 12.0};
+  EXPECT_NEAR(PriorityPayoffDifference(payoffs, priorities), 0.0, 1e-12);
+}
+
+TEST(PriorityPayoffDifferenceTest, EqualPayoffsUnfairUnderSkewedPriorities) {
+  const std::vector<double> priorities{1.0, 4.0};
+  const std::vector<double> payoffs{2.0, 2.0};
+  EXPECT_GT(PriorityPayoffDifference(payoffs, priorities), 0.0);
+}
+
+TEST(PriorityIauTest, UnitPriorityReducesToIau) {
+  const std::vector<double> others{1.0, 4.0};
+  const std::vector<double> unit{1.0, 1.0};
+  const IauParams params{0.5, 0.5};
+  EXPECT_NEAR(PriorityIau(2.0, 1.0, others, unit, params),
+              Iau(2.0, others, params), 1e-12);
+}
+
+TEST(PriorityIauTest, HighPriorityWorkerToleratesHigherPayoff) {
+  // A worker earning 4 among others earning 2: under equal priorities the
+  // LP penalty bites; if the worker's priority is 2 the outcome is exactly
+  // proportional and the penalty vanishes.
+  const std::vector<double> others{2.0, 2.0};
+  const std::vector<double> other_prios{1.0, 1.0};
+  const IauParams params{0.5, 0.5};
+  const double equal_prio = PriorityIau(4.0, 1.0, others, other_prios, params);
+  const double high_prio = PriorityIau(4.0, 2.0, others, other_prios, params);
+  EXPECT_LT(equal_prio, 4.0);                // penalized
+  EXPECT_NEAR(high_prio, 4.0, 1e-12);        // 4/2 == 2 == others: no penalty
+}
+
+class PriorityFgtTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PriorityFgtTest, AllOnesMatchesPlainFgt) {
+  const Instance inst = RandomInstance(GetParam(), 10, 5);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  FgtConfig plain;
+  plain.seed = GetParam() + 1;
+  PriorityFgtConfig prio;
+  prio.priorities.assign(inst.num_workers(), 1.0);
+  prio.seed = GetParam() + 1;
+  const GameResult a = SolveFgt(inst, catalog, plain);
+  const GameResult b = SolvePriorityFgt(inst, catalog, prio);
+  EXPECT_EQ(a.assignment.routes(), b.assignment.routes());
+}
+
+TEST_P(PriorityFgtTest, ConvergesToValidAssignment) {
+  const Instance inst = RandomInstance(GetParam() + 20, 10, 5);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  Rng rng(GetParam());
+  PriorityFgtConfig config;
+  for (size_t w = 0; w < inst.num_workers(); ++w) {
+    config.priorities.push_back(rng.Uniform(0.5, 3.0));
+  }
+  const GameResult result = SolvePriorityFgt(inst, catalog, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.assignment.Validate(inst).ok());
+}
+
+/// Reproduction finding: for beta < 1 the IAU is strictly increasing in
+/// the worker's own payoff, so a per-worker monotone rescaling (priority)
+/// cannot change any best response — priority-FGT *provably* coincides
+/// with plain FGT under the paper's alpha = beta = 0.5. This test pins the
+/// finding down (a) analytically on the Iau function and (b) end to end.
+TEST_P(PriorityFgtTest, CoincidesWithPlainFgtForBetaBelowOne) {
+  // (a) Monotonicity of IAU in own payoff for beta < 1.
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> others(1 + rng.Index(10));
+    for (double& p : others) p = rng.Uniform(0, 5);
+    const IauParams params{rng.Uniform(0, 2.0), rng.Uniform(0, 0.99)};
+    const double lo = rng.Uniform(0, 5);
+    const double hi = lo + rng.Uniform(0.01, 2.0);
+    EXPECT_LT(Iau(lo, others, params), Iau(hi, others, params));
+  }
+  // (b) End to end with skewed priorities.
+  const Instance inst = RandomInstance(GetParam() * 100 + 9, 12, 6);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  PriorityFgtConfig config;
+  for (size_t w = 0; w < inst.num_workers(); ++w) {
+    config.priorities.push_back(w % 2 == 0 ? 1.0 : 3.0);
+  }
+  config.seed = GetParam();
+  FgtConfig plain;
+  plain.seed = GetParam();
+  EXPECT_EQ(SolvePriorityFgt(inst, catalog, config).assignment.routes(),
+            SolveFgt(inst, catalog, plain).assignment.routes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PriorityFgtTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// --------------------------------------------------------- Priority IEGT --
+
+class PriorityIegtTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PriorityIegtTest, AllOnesMatchesPlainIegt) {
+  const Instance inst = RandomInstance(GetParam() + 70, 10, 5);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  IegtConfig plain;
+  plain.seed = GetParam() + 2;
+  PriorityIegtConfig prio;
+  prio.priorities.assign(inst.num_workers(), 1.0);
+  prio.seed = GetParam() + 2;
+  EXPECT_EQ(SolveIegt(inst, catalog, plain).assignment.routes(),
+            SolvePriorityIegt(inst, catalog, prio).assignment.routes());
+}
+
+TEST_P(PriorityIegtTest, ConvergesToValidAssignment) {
+  const Instance inst = RandomInstance(GetParam() + 80, 12, 6);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  PriorityIegtConfig config;
+  Rng rng(GetParam());
+  for (size_t w = 0; w < inst.num_workers(); ++w) {
+    config.priorities.push_back(rng.Uniform(0.5, 3.0));
+  }
+  config.seed = GetParam();
+  const GameResult result = SolvePriorityIegt(inst, catalog, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.assignment.Validate(inst).ok());
+}
+
+TEST_P(PriorityIegtTest, ReducesWeightedUnfairnessVsPlainIegt) {
+  // Skewed priorities: the priority-aware evolution should produce a lower
+  // priority-weighted P_dif than priority-blind IEGT, summed over seeds
+  // (individual seeds may tie).
+  double weighted_prio = 0.0, weighted_plain = 0.0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = RandomInstance(GetParam() * 131 + seed, 14, 7);
+    const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+    std::vector<double> priorities;
+    for (size_t w = 0; w < inst.num_workers(); ++w) {
+      priorities.push_back(w % 2 == 0 ? 1.0 : 3.0);
+    }
+    PriorityIegtConfig config;
+    config.priorities = priorities;
+    config.seed = seed;
+    const GameResult prio = SolvePriorityIegt(inst, catalog, config);
+    IegtConfig plain;
+    plain.seed = seed;
+    const GameResult base = SolveIegt(inst, catalog, plain);
+    weighted_prio += PriorityPayoffDifference(
+        prio.assignment.Payoffs(inst), priorities);
+    weighted_plain += PriorityPayoffDifference(
+        base.assignment.Payoffs(inst), priorities);
+  }
+  EXPECT_LE(weighted_prio, weighted_plain + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PriorityIegtTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(PriorityFgtTest, TraceReportsWeightedPdif) {
+  const Instance inst = RandomInstance(55, 8, 4);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  PriorityFgtConfig config;
+  config.priorities = {1.0, 2.0, 1.0, 2.0};
+  config.record_trace = true;
+  const GameResult result = SolvePriorityFgt(inst, catalog, config);
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_NEAR(result.trace.back().payoff_difference,
+              PriorityPayoffDifference(result.assignment.Payoffs(inst),
+                                       config.priorities),
+              1e-9);
+}
+
+TEST(PriorityFgtTest, PotentialMonotoneInNormalizedSpace) {
+  const Instance inst = RandomInstance(56, 10, 5);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  PriorityFgtConfig config;
+  Rng rng(3);
+  for (size_t w = 0; w < inst.num_workers(); ++w) {
+    config.priorities.push_back(rng.Uniform(0.5, 2.0));
+  }
+  config.record_trace = true;
+  const GameResult result = SolvePriorityFgt(inst, catalog, config);
+  for (size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_GE(result.trace[i].potential,
+              result.trace[i - 1].potential - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,213 @@
+// Cross-module property tests: randomized invariants that tie the pieces
+// together (metric identities, scale/translation laws, global optimality
+// sanity, index equivalences).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/exhaustive.h"
+#include "baseline/gta.h"
+#include "baseline/mpta.h"
+#include "game/fgt.h"
+#include "game/iau.h"
+#include "game/iegt.h"
+#include "geo/distance_matrix.h"
+#include "geo/grid_index.h"
+#include "geo/kdtree.h"
+#include "model/builder.h"
+#include "model/route.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+namespace {
+
+Instance RandomInstance(uint64_t seed, size_t num_dps, size_t num_workers,
+                        double speed = 5.0) {
+  Rng rng(seed);
+  InstanceBuilder builder(Point{4, 4});
+  builder.Speed(speed);
+  for (size_t d = 0; d < num_dps; ++d) {
+    builder.DeliveryPoint({rng.Uniform(0, 8), rng.Uniform(0, 8)},
+                          1 + rng.Index(4), rng.Uniform(1.0, 4.0));
+  }
+  for (size_t w = 0; w < num_workers; ++w) {
+    builder.Worker({rng.Uniform(0, 8), rng.Uniform(0, 8)});
+  }
+  return builder.Build();
+}
+
+class PropertySeeds : public ::testing::TestWithParam<uint64_t> {};
+
+/// Arrival times are equivariant under start offsets: starting o later
+/// shifts every arrival by exactly o.
+TEST_P(PropertySeeds, RouteOffsetShiftEquivariance) {
+  Rng rng(GetParam());
+  const Instance inst = RandomInstance(GetParam(), 8, 0);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random route over distinct delivery points.
+    std::vector<uint32_t> ids(inst.num_delivery_points());
+    for (uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
+    rng.Shuffle(ids);
+    const Route route(ids.begin(),
+                      ids.begin() + 1 + static_cast<ptrdiff_t>(rng.Index(4)));
+    const double offset = rng.Uniform(0.0, 2.0);
+    const RouteEvaluation base = EvaluateRouteFromCenter(inst, route, 0.0);
+    const RouteEvaluation shifted =
+        EvaluateRouteFromCenter(inst, route, offset);
+    ASSERT_EQ(base.arrivals.size(), shifted.arrivals.size());
+    for (size_t i = 0; i < base.arrivals.size(); ++i) {
+      EXPECT_NEAR(shifted.arrivals[i], base.arrivals[i] + offset, 1e-9);
+    }
+    EXPECT_NEAR(shifted.slack, base.slack - offset, 1e-9);
+  }
+}
+
+/// Doubling the speed halves travel times and doubles payoffs.
+TEST_P(PropertySeeds, PayoffScalesWithSpeed) {
+  const Instance slow = RandomInstance(GetParam(), 8, 3, 5.0);
+  const Instance fast = RandomInstance(GetParam(), 8, 3, 10.0);
+  const Route route{0, 3, 5};
+  const RouteEvaluation a = EvaluateRoute(slow, 0, route);
+  const RouteEvaluation b = EvaluateRoute(fast, 0, route);
+  EXPECT_NEAR(b.total_time, a.total_time / 2.0, 1e-9);
+  EXPECT_NEAR(b.payoff, a.payoff * 2.0, 1e-9);
+}
+
+/// P_dif is translation-invariant and positively homogeneous; Gini and
+/// Jain are scale-invariant.
+TEST_P(PropertySeeds, FairnessMetricLaws) {
+  Rng rng(GetParam() * 7 + 1);
+  std::vector<double> v(3 + rng.Index(20));
+  for (double& x : v) x = rng.Uniform(0.1, 10.0);
+  std::vector<double> shifted = v, scaled = v;
+  const double c = rng.Uniform(0.5, 5.0);
+  for (double& x : shifted) x += c;
+  for (double& x : scaled) x *= c;
+  EXPECT_NEAR(MeanAbsolutePairwiseDifference(shifted),
+              MeanAbsolutePairwiseDifference(v), 1e-9);
+  EXPECT_NEAR(MeanAbsolutePairwiseDifference(scaled),
+              c * MeanAbsolutePairwiseDifference(v), 1e-9);
+  EXPECT_NEAR(Gini(scaled), Gini(v), 1e-9);
+  EXPECT_NEAR(JainFairnessIndex(scaled), JainFairnessIndex(v), 1e-9);
+  EXPECT_NEAR(MinMaxRatio(scaled), MinMaxRatio(v), 1e-9);
+}
+
+/// IAU is translation-equivariant: shifting everyone's payoff by c shifts
+/// every utility by exactly c (inequity terms depend on differences only).
+TEST_P(PropertySeeds, IauTranslationEquivariance) {
+  Rng rng(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> others(1 + rng.Index(10));
+    for (double& p : others) p = rng.Uniform(0, 5);
+    const double own = rng.Uniform(0, 5);
+    const double c = rng.Uniform(-2, 2);
+    const IauParams params{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    std::vector<double> shifted = others;
+    for (double& p : shifted) p += c;
+    EXPECT_NEAR(Iau(own + c, shifted, params), Iau(own, others, params) + c,
+                1e-9);
+  }
+}
+
+/// Global sanity: no algorithm beats the exhaustive fairest P_dif, and
+/// none beats the exhaustive max-total total payoff (tiny instances).
+TEST_P(PropertySeeds, ExhaustiveBoundsEveryAlgorithm) {
+  const Instance inst = RandomInstance(GetParam() + 60, 5, 3);
+  VdpsConfig vdps;
+  vdps.max_set_size = 2;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, vdps);
+  const ExhaustiveResult truth = SolveExhaustive(inst, catalog);
+  ASSERT_TRUE(truth.complete);
+
+  std::vector<Assignment> outcomes;
+  outcomes.push_back(SolveGta(inst, catalog));
+  outcomes.push_back(SolveMpta(inst, catalog).assignment);
+  outcomes.push_back(SolveFgt(inst, catalog).assignment);
+  outcomes.push_back(SolveIegt(inst, catalog).assignment);
+  for (const Assignment& a : outcomes) {
+    EXPECT_GE(a.PayoffDifference(inst), truth.fairest_pdif - 1e-9);
+    EXPECT_LE(a.TotalPayoff(inst), truth.max_total_payoff + 1e-9);
+  }
+}
+
+/// Collected reward equals the summed reward of covered delivery points.
+TEST_P(PropertySeeds, RewardConservation) {
+  const Instance inst = RandomInstance(GetParam() + 70, 10, 4);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  const Assignment a = SolveGta(inst, catalog);
+  double covered_reward = 0.0;
+  for (size_t w = 0; w < a.num_workers(); ++w) {
+    for (uint32_t dp : a.route(w)) {
+      covered_reward += inst.delivery_point(dp).total_reward();
+    }
+  }
+  double earned = 0.0;
+  for (size_t w = 0; w < a.num_workers(); ++w) {
+    if (!a.route(w).empty()) {
+      earned += EvaluateRoute(inst, w, a.route(w)).total_reward;
+    }
+  }
+  EXPECT_NEAR(covered_reward, earned, 1e-9);
+}
+
+/// Grid index and k-d tree agree on radius queries.
+TEST_P(PropertySeeds, GridAndKdTreeAgree) {
+  Rng rng(GetParam() * 29 + 11);
+  std::vector<Point> pts(200);
+  for (Point& p : pts) p = {rng.Uniform(0, 50), rng.Uniform(0, 50)};
+  const GridIndex grid(pts, 4.0);
+  const KdTree tree(pts);
+  for (int q = 0; q < 25; ++q) {
+    const Point c{rng.Uniform(0, 50), rng.Uniform(0, 50)};
+    const double r = rng.Uniform(0, 12);
+    EXPECT_EQ(grid.RadiusQuery(c, r), tree.RadiusQuery(c, r));
+  }
+}
+
+/// Stricter VDPS configs (smaller ε, smaller set cap) can only shrink each
+/// worker's strategy set.
+TEST_P(PropertySeeds, StrategySetsMonotoneInConfig) {
+  const Instance inst = RandomInstance(GetParam() + 80, 10, 4);
+  VdpsConfig loose;
+  loose.epsilon = 6.0;
+  loose.max_set_size = 3;
+  VdpsConfig tight = loose;
+  tight.epsilon = 2.0;
+  VdpsConfig tighter = tight;
+  tighter.max_set_size = 2;
+  const VdpsCatalog a = VdpsCatalog::Generate(inst, loose);
+  const VdpsCatalog b = VdpsCatalog::Generate(inst, tight);
+  const VdpsCatalog c = VdpsCatalog::Generate(inst, tighter);
+  for (size_t w = 0; w < inst.num_workers(); ++w) {
+    EXPECT_GE(a.strategies(w).size(), b.strategies(w).size());
+    EXPECT_GE(b.strategies(w).size(), c.strategies(w).size());
+  }
+}
+
+/// Distance matrices are symmetric with zero diagonal and obey the
+/// triangle inequality (Euclidean travel times).
+TEST_P(PropertySeeds, DistanceMatrixMetricAxioms) {
+  const Instance inst = RandomInstance(GetParam() + 90, 12, 0);
+  const DistanceMatrix dm(inst.center(), inst.DeliveryPointLocations(),
+                          inst.travel());
+  const size_t n = dm.size();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(dm.Between(i, i), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(dm.Between(i, j), dm.Between(j, i));
+      for (size_t k = 0; k < n; ++k) {
+        EXPECT_LE(dm.Between(i, j),
+                  dm.Between(i, k) + dm.Between(k, j) + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,137 @@
+#include "model/route_opt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "vdps/generators.h"
+
+namespace fta {
+namespace {
+
+Instance LineInstance(double expiry = 100.0) {
+  // Delivery points along a line at x = 1, 2, 3, 4; center at origin.
+  std::vector<DeliveryPoint> dps;
+  for (uint32_t d = 0; d < 4; ++d) {
+    dps.emplace_back(
+        Point{static_cast<double>(d + 1), 0.0},
+        std::vector<SpatialTask>{SpatialTask{d, expiry, 1.0}});
+  }
+  return Instance(Point{0, 0}, std::move(dps), {}, TravelModel(1.0));
+}
+
+Instance RandomInstance(uint64_t seed, size_t num_dps, double expiry_lo,
+                        double expiry_hi) {
+  Rng rng(seed);
+  std::vector<DeliveryPoint> dps;
+  for (uint32_t d = 0; d < num_dps; ++d) {
+    dps.emplace_back(
+        Point{rng.Uniform(0, 6), rng.Uniform(0, 6)},
+        std::vector<SpatialTask>{
+            SpatialTask{d, rng.Uniform(expiry_lo, expiry_hi), 1.0}});
+  }
+  return Instance(Point{3, 3}, std::move(dps), {}, TravelModel(5.0));
+}
+
+TEST(RouteOptTest, EmptyAndSingletonAreFixedPoints) {
+  const Instance inst = LineInstance();
+  EXPECT_EQ(ImproveRoute(inst, {}).moves, 0);
+  const RouteOptResult r = ImproveRoute(inst, {2});
+  EXPECT_EQ(r.moves, 0);
+  EXPECT_EQ(r.route, (Route{2}));
+}
+
+TEST(RouteOptTest, UnscramblesAReversedLine) {
+  // Visiting 4, 3, 2, 1 (x = 4 first) wastes 4 + 3 = 7; the optimal order
+  // 1, 2, 3, 4 costs 4.
+  const Instance inst = LineInstance();
+  const RouteOptResult r = ImproveRoute(inst, {3, 2, 1, 0});
+  EXPECT_EQ(r.route, (Route{0, 1, 2, 3}));
+  EXPECT_NEAR(r.eval.total_time, 4.0, 1e-9);
+  EXPECT_GT(r.moves, 0);
+}
+
+TEST(RouteOptTest, NeverWorsensAndStaysFeasible) {
+  Rng rng(5);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance inst = RandomInstance(seed, 6, 2.0, 5.0);
+    // Random feasible starting route from the exact generator's entries.
+    VdpsConfig config;
+    config.max_set_size = 4;
+    const GenerationResult gen = GenerateCVdpsExact(inst, config);
+    if (gen.entries.empty()) continue;
+    const CVdpsEntry& entry = gen.entries[rng.Index(gen.entries.size())];
+    Route start = entry.options.front().route;
+    rng.Shuffle(start);
+    const RouteEvaluation before = EvaluateRouteFromCenter(inst, start, 0.0);
+    if (!before.feasible) continue;  // shuffling may break deadlines
+    const RouteOptResult r = ImproveRoute(inst, start);
+    EXPECT_TRUE(r.eval.feasible);
+    EXPECT_LE(r.eval.total_time, before.total_time + 1e-9);
+    // Same set of stops, possibly reordered.
+    Route sorted_in = start, sorted_out = r.route;
+    std::sort(sorted_in.begin(), sorted_in.end());
+    std::sort(sorted_out.begin(), sorted_out.end());
+    EXPECT_EQ(sorted_in, sorted_out);
+  }
+}
+
+TEST(RouteOptTest, AgreesWithExactDpOnSmallSets) {
+  // The DP already returns min-travel orderings; 2-opt/Or-opt from any
+  // feasible permutation of the same set must reach the same total time
+  // for sets of size <= 3 (where these moves span all permutations).
+  for (uint64_t seed = 20; seed < 26; ++seed) {
+    const Instance inst = RandomInstance(seed, 6, 3.0, 8.0);
+    VdpsConfig config;
+    config.max_set_size = 3;
+    const GenerationResult gen = GenerateCVdpsExact(inst, config);
+    for (const CVdpsEntry& entry : gen.entries) {
+      if (entry.dps.size() < 2) continue;
+      const double dp_best = entry.options.front().center_time;
+      Route start = entry.dps;  // ascending-id order, often suboptimal
+      const RouteEvaluation eval = EvaluateRouteFromCenter(inst, start, 0.0);
+      if (!eval.feasible) continue;
+      const RouteOptResult r = ImproveRoute(inst, start);
+      EXPECT_LE(r.eval.total_time, dp_best + 1e-9)
+          << "local search missed the DP optimum";
+    }
+  }
+}
+
+TEST(RouteOptTest, RespectsDeadlinesOverDistance) {
+  // dp1 sits in the opposite direction; visiting it first is shorter
+  // overall (5 < 7) but makes dp0 miss its deadline (arrive 5 > 3.5), so
+  // the optimizer must keep dp0 first despite the longer total.
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{3, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 3.5, 1.0}});
+  dps.emplace_back(Point{-1, 0},
+                   std::vector<SpatialTask>{SpatialTask{1, 100.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {}, TravelModel(1.0));
+  const RouteOptResult r = ImproveRoute(inst, {0, 1});
+  EXPECT_EQ(r.route, (Route{0, 1}));
+  EXPECT_TRUE(r.eval.feasible);
+  EXPECT_NEAR(r.eval.total_time, 7.0, 1e-9);
+}
+
+TEST(RouteOptTest, StartOffsetChangesFeasibleSet) {
+  // With a large start offset, reordering that is fine at offset 0 breaks
+  // a deadline; the optimizer must account for it.
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{1, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 3.0, 1.0}});
+  dps.emplace_back(Point{2, 0},
+                   std::vector<SpatialTask>{SpatialTask{1, 10.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {}, TravelModel(1.0));
+  const RouteOptResult near = ImproveRoute(inst, {1, 0}, 0.0);
+  EXPECT_EQ(near.route, (Route{0, 1}));  // reorder: arrive dp0 at t=1
+  // Offset 1.9: order {0,1} arrives dp0 at 2.9 <= 3: still best.
+  const RouteOptResult shifted = ImproveRoute(inst, {0, 1}, 1.9);
+  EXPECT_TRUE(shifted.eval.feasible);
+}
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,119 @@
+#include "exp/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/math_util.h"
+
+namespace fta {
+namespace {
+
+SimulationConfig SmallSim(Algorithm algorithm = Algorithm::kIegt,
+                          uint64_t seed = 5) {
+  SimulationConfig config;
+  config.num_waves = 6;
+  config.num_zones = 20;
+  config.num_workers = 8;
+  config.tasks_per_wave = 25;
+  config.algorithm = algorithm;
+  config.options.vdps.epsilon = 3.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SimulationTest, TaskConservation) {
+  const SimulationResult r = RunDispatchSimulation(SmallSim());
+  EXPECT_EQ(r.tasks_arrived,
+            r.tasks_served + r.tasks_expired + r.tasks_leftover);
+  EXPECT_GT(r.tasks_served, 0u);
+}
+
+TEST(SimulationTest, EarningsMatchServedTasks) {
+  // Unit rewards: total earnings across couriers == tasks served.
+  const SimulationResult r = RunDispatchSimulation(SmallSim());
+  const double total = std::accumulate(r.worker_earnings.begin(),
+                                       r.worker_earnings.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(r.tasks_served), 1e-9);
+}
+
+TEST(SimulationTest, WaveAccountingIsSane) {
+  const SimulationResult r = RunDispatchSimulation(SmallSim());
+  ASSERT_EQ(r.waves.size(), 6u);
+  for (const WaveStats& w : r.waves) {
+    EXPECT_LE(w.dispatched_workers, w.idle_workers);
+    EXPECT_LE(w.assigned_tasks, w.pending_tasks);
+    EXPECT_GE(w.average_payoff, 0.0);
+    EXPECT_GE(w.payoff_difference, 0.0);
+  }
+  // First wave: nobody is busy yet.
+  EXPECT_EQ(r.waves[0].idle_workers, 8u);
+  EXPECT_EQ(r.waves[0].expired_tasks, 0u);
+}
+
+TEST(SimulationTest, DeterministicGivenSeed) {
+  const SimulationResult a = RunDispatchSimulation(SmallSim());
+  const SimulationResult b = RunDispatchSimulation(SmallSim());
+  EXPECT_EQ(a.worker_earnings, b.worker_earnings);
+  EXPECT_EQ(a.tasks_served, b.tasks_served);
+}
+
+TEST(SimulationTest, DifferentSeedsDiffer) {
+  const SimulationResult a = RunDispatchSimulation(SmallSim());
+  const SimulationResult b =
+      RunDispatchSimulation(SmallSim(Algorithm::kIegt, 6));
+  EXPECT_NE(a.worker_earnings, b.worker_earnings);
+}
+
+TEST(SimulationTest, FairnessMetricsConsistent) {
+  const SimulationResult r = RunDispatchSimulation(SmallSim());
+  EXPECT_NEAR(r.earnings_payoff_difference,
+              MeanAbsolutePairwiseDifference(r.worker_earnings), 1e-9);
+  EXPECT_NEAR(r.earnings_gini, Gini(r.worker_earnings), 1e-9);
+  EXPECT_GT(r.earnings_jain, 0.0);
+  EXPECT_LE(r.earnings_jain, 1.0 + 1e-9);
+}
+
+TEST(SimulationTest, AllAlgorithmsRun) {
+  for (Algorithm a : PaperAlgorithms()) {
+    const SimulationResult r = RunDispatchSimulation(SmallSim(a));
+    EXPECT_EQ(r.tasks_arrived,
+              r.tasks_served + r.tasks_expired + r.tasks_leftover)
+        << AlgorithmName(a);
+  }
+}
+
+TEST(SimulationTest, ShortLifetimeExpiresEverything) {
+  SimulationConfig config = SmallSim();
+  config.task_lifetime = 1e-6;  // expires before the next wave
+  config.wave_interval = 1.0;
+  const SimulationResult r = RunDispatchSimulation(config);
+  // Tasks still get one dispatch chance in their arrival wave, but their
+  // deadlines (1e-6 h) are unreachable, so nothing is served.
+  EXPECT_EQ(r.tasks_served, 0u);
+  EXPECT_EQ(r.tasks_expired + r.tasks_leftover, r.tasks_arrived);
+}
+
+TEST(SimulationTest, BusyCouriersSitOutFollowingWaves) {
+  // Long routes + short intervals: after wave 0, some couriers are busy,
+  // so later waves see fewer idle workers.
+  SimulationConfig config = SmallSim();
+  config.wave_interval = 0.05;
+  const SimulationResult r = RunDispatchSimulation(config);
+  ASSERT_GE(r.waves.size(), 2u);
+  if (r.waves[0].dispatched_workers > 0) {
+    EXPECT_LT(r.waves[1].idle_workers, config.num_workers);
+  }
+}
+
+TEST(SimulationTest, ZeroTasksPerWave) {
+  SimulationConfig config = SmallSim();
+  config.tasks_per_wave = 0;
+  const SimulationResult r = RunDispatchSimulation(config);
+  EXPECT_EQ(r.tasks_arrived, 0u);
+  EXPECT_EQ(r.tasks_served, 0u);
+  for (double e : r.worker_earnings) EXPECT_DOUBLE_EQ(e, 0.0);
+}
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace fta {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad x");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad x");
+}
+
+TEST(StatusTest, OkCodeWithMessageNormalizes) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  std::vector<int> taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(12);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianMeanStddev) {
+  Rng rng(14);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng base(77);
+  Rng a = base.Fork(0);
+  Rng b = base.Fork(1);
+  EXPECT_NE(a.Next(), b.Next());
+  // Forks are stable: same (seed, stream) gives the same stream.
+  Rng a2 = Rng(77).Fork(0);
+  a2.Next();  // align with `a` having consumed one value
+  EXPECT_EQ(a.Next(), a2.Next());
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+// ------------------------------------------------------------- MathUtil --
+
+TEST(MathUtilTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}), 3.0);
+  EXPECT_TRUE(std::isinf(Min({})));
+}
+
+TEST(MathUtilTest, PairwiseDifferenceMatchesNaive) {
+  const std::vector<double> v{0.5, 2.0, 1.0, 3.25, 3.25};
+  double naive = 0.0;
+  for (double a : v) {
+    for (double b : v) naive += std::fabs(a - b);
+  }
+  naive /= static_cast<double>(v.size() * (v.size() - 1));
+  EXPECT_NEAR(MeanAbsolutePairwiseDifference(v), naive, 1e-12);
+}
+
+TEST(MathUtilTest, PairwiseDifferenceEdgeCases) {
+  EXPECT_DOUBLE_EQ(MeanAbsolutePairwiseDifference({}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsolutePairwiseDifference({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsolutePairwiseDifference({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsolutePairwiseDifference({0.0, 2.0}), 2.0);
+}
+
+TEST(MathUtilTest, PairwiseDifferenceRandomAgainstNaive) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v(2 + rng.Index(30));
+    for (double& x : v) x = rng.Uniform(0.0, 10.0);
+    double naive = 0.0;
+    for (double a : v) {
+      for (double b : v) naive += std::fabs(a - b);
+    }
+    naive /= static_cast<double>(v.size() * (v.size() - 1));
+    EXPECT_NEAR(MeanAbsolutePairwiseDifference(v), naive, 1e-9);
+  }
+}
+
+TEST(MathUtilTest, GiniBounds) {
+  EXPECT_DOUBLE_EQ(Gini({1.0, 1.0, 1.0}), 0.0);
+  // Maximal inequality approaches 1 as n grows.
+  EXPECT_GT(Gini({0.0, 0.0, 0.0, 0.0, 10.0}), 0.7);
+  EXPECT_DOUBLE_EQ(Gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(Gini({0.0, 0.0}), 0.0);
+}
+
+TEST(MathUtilTest, JainFairnessIndex) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({3.0, 3.0, 3.0}), 1.0);
+  // One worker takes everything among n=4: index = 1/4.
+  EXPECT_NEAR(JainFairnessIndex({8.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  // Monotone under equalization.
+  EXPECT_GT(JainFairnessIndex({2.0, 2.0, 3.0}),
+            JainFairnessIndex({1.0, 1.0, 5.0}));
+}
+
+TEST(MathUtilTest, MinMaxRatio) {
+  EXPECT_DOUBLE_EQ(MinMaxRatio({}), 1.0);
+  EXPECT_DOUBLE_EQ(MinMaxRatio({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(MinMaxRatio({2.0, 4.0}), 0.5);
+  EXPECT_DOUBLE_EQ(MinMaxRatio({3.0}), 1.0);
+}
+
+TEST(MathUtilTest, ApproxComparisons) {
+  EXPECT_TRUE(ApproxEq(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEq(1.0, 1.001));
+  EXPECT_TRUE(DefinitelyGreater(1.001, 1.0));
+  EXPECT_FALSE(DefinitelyGreater(1.0 + 1e-12, 1.0));
+}
+
+// ------------------------------------------------------------ StringUtil --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ParseDoubleAcceptsValid) {
+  auto v = ParseDouble(" 3.5 ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 3.5);
+  EXPECT_TRUE(ParseDouble("-1e3").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringUtilTest, ParseIntAcceptsValid) {
+  auto v = ParseInt("-42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, -42);
+}
+
+TEST(StringUtilTest, ParseIntRejectsGarbage) {
+  EXPECT_FALSE(ParseInt("4.2").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12!").ok());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace fta

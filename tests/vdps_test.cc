@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "datagen/gmission.h"
+#include "model/route.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "vdps/catalog.h"
+#include "vdps/generators.h"
+#include "vdps/pareto.h"
+
+namespace fta {
+namespace {
+
+/// Small random instance builder for property sweeps.
+Instance RandomInstance(uint64_t seed, size_t num_dps, size_t num_workers,
+                        double area = 10.0, double expiry_lo = 1.0,
+                        double expiry_hi = 4.0) {
+  Rng rng(seed);
+  std::vector<DeliveryPoint> dps;
+  for (uint32_t d = 0; d < num_dps; ++d) {
+    std::vector<SpatialTask> tasks;
+    const size_t n = 1 + rng.Index(4);
+    for (size_t t = 0; t < n; ++t) {
+      tasks.push_back(SpatialTask{d, rng.Uniform(expiry_lo, expiry_hi), 1.0});
+    }
+    dps.emplace_back(Point{rng.Uniform(0, area), rng.Uniform(0, area)},
+                     std::move(tasks));
+  }
+  std::vector<Worker> workers;
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers.push_back(
+        Worker{{rng.Uniform(0, area), rng.Uniform(0, area)}, 3});
+  }
+  return Instance(Point{area / 2, area / 2}, std::move(dps),
+                  std::move(workers), TravelModel(5.0));
+}
+
+/// Canonical form of a generation result for engine-equivalence checks:
+/// set -> (reward, best center_time, best slack).
+std::map<std::vector<uint32_t>, std::tuple<double, double, double>>
+Canonical(const GenerationResult& gen) {
+  std::map<std::vector<uint32_t>, std::tuple<double, double, double>> out;
+  for (const CVdpsEntry& e : gen.entries) {
+    double best_time = kInfinity, best_slack = -kInfinity;
+    for (const SequenceOption& o : e.options) {
+      best_time = std::min(best_time, o.center_time);
+      best_slack = std::max(best_slack, o.slack);
+    }
+    out[e.dps] = {e.total_reward, best_time, best_slack};
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Pareto --
+
+TEST(ParetoTest, KeepsNonDominated) {
+  std::vector<SequenceOption> f;
+  EXPECT_TRUE(InsertParetoOption(f, {{0}, 1.0, 1.0}, 4));
+  EXPECT_TRUE(InsertParetoOption(f, {{1}, 2.0, 3.0}, 4));  // slower, slackier
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_DOUBLE_EQ(f[0].center_time, 1.0);
+  EXPECT_DOUBLE_EQ(f[1].center_time, 2.0);
+}
+
+TEST(ParetoTest, RejectsDominated) {
+  std::vector<SequenceOption> f;
+  InsertParetoOption(f, {{0}, 1.0, 2.0}, 4);
+  EXPECT_FALSE(InsertParetoOption(f, {{1}, 1.5, 1.5}, 4));  // worse both ways
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(ParetoTest, RemovesNewlyDominated) {
+  std::vector<SequenceOption> f;
+  InsertParetoOption(f, {{0}, 2.0, 1.0}, 4);
+  EXPECT_TRUE(InsertParetoOption(f, {{1}, 1.0, 2.0}, 4));  // dominates
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f[0].center_time, 1.0);
+}
+
+TEST(ParetoTest, CapKeepsExtremes) {
+  std::vector<SequenceOption> f;
+  for (int i = 0; i < 10; ++i) {
+    InsertParetoOption(
+        f, {{static_cast<uint32_t>(i)}, 1.0 + i, 1.0 + i}, 3);
+  }
+  EXPECT_LE(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f.front().center_time, 1.0);   // fastest retained
+  EXPECT_DOUBLE_EQ(f.back().slack, 10.0);         // slackiest retained
+}
+
+// ------------------------------------------------------------ ExactDp ----
+
+TEST(ExactDpTest, SingleDeliveryPointFeasible) {
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{1, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 2.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {}, TravelModel(1.0));
+  const GenerationResult gen = GenerateCVdpsExact(inst, VdpsConfig{});
+  ASSERT_EQ(gen.entries.size(), 1u);
+  EXPECT_EQ(gen.entries[0].dps, (std::vector<uint32_t>{0}));
+  ASSERT_EQ(gen.entries[0].options.size(), 1u);
+  EXPECT_DOUBLE_EQ(gen.entries[0].options[0].center_time, 1.0);
+  EXPECT_DOUBLE_EQ(gen.entries[0].options[0].slack, 1.0);
+}
+
+TEST(ExactDpTest, InfeasibleDeliveryPointExcluded) {
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{10, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 2.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {}, TravelModel(1.0));
+  const GenerationResult gen = GenerateCVdpsExact(inst, VdpsConfig{});
+  EXPECT_TRUE(gen.entries.empty());
+}
+
+TEST(ExactDpTest, PairOrderingMatters) {
+  // dp0 expires early and must be visited first; {dp0, dp1} is a C-VDPS
+  // only via the (dp0, dp1) ordering.
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{1, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 1.2, 1.0}});
+  dps.emplace_back(Point{2, 0},
+                   std::vector<SpatialTask>{SpatialTask{1, 10.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {}, TravelModel(1.0));
+  const GenerationResult gen = GenerateCVdpsExact(inst, VdpsConfig{});
+  ASSERT_EQ(gen.entries.size(), 3u);  // {0}, {1}, {0,1}
+  const CVdpsEntry& pair = gen.entries[2];
+  ASSERT_EQ(pair.dps, (std::vector<uint32_t>{0, 1}));
+  for (const SequenceOption& o : pair.options) {
+    EXPECT_EQ(o.route, (Route{0, 1}));
+  }
+}
+
+TEST(ExactDpTest, MaxSetSizeCapsEnumeration) {
+  const Instance inst = RandomInstance(5, 8, 0, 5.0, 3.0, 6.0);
+  VdpsConfig config;
+  config.max_set_size = 2;
+  const GenerationResult gen = GenerateCVdpsExact(inst, config);
+  for (const CVdpsEntry& e : gen.entries) {
+    EXPECT_LE(e.dps.size(), 2u);
+  }
+}
+
+TEST(ExactDpTest, MinTravelSequenceRetained) {
+  // Two symmetric points: both orderings feasible; the min-travel option
+  // must equal the optimal tour time.
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{1, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 100.0, 1.0}});
+  dps.emplace_back(Point{5, 0},
+                   std::vector<SpatialTask>{SpatialTask{1, 100.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {}, TravelModel(1.0));
+  const GenerationResult gen = GenerateCVdpsExact(inst, VdpsConfig{});
+  const CVdpsEntry* pair = nullptr;
+  for (const CVdpsEntry& e : gen.entries) {
+    if (e.dps.size() == 2) pair = &e;
+  }
+  ASSERT_NE(pair, nullptr);
+  // Best: 0 -> dp0 (1) -> dp1 (4 more) = 5; the other order costs 5+4=9.
+  EXPECT_DOUBLE_EQ(pair->options.front().center_time, 5.0);
+  EXPECT_EQ(pair->options.front().route, (Route{0, 1}));
+}
+
+// ------------------------------------------- Engine equivalence property --
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineEquivalenceTest, SequencesMatchExactDp) {
+  const Instance inst = RandomInstance(GetParam(), 9, 3);
+  for (double epsilon : {kInfinity, 3.0, 1.5}) {
+    VdpsConfig config;
+    config.epsilon = epsilon;
+    config.max_set_size = 3;
+    config.max_pareto = 8;
+    const auto exact = Canonical(GenerateCVdpsExact(inst, config));
+    const auto sequences = Canonical(GenerateCVdpsSequences(inst, config));
+    ASSERT_EQ(exact.size(), sequences.size()) << "epsilon=" << epsilon;
+    for (const auto& [dps, vals] : exact) {
+      auto it = sequences.find(dps);
+      ASSERT_NE(it, sequences.end());
+      EXPECT_NEAR(std::get<0>(vals), std::get<0>(it->second), 1e-9);
+      EXPECT_NEAR(std::get<1>(vals), std::get<1>(it->second), 1e-9);
+      EXPECT_NEAR(std::get<2>(vals), std::get<2>(it->second), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------------- Pruning effects --
+
+TEST(PruningTest, SmallerEpsilonNeverAddsEntries) {
+  const Instance inst = RandomInstance(42, 10, 2);
+  size_t prev = std::numeric_limits<size_t>::max();
+  for (double epsilon : {kInfinity, 4.0, 2.0, 1.0, 0.5}) {
+    VdpsConfig config;
+    config.epsilon = epsilon;
+    config.max_set_size = 3;
+    const GenerationResult gen = GenerateCVdpsSequences(inst, config);
+    EXPECT_LE(gen.entries.size(), prev);
+    prev = gen.entries.size();
+  }
+}
+
+TEST(PruningTest, EpsilonPrunedIsSubsetOfUnpruned) {
+  const Instance inst = RandomInstance(43, 10, 2);
+  VdpsConfig unpruned;
+  unpruned.max_set_size = 3;
+  VdpsConfig pruned = unpruned;
+  pruned.epsilon = 2.0;
+  const auto all = Canonical(GenerateCVdpsSequences(inst, unpruned));
+  const auto sub = Canonical(GenerateCVdpsSequences(inst, pruned));
+  for (const auto& [dps, vals] : sub) {
+    auto it = all.find(dps);
+    ASSERT_NE(it, all.end());
+    // The pruned search explores a subset of orderings, so its best time
+    // cannot beat the unpruned one, and its slack cannot exceed it.
+    EXPECT_GE(std::get<1>(vals), std::get<1>(it->second) - 1e-9);
+    EXPECT_LE(std::get<2>(vals), std::get<2>(it->second) + 1e-9);
+  }
+}
+
+TEST(PruningTest, FirstHopNotPruned) {
+  // Two far-apart delivery points: with a tiny epsilon both singletons
+  // survive (center->dp is never pruned) but the pair does not.
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{5, 0},
+                   std::vector<SpatialTask>{SpatialTask{0, 100.0, 1.0}});
+  dps.emplace_back(Point{-5, 0},
+                   std::vector<SpatialTask>{SpatialTask{1, 100.0, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {}, TravelModel(1.0));
+  VdpsConfig config;
+  config.epsilon = 1.0;
+  const GenerationResult gen = GenerateCVdpsSequences(inst, config);
+  ASSERT_EQ(gen.entries.size(), 2u);
+  EXPECT_EQ(gen.entries[0].dps.size(), 1u);
+  EXPECT_EQ(gen.entries[1].dps.size(), 1u);
+}
+
+TEST(PruningTest, MaxEntriesTruncates) {
+  const Instance inst = RandomInstance(44, 12, 0, 4.0, 4.0, 8.0);
+  VdpsConfig config;
+  config.max_set_size = 3;
+  config.max_entries = 5;
+  const GenerationResult gen = GenerateCVdpsSequences(inst, config);
+  EXPECT_LE(gen.entries.size(), 5u);
+  EXPECT_TRUE(gen.truncated);
+}
+
+// ------------------------------------------------------------------ Beam --
+
+TEST(BeamTest, HugeBeamMatchesExhaustiveEnumerator) {
+  const Instance inst = RandomInstance(90, 9, 2);
+  VdpsConfig config;
+  config.epsilon = 3.0;
+  config.max_set_size = 3;
+  const auto full = Canonical(GenerateCVdpsSequences(inst, config));
+  const auto beam = Canonical(GenerateCVdpsBeam(inst, config, 1u << 20));
+  ASSERT_EQ(full.size(), beam.size());
+  for (const auto& [dps, vals] : full) {
+    auto it = beam.find(dps);
+    ASSERT_NE(it, beam.end());
+    EXPECT_NEAR(std::get<1>(vals), std::get<1>(it->second), 1e-9);
+  }
+}
+
+TEST(BeamTest, NarrowBeamIsSoundSubset) {
+  const Instance inst = RandomInstance(91, 10, 2);
+  VdpsConfig config;
+  config.max_set_size = 3;
+  const auto full = Canonical(GenerateCVdpsSequences(inst, config));
+  const GenerationResult narrow = GenerateCVdpsBeam(inst, config, 5);
+  EXPECT_LE(narrow.entries.size(), full.size());
+  EXPECT_TRUE(narrow.truncated);
+  for (const CVdpsEntry& e : narrow.entries) {
+    // Soundness: every produced entry exists in the exhaustive catalog and
+    // its sequences are genuinely feasible center-origin.
+    EXPECT_TRUE(full.count(e.dps)) << "beam invented a set";
+    for (const SequenceOption& opt : e.options) {
+      const RouteEvaluation eval =
+          EvaluateRouteFromCenter(inst, opt.route, 0.0);
+      EXPECT_TRUE(eval.feasible);
+      EXPECT_NEAR(eval.total_time, opt.center_time, 1e-9);
+    }
+  }
+}
+
+TEST(BeamTest, ScalesToLargeMaxDp) {
+  // max_set_size = 6 would explode the exhaustive enumerator on a dense
+  // instance; the beam handles it in bounded work.
+  const Instance inst = RandomInstance(92, 30, 4, 6.0, 4.0, 9.0);
+  VdpsConfig config;
+  config.max_set_size = 6;
+  const GenerationResult r = GenerateCVdpsBeam(inst, config, 200);
+  EXPECT_GT(r.entries.size(), 0u);
+  size_t longest = 0;
+  for (const CVdpsEntry& e : r.entries) {
+    longest = std::max(longest, e.dps.size());
+  }
+  EXPECT_GE(longest, 4u);  // the beam actually reaches deep levels
+}
+
+TEST(BeamTest, PlumbedThroughCatalogGenerate) {
+  const Instance inst = RandomInstance(93, 12, 3);
+  VdpsConfig config;
+  config.max_set_size = 3;
+  config.beam_width = 10;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, config);
+  EXPECT_GT(catalog.num_entries(), 0u);
+  // Strategies still verify against the instance.
+  for (size_t w = 0; w < catalog.num_workers(); ++w) {
+    for (const WorkerStrategy& st : catalog.strategies(w)) {
+      EXPECT_TRUE(EvaluateRoute(inst, w, st.route).feasible);
+    }
+  }
+}
+
+// --------------------------------------------------------------- Catalog --
+
+TEST(CatalogTest, StrategiesRespectMaxDp) {
+  Instance inst = RandomInstance(50, 8, 4);
+  VdpsConfig config;
+  config.max_set_size = 4;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, config);
+  for (size_t w = 0; w < catalog.num_workers(); ++w) {
+    for (const WorkerStrategy& st : catalog.strategies(w)) {
+      EXPECT_LE(catalog.entry(st.entry_id).dps.size(),
+                inst.worker(w).max_delivery_points);
+    }
+  }
+}
+
+TEST(CatalogTest, StrategiesSortedByPayoffDesc) {
+  const Instance inst = RandomInstance(51, 8, 4);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  for (size_t w = 0; w < catalog.num_workers(); ++w) {
+    const auto& s = catalog.strategies(w);
+    for (size_t i = 1; i < s.size(); ++i) {
+      EXPECT_GE(s[i - 1].payoff, s[i].payoff - 1e-12);
+    }
+  }
+}
+
+TEST(CatalogTest, StrategyRoutesAreFeasibleForWorker) {
+  const Instance inst = RandomInstance(52, 9, 5);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  for (size_t w = 0; w < catalog.num_workers(); ++w) {
+    for (const WorkerStrategy& st : catalog.strategies(w)) {
+      const RouteEvaluation eval = EvaluateRoute(inst, w, st.route);
+      EXPECT_TRUE(eval.feasible)
+          << "worker " << w << " route infeasible";
+      EXPECT_NEAR(eval.total_time, st.total_time, 1e-9);
+      EXPECT_NEAR(eval.payoff, st.payoff, 1e-9);
+      EXPECT_NEAR(eval.total_reward, st.total_reward, 1e-9);
+    }
+  }
+}
+
+TEST(CatalogTest, FarWorkerHasFewerStrategies) {
+  // A worker far from the center tolerates less slack, so its strategy set
+  // is a subset of a co-located worker's.
+  Rng rng(53);
+  std::vector<DeliveryPoint> dps;
+  for (uint32_t d = 0; d < 6; ++d) {
+    dps.emplace_back(Point{rng.Uniform(0, 4), rng.Uniform(0, 4)},
+                     std::vector<SpatialTask>{SpatialTask{d, 1.2, 1.0}});
+  }
+  std::vector<Worker> workers{{{2, 2}, 3}, {{40, 40}, 3}};
+  Instance inst(Point{2, 2}, std::move(dps), std::move(workers),
+                TravelModel(5.0));
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  EXPECT_GE(catalog.strategies(0).size(), catalog.strategies(1).size());
+  EXPECT_EQ(catalog.strategies(1).size(), 0u);  // 53+ km away, 1.2h expiry
+}
+
+TEST(CatalogTest, BestOptionForPicksFastestAdmissible) {
+  CVdpsEntry entry;
+  entry.options = {{{0}, 1.0, 0.5}, {{0}, 2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(entry.BestOptionFor(0.0)->center_time, 1.0);
+  EXPECT_DOUBLE_EQ(entry.BestOptionFor(1.0)->center_time, 2.0);
+  EXPECT_EQ(entry.BestOptionFor(3.0), nullptr);
+}
+
+TEST(CatalogTest, SummaryMentionsCounts) {
+  const Instance inst = RandomInstance(54, 6, 2);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  const std::string s = catalog.Summary();
+  EXPECT_NE(s.find("entries="), std::string::npos);
+  EXPECT_NE(s.find("workers=2"), std::string::npos);
+}
+
+TEST(CatalogTest, GMissionPipelineProducesStrategies) {
+  GMissionConfig config;
+  config.num_tasks = 80;
+  config.num_workers = 10;
+  GMissionPrepConfig prep;
+  prep.num_delivery_points = 20;
+  const Instance inst = GenerateGMissionLike(config, prep);
+  ASSERT_TRUE(inst.Validate().ok());
+  VdpsConfig vdps;
+  vdps.epsilon = 2.0;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, vdps);
+  EXPECT_GT(catalog.num_entries(), 0u);
+  EXPECT_GT(catalog.MaxStrategiesPerWorker(), 0u);
+}
+
+}  // namespace
+}  // namespace fta

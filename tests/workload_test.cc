@@ -1,0 +1,106 @@
+#include "datagen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/simulation.h"
+#include "util/rng.h"
+
+namespace fta {
+namespace {
+
+TEST(WorkloadTest, BaseRateAwayFromPeaks) {
+  WorkloadConfig config;
+  config.base_rate_per_hour = 100.0;
+  config.peak_hours = {5.0};
+  config.peak_sigma = 0.5;
+  // 10 sigma away: boost negligible.
+  EXPECT_NEAR(ArrivalRate(config, 0.0), 100.0, 1e-6);
+}
+
+TEST(WorkloadTest, PeakBoostsRate) {
+  WorkloadConfig config;
+  config.base_rate_per_hour = 100.0;
+  config.peak_hours = {5.0};
+  config.peak_boost = 2.0;
+  EXPECT_NEAR(ArrivalRate(config, 5.0), 300.0, 1e-6);
+  // Symmetric falloff.
+  EXPECT_NEAR(ArrivalRate(config, 4.0), ArrivalRate(config, 6.0), 1e-9);
+  EXPECT_GT(ArrivalRate(config, 5.0), ArrivalRate(config, 4.0));
+}
+
+TEST(WorkloadTest, OverlappingPeaksAdd) {
+  WorkloadConfig config;
+  config.base_rate_per_hour = 10.0;
+  config.peak_hours = {5.0, 5.0};
+  config.peak_boost = 1.0;
+  EXPECT_NEAR(ArrivalRate(config, 5.0), 30.0, 1e-6);
+}
+
+TEST(PoissonTest, ZeroLambda) {
+  Rng rng(1);
+  EXPECT_EQ(PoissonSample(0.0, rng), 0u);
+}
+
+TEST(PoissonTest, SmallLambdaMoments) {
+  Rng rng(2);
+  const double lambda = 3.5;
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(PoissonSample(lambda, rng));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.05);
+  EXPECT_NEAR(var, lambda, 0.15);  // Poisson: variance == mean
+}
+
+TEST(PoissonTest, LargeLambdaNormalApprox) {
+  Rng rng(3);
+  const double lambda = 400.0;
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(PoissonSample(lambda, rng));
+  }
+  EXPECT_NEAR(sum / n, lambda, 1.0);
+}
+
+TEST(WorkloadTest, DrawArrivalsScalesWithInterval) {
+  WorkloadConfig config;
+  config.base_rate_per_hour = 120.0;
+  config.peak_hours = {};
+  Rng rng(4);
+  double total_short = 0.0, total_long = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    total_short += static_cast<double>(DrawArrivals(config, 0.0, 0.25, rng));
+    total_long += static_cast<double>(DrawArrivals(config, 0.0, 0.5, rng));
+  }
+  EXPECT_NEAR(total_short / 2000, 30.0, 1.5);
+  EXPECT_NEAR(total_long / 2000, 60.0, 2.5);
+}
+
+TEST(WorkloadTest, SimulatorIntegration) {
+  SimulationConfig config;
+  config.num_waves = 8;
+  config.num_zones = 20;
+  config.num_workers = 8;
+  config.use_workload = true;
+  config.workload.base_rate_per_hour = 40.0;
+  config.workload.peak_hours = {2.0};
+  config.options.vdps.epsilon = 3.0;
+  config.seed = 9;
+  const SimulationResult r = RunDispatchSimulation(config);
+  EXPECT_GT(r.tasks_arrived, 0u);
+  EXPECT_EQ(r.tasks_arrived,
+            r.tasks_served + r.tasks_expired + r.tasks_leftover);
+  // The wave nearest the peak should see more pending work than the first.
+  // (Statistical, but with boost 2x over 8 waves this is robust.)
+  const SimulationResult again = RunDispatchSimulation(config);
+  EXPECT_EQ(r.tasks_arrived, again.tasks_arrived);  // deterministic
+}
+
+}  // namespace
+}  // namespace fta
