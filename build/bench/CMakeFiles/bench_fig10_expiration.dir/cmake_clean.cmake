@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_expiration.dir/bench_fig10_expiration.cc.o"
+  "CMakeFiles/bench_fig10_expiration.dir/bench_fig10_expiration.cc.o.d"
+  "bench_fig10_expiration"
+  "bench_fig10_expiration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_expiration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_maxdp.dir/bench_fig11_maxdp.cc.o"
+  "CMakeFiles/bench_fig11_maxdp.dir/bench_fig11_maxdp.cc.o.d"
+  "bench_fig11_maxdp"
+  "bench_fig11_maxdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_maxdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_delivery_points.dir/bench_fig8_9_delivery_points.cc.o"
+  "CMakeFiles/bench_fig8_9_delivery_points.dir/bench_fig8_9_delivery_points.cc.o.d"
+  "bench_fig8_9_delivery_points"
+  "bench_fig8_9_delivery_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_delivery_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

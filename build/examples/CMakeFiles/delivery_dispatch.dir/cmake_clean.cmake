@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_dispatch.dir/delivery_dispatch.cpp.o"
+  "CMakeFiles/delivery_dispatch.dir/delivery_dispatch.cpp.o.d"
+  "delivery_dispatch"
+  "delivery_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_tool.dir/fta_tool.cpp.o"
+  "CMakeFiles/fta_tool.dir/fta_tool.cpp.o.d"
+  "fta_tool"
+  "fta_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicenter_parallel.dir/multicenter_parallel.cpp.o"
+  "CMakeFiles/multicenter_parallel.dir/multicenter_parallel.cpp.o.d"
+  "multicenter_parallel"
+  "multicenter_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicenter_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

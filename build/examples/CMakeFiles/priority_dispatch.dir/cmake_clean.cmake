@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_dispatch.dir/priority_dispatch.cpp.o"
+  "CMakeFiles/priority_dispatch.dir/priority_dispatch.cpp.o.d"
+  "priority_dispatch"
+  "priority_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

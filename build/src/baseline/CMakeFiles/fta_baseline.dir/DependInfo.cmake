@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/branch_and_bound.cc" "src/baseline/CMakeFiles/fta_baseline.dir/branch_and_bound.cc.o" "gcc" "src/baseline/CMakeFiles/fta_baseline.dir/branch_and_bound.cc.o.d"
+  "/root/repo/src/baseline/exhaustive.cc" "src/baseline/CMakeFiles/fta_baseline.dir/exhaustive.cc.o" "gcc" "src/baseline/CMakeFiles/fta_baseline.dir/exhaustive.cc.o.d"
+  "/root/repo/src/baseline/gta.cc" "src/baseline/CMakeFiles/fta_baseline.dir/gta.cc.o" "gcc" "src/baseline/CMakeFiles/fta_baseline.dir/gta.cc.o.d"
+  "/root/repo/src/baseline/hungarian.cc" "src/baseline/CMakeFiles/fta_baseline.dir/hungarian.cc.o" "gcc" "src/baseline/CMakeFiles/fta_baseline.dir/hungarian.cc.o.d"
+  "/root/repo/src/baseline/mpta.cc" "src/baseline/CMakeFiles/fta_baseline.dir/mpta.cc.o" "gcc" "src/baseline/CMakeFiles/fta_baseline.dir/mpta.cc.o.d"
+  "/root/repo/src/baseline/random_assignment.cc" "src/baseline/CMakeFiles/fta_baseline.dir/random_assignment.cc.o" "gcc" "src/baseline/CMakeFiles/fta_baseline.dir/random_assignment.cc.o.d"
+  "/root/repo/src/baseline/single_task.cc" "src/baseline/CMakeFiles/fta_baseline.dir/single_task.cc.o" "gcc" "src/baseline/CMakeFiles/fta_baseline.dir/single_task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/game/CMakeFiles/fta_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/treedec/CMakeFiles/fta_treedec.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdps/CMakeFiles/fta_vdps.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fta_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/fta_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

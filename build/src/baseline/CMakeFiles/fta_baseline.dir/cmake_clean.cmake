@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_baseline.dir/branch_and_bound.cc.o"
+  "CMakeFiles/fta_baseline.dir/branch_and_bound.cc.o.d"
+  "CMakeFiles/fta_baseline.dir/exhaustive.cc.o"
+  "CMakeFiles/fta_baseline.dir/exhaustive.cc.o.d"
+  "CMakeFiles/fta_baseline.dir/gta.cc.o"
+  "CMakeFiles/fta_baseline.dir/gta.cc.o.d"
+  "CMakeFiles/fta_baseline.dir/hungarian.cc.o"
+  "CMakeFiles/fta_baseline.dir/hungarian.cc.o.d"
+  "CMakeFiles/fta_baseline.dir/mpta.cc.o"
+  "CMakeFiles/fta_baseline.dir/mpta.cc.o.d"
+  "CMakeFiles/fta_baseline.dir/random_assignment.cc.o"
+  "CMakeFiles/fta_baseline.dir/random_assignment.cc.o.d"
+  "CMakeFiles/fta_baseline.dir/single_task.cc.o"
+  "CMakeFiles/fta_baseline.dir/single_task.cc.o.d"
+  "libfta_baseline.a"
+  "libfta_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

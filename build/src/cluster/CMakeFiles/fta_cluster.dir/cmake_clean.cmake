@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_cluster.dir/dbscan.cc.o"
+  "CMakeFiles/fta_cluster.dir/dbscan.cc.o.d"
+  "CMakeFiles/fta_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/fta_cluster.dir/kmeans.cc.o.d"
+  "libfta_cluster.a"
+  "libfta_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/gmission.cc" "src/datagen/CMakeFiles/fta_datagen.dir/gmission.cc.o" "gcc" "src/datagen/CMakeFiles/fta_datagen.dir/gmission.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/fta_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/fta_datagen.dir/synthetic.cc.o.d"
+  "/root/repo/src/datagen/workload.cc" "src/datagen/CMakeFiles/fta_datagen.dir/workload.cc.o" "gcc" "src/datagen/CMakeFiles/fta_datagen.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/fta_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fta_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/fta_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

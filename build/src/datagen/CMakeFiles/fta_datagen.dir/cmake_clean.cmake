@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_datagen.dir/gmission.cc.o"
+  "CMakeFiles/fta_datagen.dir/gmission.cc.o.d"
+  "CMakeFiles/fta_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/fta_datagen.dir/synthetic.cc.o.d"
+  "CMakeFiles/fta_datagen.dir/workload.cc.o"
+  "CMakeFiles/fta_datagen.dir/workload.cc.o.d"
+  "libfta_datagen.a"
+  "libfta_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_exp.dir/report.cc.o"
+  "CMakeFiles/fta_exp.dir/report.cc.o.d"
+  "CMakeFiles/fta_exp.dir/runner.cc.o"
+  "CMakeFiles/fta_exp.dir/runner.cc.o.d"
+  "CMakeFiles/fta_exp.dir/simulation.cc.o"
+  "CMakeFiles/fta_exp.dir/simulation.cc.o.d"
+  "CMakeFiles/fta_exp.dir/stats.cc.o"
+  "CMakeFiles/fta_exp.dir/stats.cc.o.d"
+  "CMakeFiles/fta_exp.dir/sweep.cc.o"
+  "CMakeFiles/fta_exp.dir/sweep.cc.o.d"
+  "libfta_exp.a"
+  "libfta_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

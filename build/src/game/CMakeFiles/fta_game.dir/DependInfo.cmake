@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/equilibrium.cc" "src/game/CMakeFiles/fta_game.dir/equilibrium.cc.o" "gcc" "src/game/CMakeFiles/fta_game.dir/equilibrium.cc.o.d"
+  "/root/repo/src/game/fgt.cc" "src/game/CMakeFiles/fta_game.dir/fgt.cc.o" "gcc" "src/game/CMakeFiles/fta_game.dir/fgt.cc.o.d"
+  "/root/repo/src/game/iau.cc" "src/game/CMakeFiles/fta_game.dir/iau.cc.o" "gcc" "src/game/CMakeFiles/fta_game.dir/iau.cc.o.d"
+  "/root/repo/src/game/iegt.cc" "src/game/CMakeFiles/fta_game.dir/iegt.cc.o" "gcc" "src/game/CMakeFiles/fta_game.dir/iegt.cc.o.d"
+  "/root/repo/src/game/init.cc" "src/game/CMakeFiles/fta_game.dir/init.cc.o" "gcc" "src/game/CMakeFiles/fta_game.dir/init.cc.o.d"
+  "/root/repo/src/game/joint_state.cc" "src/game/CMakeFiles/fta_game.dir/joint_state.cc.o" "gcc" "src/game/CMakeFiles/fta_game.dir/joint_state.cc.o.d"
+  "/root/repo/src/game/potential.cc" "src/game/CMakeFiles/fta_game.dir/potential.cc.o" "gcc" "src/game/CMakeFiles/fta_game.dir/potential.cc.o.d"
+  "/root/repo/src/game/priority.cc" "src/game/CMakeFiles/fta_game.dir/priority.cc.o" "gcc" "src/game/CMakeFiles/fta_game.dir/priority.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vdps/CMakeFiles/fta_vdps.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fta_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/fta_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

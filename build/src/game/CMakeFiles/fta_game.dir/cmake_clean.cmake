@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_game.dir/equilibrium.cc.o"
+  "CMakeFiles/fta_game.dir/equilibrium.cc.o.d"
+  "CMakeFiles/fta_game.dir/fgt.cc.o"
+  "CMakeFiles/fta_game.dir/fgt.cc.o.d"
+  "CMakeFiles/fta_game.dir/iau.cc.o"
+  "CMakeFiles/fta_game.dir/iau.cc.o.d"
+  "CMakeFiles/fta_game.dir/iegt.cc.o"
+  "CMakeFiles/fta_game.dir/iegt.cc.o.d"
+  "CMakeFiles/fta_game.dir/init.cc.o"
+  "CMakeFiles/fta_game.dir/init.cc.o.d"
+  "CMakeFiles/fta_game.dir/joint_state.cc.o"
+  "CMakeFiles/fta_game.dir/joint_state.cc.o.d"
+  "CMakeFiles/fta_game.dir/potential.cc.o"
+  "CMakeFiles/fta_game.dir/potential.cc.o.d"
+  "CMakeFiles/fta_game.dir/priority.cc.o"
+  "CMakeFiles/fta_game.dir/priority.cc.o.d"
+  "libfta_game.a"
+  "libfta_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

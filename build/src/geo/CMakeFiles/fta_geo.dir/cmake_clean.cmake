@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_geo.dir/distance_matrix.cc.o"
+  "CMakeFiles/fta_geo.dir/distance_matrix.cc.o.d"
+  "CMakeFiles/fta_geo.dir/grid_index.cc.o"
+  "CMakeFiles/fta_geo.dir/grid_index.cc.o.d"
+  "CMakeFiles/fta_geo.dir/kdtree.cc.o"
+  "CMakeFiles/fta_geo.dir/kdtree.cc.o.d"
+  "libfta_geo.a"
+  "libfta_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/assignment_io.cc" "src/io/CMakeFiles/fta_io.dir/assignment_io.cc.o" "gcc" "src/io/CMakeFiles/fta_io.dir/assignment_io.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/fta_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/fta_io.dir/csv.cc.o.d"
+  "/root/repo/src/io/dataset_io.cc" "src/io/CMakeFiles/fta_io.dir/dataset_io.cc.o" "gcc" "src/io/CMakeFiles/fta_io.dir/dataset_io.cc.o.d"
+  "/root/repo/src/io/svg.cc" "src/io/CMakeFiles/fta_io.dir/svg.cc.o" "gcc" "src/io/CMakeFiles/fta_io.dir/svg.cc.o.d"
+  "/root/repo/src/io/trace_io.cc" "src/io/CMakeFiles/fta_io.dir/trace_io.cc.o" "gcc" "src/io/CMakeFiles/fta_io.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/fta_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fta_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fta_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/fta_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_io.dir/assignment_io.cc.o"
+  "CMakeFiles/fta_io.dir/assignment_io.cc.o.d"
+  "CMakeFiles/fta_io.dir/csv.cc.o"
+  "CMakeFiles/fta_io.dir/csv.cc.o.d"
+  "CMakeFiles/fta_io.dir/dataset_io.cc.o"
+  "CMakeFiles/fta_io.dir/dataset_io.cc.o.d"
+  "CMakeFiles/fta_io.dir/svg.cc.o"
+  "CMakeFiles/fta_io.dir/svg.cc.o.d"
+  "CMakeFiles/fta_io.dir/trace_io.cc.o"
+  "CMakeFiles/fta_io.dir/trace_io.cc.o.d"
+  "libfta_io.a"
+  "libfta_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

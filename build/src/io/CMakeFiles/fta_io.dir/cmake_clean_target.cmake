@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfta_io.a"
+)

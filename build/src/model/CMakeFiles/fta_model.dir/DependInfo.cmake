@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/assignment.cc" "src/model/CMakeFiles/fta_model.dir/assignment.cc.o" "gcc" "src/model/CMakeFiles/fta_model.dir/assignment.cc.o.d"
+  "/root/repo/src/model/builder.cc" "src/model/CMakeFiles/fta_model.dir/builder.cc.o" "gcc" "src/model/CMakeFiles/fta_model.dir/builder.cc.o.d"
+  "/root/repo/src/model/instance.cc" "src/model/CMakeFiles/fta_model.dir/instance.cc.o" "gcc" "src/model/CMakeFiles/fta_model.dir/instance.cc.o.d"
+  "/root/repo/src/model/route.cc" "src/model/CMakeFiles/fta_model.dir/route.cc.o" "gcc" "src/model/CMakeFiles/fta_model.dir/route.cc.o.d"
+  "/root/repo/src/model/route_opt.cc" "src/model/CMakeFiles/fta_model.dir/route_opt.cc.o" "gcc" "src/model/CMakeFiles/fta_model.dir/route_opt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/fta_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

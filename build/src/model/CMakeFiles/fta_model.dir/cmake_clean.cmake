@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_model.dir/assignment.cc.o"
+  "CMakeFiles/fta_model.dir/assignment.cc.o.d"
+  "CMakeFiles/fta_model.dir/builder.cc.o"
+  "CMakeFiles/fta_model.dir/builder.cc.o.d"
+  "CMakeFiles/fta_model.dir/instance.cc.o"
+  "CMakeFiles/fta_model.dir/instance.cc.o.d"
+  "CMakeFiles/fta_model.dir/route.cc.o"
+  "CMakeFiles/fta_model.dir/route.cc.o.d"
+  "CMakeFiles/fta_model.dir/route_opt.cc.o"
+  "CMakeFiles/fta_model.dir/route_opt.cc.o.d"
+  "libfta_model.a"
+  "libfta_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

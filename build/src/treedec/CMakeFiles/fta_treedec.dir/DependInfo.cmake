@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/treedec/graph.cc" "src/treedec/CMakeFiles/fta_treedec.dir/graph.cc.o" "gcc" "src/treedec/CMakeFiles/fta_treedec.dir/graph.cc.o.d"
+  "/root/repo/src/treedec/mwis.cc" "src/treedec/CMakeFiles/fta_treedec.dir/mwis.cc.o" "gcc" "src/treedec/CMakeFiles/fta_treedec.dir/mwis.cc.o.d"
+  "/root/repo/src/treedec/tree_decomposition.cc" "src/treedec/CMakeFiles/fta_treedec.dir/tree_decomposition.cc.o" "gcc" "src/treedec/CMakeFiles/fta_treedec.dir/tree_decomposition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_treedec.dir/graph.cc.o"
+  "CMakeFiles/fta_treedec.dir/graph.cc.o.d"
+  "CMakeFiles/fta_treedec.dir/mwis.cc.o"
+  "CMakeFiles/fta_treedec.dir/mwis.cc.o.d"
+  "CMakeFiles/fta_treedec.dir/tree_decomposition.cc.o"
+  "CMakeFiles/fta_treedec.dir/tree_decomposition.cc.o.d"
+  "libfta_treedec.a"
+  "libfta_treedec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_treedec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

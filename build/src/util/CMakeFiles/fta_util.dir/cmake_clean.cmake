@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_util.dir/flags.cc.o"
+  "CMakeFiles/fta_util.dir/flags.cc.o.d"
+  "CMakeFiles/fta_util.dir/logging.cc.o"
+  "CMakeFiles/fta_util.dir/logging.cc.o.d"
+  "CMakeFiles/fta_util.dir/math_util.cc.o"
+  "CMakeFiles/fta_util.dir/math_util.cc.o.d"
+  "CMakeFiles/fta_util.dir/rng.cc.o"
+  "CMakeFiles/fta_util.dir/rng.cc.o.d"
+  "CMakeFiles/fta_util.dir/status.cc.o"
+  "CMakeFiles/fta_util.dir/status.cc.o.d"
+  "CMakeFiles/fta_util.dir/string_util.cc.o"
+  "CMakeFiles/fta_util.dir/string_util.cc.o.d"
+  "CMakeFiles/fta_util.dir/thread_pool.cc.o"
+  "CMakeFiles/fta_util.dir/thread_pool.cc.o.d"
+  "libfta_util.a"
+  "libfta_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vdps/beam_enumerator.cc" "src/vdps/CMakeFiles/fta_vdps.dir/beam_enumerator.cc.o" "gcc" "src/vdps/CMakeFiles/fta_vdps.dir/beam_enumerator.cc.o.d"
+  "/root/repo/src/vdps/catalog.cc" "src/vdps/CMakeFiles/fta_vdps.dir/catalog.cc.o" "gcc" "src/vdps/CMakeFiles/fta_vdps.dir/catalog.cc.o.d"
+  "/root/repo/src/vdps/exact_dp.cc" "src/vdps/CMakeFiles/fta_vdps.dir/exact_dp.cc.o" "gcc" "src/vdps/CMakeFiles/fta_vdps.dir/exact_dp.cc.o.d"
+  "/root/repo/src/vdps/pareto.cc" "src/vdps/CMakeFiles/fta_vdps.dir/pareto.cc.o" "gcc" "src/vdps/CMakeFiles/fta_vdps.dir/pareto.cc.o.d"
+  "/root/repo/src/vdps/sequence_enumerator.cc" "src/vdps/CMakeFiles/fta_vdps.dir/sequence_enumerator.cc.o" "gcc" "src/vdps/CMakeFiles/fta_vdps.dir/sequence_enumerator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/fta_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/fta_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fta_vdps.dir/beam_enumerator.cc.o"
+  "CMakeFiles/fta_vdps.dir/beam_enumerator.cc.o.d"
+  "CMakeFiles/fta_vdps.dir/catalog.cc.o"
+  "CMakeFiles/fta_vdps.dir/catalog.cc.o.d"
+  "CMakeFiles/fta_vdps.dir/exact_dp.cc.o"
+  "CMakeFiles/fta_vdps.dir/exact_dp.cc.o.d"
+  "CMakeFiles/fta_vdps.dir/pareto.cc.o"
+  "CMakeFiles/fta_vdps.dir/pareto.cc.o.d"
+  "CMakeFiles/fta_vdps.dir/sequence_enumerator.cc.o"
+  "CMakeFiles/fta_vdps.dir/sequence_enumerator.cc.o.d"
+  "libfta_vdps.a"
+  "libfta_vdps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fta_vdps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

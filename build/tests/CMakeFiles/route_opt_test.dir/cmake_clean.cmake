@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_opt_test.dir/route_opt_test.cc.o"
+  "CMakeFiles/route_opt_test.dir/route_opt_test.cc.o.d"
+  "route_opt_test"
+  "route_opt_test.pdb"
+  "route_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

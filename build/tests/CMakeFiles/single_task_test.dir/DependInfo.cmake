@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/single_task_test.cc" "tests/CMakeFiles/single_task_test.dir/single_task_test.cc.o" "gcc" "tests/CMakeFiles/single_task_test.dir/single_task_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/fta_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fta_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/treedec/CMakeFiles/fta_treedec.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/fta_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdps/CMakeFiles/fta_vdps.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fta_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fta_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fta_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fta_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/fta_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_task_test.dir/single_task_test.cc.o"
+  "CMakeFiles/single_task_test.dir/single_task_test.cc.o.d"
+  "single_task_test"
+  "single_task_test.pdb"
+  "single_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treedec_test.dir/treedec_test.cc.o"
+  "CMakeFiles/treedec_test.dir/treedec_test.cc.o.d"
+  "treedec_test"
+  "treedec_test.pdb"
+  "treedec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treedec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdps_test.dir/vdps_test.cc.o"
+  "CMakeFiles/vdps_test.dir/vdps_test.cc.o.d"
+  "vdps_test"
+  "vdps_test.pdb"
+  "vdps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

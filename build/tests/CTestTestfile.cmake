@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/vdps_test[1]_include.cmake")
+include("/root/repo/build/tests/game_test[1]_include.cmake")
+include("/root/repo/build/tests/treedec_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/priority_test[1]_include.cmake")
+include("/root/repo/build/tests/dbscan_test[1]_include.cmake")
+include("/root/repo/build/tests/simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/hungarian_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/route_opt_test[1]_include.cmake")
+include("/root/repo/build/tests/builder_test[1]_include.cmake")
+include("/root/repo/build/tests/single_task_test[1]_include.cmake")
+include("/root/repo/build/tests/bnb_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/equilibrium_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/logging_test[1]_include.cmake")
