@@ -95,6 +95,62 @@ void BM_FgtSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_FgtSolve);
 
+// Serial-vs-parallel best-response scans on the default Table-1-scale
+// instance. Arg(n) = engine threads; items/sec = candidate strategies
+// evaluated (availability + IAU) per second, the engine's throughput
+// metric. Output is bit-identical across all arguments.
+void BM_BestResponseRoundsParallel(benchmark::State& state) {
+  const Instance inst = GmInstance();
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, PrunedVdps());
+  FgtConfig config;
+  config.engine.num_threads = static_cast<size_t>(state.range(0));
+  config.engine.use_incremental_index = false;  // isolate the fan-out
+  uint64_t candidates = 0;
+  for (auto _ : state) {
+    const GameResult result = SolveFgt(inst, catalog, config);
+    candidates += result.engine.strategies_scanned +
+                  result.engine.cache_skips;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(candidates));
+}
+BENCHMARK(BM_BestResponseRoundsParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Cold (full availability re-check every turn) vs incremental (inverted
+// index + dirty bits). Arg(0/1) = index off/on. Counter columns show the
+// per-run scan reduction; wall time shows the payoff.
+void BM_BestResponseIncrementalIndex(benchmark::State& state) {
+  const Instance inst = GmInstance();
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, PrunedVdps());
+  FgtConfig config;
+  config.engine.use_incremental_index = state.range(0) != 0;
+  config.record_trace = true;
+  uint64_t scanned = 0;
+  uint64_t skipped = 0;
+  uint64_t scanned_after_r1 = 0;  // the steady-state scan load
+  for (auto _ : state) {
+    const GameResult result = SolveFgt(inst, catalog, config);
+    scanned += result.engine.strategies_scanned;
+    skipped += result.engine.cache_skips;
+    for (const IterationStats& it : result.trace) {
+      if (it.iteration >= 2) {
+        scanned_after_r1 += it.engine.strategies_scanned;
+      }
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["scanned"] =
+      benchmark::Counter(static_cast<double>(scanned),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["scanned_r2plus"] =
+      benchmark::Counter(static_cast<double>(scanned_after_r1),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["cache_skips"] =
+      benchmark::Counter(static_cast<double>(skipped),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BestResponseIncrementalIndex)->Arg(0)->Arg(1);
+
 void BM_IegtSolve(benchmark::State& state) {
   const Instance inst = GmInstance();
   const VdpsCatalog catalog = VdpsCatalog::Generate(inst, PrunedVdps());

@@ -29,6 +29,7 @@
 #include "exp/simulation.h"
 #include "exp/stats.h"
 #include "exp/sweep.h"
+#include "game/best_response.h"
 #include "game/equilibrium.h"
 #include "game/fgt.h"
 #include "game/iau.h"

@@ -1,0 +1,196 @@
+#include "game/best_response.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+
+BestResponseEngine::BestResponseEngine(JointState& state,
+                                       const IauParams& params,
+                                       const BestResponseConfig& config)
+    : state_(&state), params_(params), config_(config) {
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  if (config_.use_incremental_index) {
+    const VdpsCatalog& catalog = state_->catalog();
+    avail_.resize(catalog.num_workers());
+    for (size_t w = 0; w < catalog.num_workers(); ++w) {
+      avail_[w].assign(catalog.strategies(w).size(), kUnknown);
+    }
+  }
+}
+
+BestResponseEngine::~BestResponseEngine() = default;
+
+bool BestResponseEngine::Available(size_t w, int32_t idx,
+                                   BestResponseCounters& counters) {
+  if (idx == kNullStrategy) return true;
+  if (avail_.empty()) {
+    ++counters.strategies_scanned;
+    return state_->IsAvailable(w, idx);
+  }
+  uint8_t& slot = avail_[w][static_cast<size_t>(idx)];
+  if (slot != kUnknown) {
+    ++counters.cache_skips;
+    return slot == kAvailable;
+  }
+  ++counters.strategies_scanned;
+  const bool ok = state_->IsAvailable(w, idx);
+  slot = ok ? kAvailable : kBlocked;
+  return ok;
+}
+
+void BestResponseEngine::Mark(uint32_t dp, size_t mover, uint8_t value) {
+  for (const StrategyRef& ref : state_->catalog().strategies_touching(dp)) {
+    // The mover's own entries are exempt from its own ownership (a worker
+    // may always reuse its own points), so none of them change.
+    if (ref.worker == mover) continue;
+    avail_[ref.worker][static_cast<size_t>(ref.strategy)] = value;
+  }
+}
+
+void BestResponseEngine::Apply(size_t w, int32_t idx) {
+  const int32_t old = state_->strategy_of(w);
+  if (old == idx) return;
+  if (!avail_.empty()) {
+    // Ownership changes exactly on (old \ new) — released — and
+    // (new \ old) — claimed; points in both stay owned by w. A claim makes
+    // every other worker's strategy on that point exactly kBlocked (a
+    // cache *write*, not an invalidation); a release makes previously
+    // blocked entries unknown (other points may still block them).
+    const VdpsCatalog& catalog = state_->catalog();
+    static const std::vector<uint32_t> kNoDps;
+    auto dps_of = [&](int32_t s) -> const std::vector<uint32_t>& {
+      if (s == kNullStrategy) return kNoDps;
+      return catalog
+          .entry(catalog.strategies(w)[static_cast<size_t>(s)].entry_id)
+          .dps;
+    };
+    const std::vector<uint32_t>& old_dps = dps_of(old);
+    const std::vector<uint32_t>& new_dps = dps_of(idx);
+    // Both sets are sorted ascending; two-pointer set difference.
+    size_t a = 0;
+    size_t b = 0;
+    while (a < old_dps.size() || b < new_dps.size()) {
+      if (b == new_dps.size() ||
+          (a < old_dps.size() && old_dps[a] < new_dps[b])) {
+        Mark(old_dps[a++], w, kUnknown);  // released
+      } else if (a == old_dps.size() || new_dps[b] < old_dps[a]) {
+        Mark(new_dps[b++], w, kBlocked);  // claimed
+      } else {
+        ++a;  // kept: still owned by w, no cache effect
+        ++b;
+      }
+    }
+  }
+  state_->Apply(w, idx);
+}
+
+BestResponseOutcome BestResponseEngine::Evaluate(size_t w) {
+  const std::vector<double>& payoffs = state_->payoffs();
+  std::vector<double> others;
+  others.reserve(payoffs.empty() ? 0 : payoffs.size() - 1);
+  for (size_t j = 0; j < payoffs.size(); ++j) {
+    if (j != w) others.push_back(payoffs[j]);
+  }
+  const OthersView view(std::move(others));
+
+  const int32_t current = state_->strategy_of(w);
+  const double incumbent_u = view.Iau(state_->payoff_of(w), params_);
+
+  // The null strategy (always available) seeds the challenger reduce; its
+  // index kNullStrategy = -1 sorts below every catalog index, preserving
+  // the "null first" candidate order of Equation 10.
+  Candidate challenger;
+  if (current != kNullStrategy) {
+    challenger = Candidate{view.Iau(0.0, params_), kNullStrategy, true};
+  }
+
+  const auto& strategies = state_->catalog().strategies(w);
+  const size_t n = strategies.size();
+  auto scan = [&](size_t lo, size_t hi, Candidate& cand,
+                  BestResponseCounters& counters) {
+    for (size_t i = lo; i < hi; ++i) {
+      const int32_t idx = static_cast<int32_t>(i);
+      if (idx == current) continue;  // evaluated as the incumbent
+      if (!Available(w, idx, counters)) continue;
+      cand = Better(
+          cand, Candidate{view.Iau(strategies[i].payoff, params_), idx, true});
+    }
+  };
+
+  if (pool_ != nullptr && n >= config_.min_parallel_candidates) {
+    // Sharded fan-out with a deterministic reduce: each shard folds its own
+    // range, then the shard winners fold in shard order. Better() is a max
+    // under the total order (utility desc, index asc), so the result is
+    // independent of the shard partition and of execution interleaving.
+    const size_t shards = std::min(n, pool_->num_threads() * 4);
+    const size_t chunk = (n + shards - 1) / shards;
+    std::vector<Candidate> winners(shards);
+    std::vector<BestResponseCounters> shard_counters(shards);
+    pool_->RunBatch(shards, [&](size_t s) {
+      const size_t lo = s * chunk;
+      const size_t hi = std::min(n, lo + chunk);
+      if (lo < hi) scan(lo, hi, winners[s], shard_counters[s]);
+    });
+    ++counters_.parallel_batches;
+    for (size_t s = 0; s < shards; ++s) {
+      challenger = Better(challenger, winners[s]);
+      counters_ += shard_counters[s];
+    }
+  } else {
+    scan(0, n, challenger, counters_);
+  }
+
+  BestResponseOutcome out;
+  out.incumbent_utility = incumbent_u;
+  out.best_utility = challenger.valid
+                         ? std::max(incumbent_u, challenger.utility)
+                         : incumbent_u;
+  if (challenger.valid && DefinitelyGreater(challenger.utility, incumbent_u)) {
+    out.strategy = challenger.index;
+    out.utility = challenger.utility;
+  } else {
+    out.strategy = current;
+    out.utility = incumbent_u;
+  }
+  return out;
+}
+
+bool BestResponseEngine::Step(size_t w) {
+  const BestResponseOutcome outcome = Evaluate(w);
+  if (outcome.strategy == state_->strategy_of(w)) return false;
+  Apply(w, outcome.strategy);
+  return true;
+}
+
+bool BestResponseEngine::IsAvailableCached(size_t w, int32_t idx) {
+  return Available(w, idx, counters_);
+}
+
+void BestResponseEngine::AvailableAbovePayoff(size_t w,
+                                              double payoff_threshold,
+                                              std::vector<int32_t>& out) {
+  out.clear();
+  const int32_t current = state_->strategy_of(w);
+  const auto& strategies = state_->catalog().strategies(w);
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    const int32_t idx = static_cast<int32_t>(i);
+    if (idx == current) continue;
+    if (strategies[i].payoff <= payoff_threshold + kEps) break;  // sorted desc
+    if (Available(w, idx, counters_)) out.push_back(idx);
+  }
+}
+
+bool BestResponseEngine::IsNash() {
+  for (size_t w = 0; w < state_->payoffs().size(); ++w) {
+    if (Evaluate(w).strategy != state_->strategy_of(w)) return false;
+  }
+  return true;
+}
+
+}  // namespace fta

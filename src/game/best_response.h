@@ -1,0 +1,144 @@
+#ifndef FTA_GAME_BEST_RESPONSE_H_
+#define FTA_GAME_BEST_RESPONSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "game/iau.h"
+#include "game/joint_state.h"
+#include "game/trace.h"
+#include "util/thread_pool.h"
+
+namespace fta {
+
+/// Tuning of the shared best-response engine.
+struct BestResponseConfig {
+  /// Threads for candidate-strategy evaluation; <= 1 keeps every scan on
+  /// the calling thread. Results are bit-identical at any thread count:
+  /// the reduce applies a total order (utility desc, strategy index asc,
+  /// null below index 0) that no shard boundary can disturb.
+  size_t num_threads = 1;
+  /// Maintain the incremental availability index: per-strategy cached
+  /// availability bits, invalidated through the catalog's delivery-point →
+  /// strategies inverted index on every strategy switch. Purely a
+  /// performance feature — results are identical with it off.
+  bool use_incremental_index = true;
+  /// Candidate count below which a scan stays serial even when a pool is
+  /// available (fan-out overhead dominates tiny catalogs).
+  size_t min_parallel_candidates = 64;
+};
+
+/// Outcome of one best-response scan.
+struct BestResponseOutcome {
+  /// The best response (Equation 10 tie-breaking: a challenger must beat
+  /// the incumbent's utility beyond tolerance, exact utility ties among
+  /// challengers go to the lowest strategy index, kNullStrategy ordering
+  /// below index 0).
+  int32_t strategy = kNullStrategy;
+  /// IAU of `strategy`.
+  double utility = 0.0;
+  /// IAU of the incumbent strategy.
+  double incumbent_utility = 0.0;
+  /// Max IAU over the incumbent, the null strategy, and every available
+  /// deviation — the best-response utility of equilibrium analysis. Can
+  /// exceed `utility` only within the strict-improvement tolerance.
+  double best_utility = 0.0;
+};
+
+/// The shared inner loop of the game solvers (FGT, IEGT, equilibrium
+/// analysis, pure-NE enumeration): evaluates candidate strategies against
+/// the current joint state, fanning the scan out over a thread pool with a
+/// deterministic sharded reduce, and re-checking a strategy's availability
+/// only when a delivery point of that strategy changed owner since the last
+/// check (incremental availability index).
+///
+/// All joint-state mutations must go through Apply() so the availability
+/// cache stays coherent. The engine never mutates the state on its own.
+/// Not thread-safe: one engine serves one solver loop; internal parallelism
+/// is the engine's own business.
+class BestResponseEngine {
+ public:
+  /// Binds the engine to a state. `state` and the catalog it references
+  /// must outlive the engine.
+  explicit BestResponseEngine(JointState& state,
+                              const IauParams& params = IauParams(),
+                              const BestResponseConfig& config =
+                                  BestResponseConfig());
+  ~BestResponseEngine();
+
+  BestResponseEngine(const BestResponseEngine&) = delete;
+  BestResponseEngine& operator=(const BestResponseEngine&) = delete;
+
+  /// Full best-response scan of worker w (Equation 10), with utilities.
+  BestResponseOutcome Evaluate(size_t w);
+
+  /// The best-response strategy index of worker w.
+  int32_t BestResponse(size_t w) { return Evaluate(w).strategy; }
+
+  /// Computes worker w's best response and applies it when it differs from
+  /// the incumbent. Returns true if the strategy changed.
+  bool Step(size_t w);
+
+  /// Switches worker w to strategy `idx` (must be available), keeping the
+  /// availability cache coherent. The only sanctioned mutation path.
+  void Apply(size_t w, int32_t idx);
+
+  /// Availability of strategy `idx` for worker w, served from the
+  /// incremental index when possible. Identical to
+  /// JointState::IsAvailable in outcome.
+  bool IsAvailableCached(size_t w, int32_t idx);
+
+  /// Appends (ascending index order, incumbent excluded) every available
+  /// strategy of w whose payoff strictly exceeds `payoff_threshold` beyond
+  /// tolerance. Strategies are payoff-sorted, so the scan early-exits at
+  /// the first non-qualifying payoff. IEGT's evolution candidates.
+  void AvailableAbovePayoff(size_t w, double payoff_threshold,
+                            std::vector<int32_t>& out);
+
+  /// True if no worker has a strictly improving available deviation.
+  bool IsNash();
+
+  const BestResponseCounters& counters() const { return counters_; }
+  const JointState& state() const { return *state_; }
+  const IauParams& params() const { return params_; }
+
+ private:
+  static constexpr uint8_t kUnknown = 0;
+  static constexpr uint8_t kAvailable = 1;
+  static constexpr uint8_t kBlocked = 2;
+
+  /// Candidate in the deterministic reduce; ordered by (utility desc,
+  /// index asc). `valid` is false for the identity element.
+  struct Candidate {
+    double utility = 0.0;
+    int32_t index = 0;
+    bool valid = false;
+  };
+  static Candidate Better(const Candidate& a, const Candidate& b) {
+    if (!a.valid) return b;
+    if (!b.valid) return a;
+    if (a.utility != b.utility) return a.utility > b.utility ? a : b;
+    return a.index <= b.index ? a : b;
+  }
+
+  /// Availability with counter accounting into `counters` (per-shard
+  /// accumulators during a parallel scan; counters_ otherwise).
+  bool Available(size_t w, int32_t idx, BestResponseCounters& counters);
+
+  /// Writes `value` into the cache entry of every strategy touching `dp`,
+  /// except the mover's own entries (exempt through self-ownership).
+  void Mark(uint32_t dp, size_t mover, uint8_t value);
+
+  JointState* state_;
+  IauParams params_;
+  BestResponseConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  // only when num_threads > 1
+  /// avail_[w][i]: cached availability of strategy i for worker w.
+  std::vector<std::vector<uint8_t>> avail_;
+  BestResponseCounters counters_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_GAME_BEST_RESPONSE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "game/best_response.h"
 #include "game/fgt.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -37,29 +38,17 @@ JointState StateFromAssignment(const Instance& instance,
 EquilibriumReport AnalyzeEquilibrium(const Instance& instance,
                                      const VdpsCatalog& catalog,
                                      const Assignment& assignment,
-                                     const IauParams& params) {
+                                     const IauParams& params,
+                                     const BestResponseConfig& engine_config) {
   JointState state = StateFromAssignment(instance, catalog, assignment);
+  BestResponseEngine engine(state, params, engine_config);
   EquilibriumReport report;
   report.regrets.resize(instance.num_workers());
   for (size_t w = 0; w < instance.num_workers(); ++w) {
-    std::vector<double> others;
-    others.reserve(instance.num_workers());
-    for (size_t j = 0; j < instance.num_workers(); ++j) {
-      if (j != w) others.push_back(state.payoff_of(j));
-    }
-    const OthersView view(std::move(others));
+    const BestResponseOutcome outcome = engine.Evaluate(w);
     WorkerRegret& regret = report.regrets[w];
-    regret.utility = view.Iau(state.payoff_of(w), params);
-    regret.best_response_utility = std::max(regret.utility,
-                                            view.Iau(0.0, params));
-    for (size_t i = 0; i < catalog.strategies(w).size(); ++i) {
-      const int32_t idx = static_cast<int32_t>(i);
-      if (idx == state.strategy_of(w)) continue;
-      if (!state.IsAvailable(w, idx)) continue;
-      regret.best_response_utility =
-          std::max(regret.best_response_utility,
-                   view.Iau(catalog.strategies(w)[i].payoff, params));
-    }
+    regret.utility = outcome.incumbent_utility;
+    regret.best_response_utility = outcome.best_utility;
     regret.regret = regret.best_response_utility - regret.utility;
     report.max_regret = std::max(report.max_regret, regret.regret);
     if (DefinitelyGreater(regret.best_response_utility, regret.utility)) {
@@ -75,18 +64,19 @@ namespace {
 struct NashSearch {
   const Instance* instance;
   const VdpsCatalog* catalog;
-  const IauParams* params;
   JointState state;
+  BestResponseEngine engine;
   NashEnumeration result;
   size_t max_states;
   bool capped = false;
 
   NashSearch(const Instance& inst, const VdpsCatalog& cat,
-             const IauParams& p, size_t cap)
+             const IauParams& p, size_t cap,
+             const BestResponseConfig& engine_config)
       : instance(&inst),
         catalog(&cat),
-        params(&p),
         state(inst, cat),
+        engine(state, p, engine_config),
         max_states(cap) {}
 
   void Recurse(size_t w) {
@@ -94,7 +84,7 @@ struct NashSearch {
     if (w == instance->num_workers()) {
       ++result.states_explored;
       if (result.states_explored >= max_states) capped = true;
-      if (IsPureNashEquilibrium(state, *params)) {
+      if (engine.IsNash()) {
         result.equilibria.push_back(state.ToAssignment());
       }
       return;
@@ -103,10 +93,10 @@ struct NashSearch {
     const auto& strategies = catalog->strategies(w);
     for (size_t i = 0; i < strategies.size() && !capped; ++i) {
       const int32_t idx = static_cast<int32_t>(i);
-      if (!state.IsAvailable(w, idx)) continue;
-      state.Apply(w, idx);
+      if (!engine.IsAvailableCached(w, idx)) continue;
+      engine.Apply(w, idx);
       Recurse(w + 1);
-      state.Apply(w, kNullStrategy);
+      engine.Apply(w, kNullStrategy);
     }
   }
 };
@@ -115,9 +105,9 @@ struct NashSearch {
 
 NashEnumeration EnumeratePureNash(const Instance& instance,
                                   const VdpsCatalog& catalog,
-                                  const IauParams& params,
-                                  size_t max_states) {
-  NashSearch search(instance, catalog, params, max_states);
+                                  const IauParams& params, size_t max_states,
+                                  const BestResponseConfig& engine_config) {
+  NashSearch search(instance, catalog, params, max_states, engine_config);
   search.Recurse(0);
   search.result.complete = !search.capped;
   return search.result;

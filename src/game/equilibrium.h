@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "game/best_response.h"
 #include "game/iau.h"
 #include "game/joint_state.h"
 #include "model/assignment.h"
@@ -36,10 +37,10 @@ struct EquilibriumReport {
 /// from the catalog's strategies) and measures every worker's best-response
 /// regret under the IAU game. Diagnostic companion to SolveFgt: quantifies
 /// *how far* a non-equilibrium assignment (e.g. GTA's) is from stability.
-EquilibriumReport AnalyzeEquilibrium(const Instance& instance,
-                                     const VdpsCatalog& catalog,
-                                     const Assignment& assignment,
-                                     const IauParams& params = IauParams());
+EquilibriumReport AnalyzeEquilibrium(
+    const Instance& instance, const VdpsCatalog& catalog,
+    const Assignment& assignment, const IauParams& params = IauParams(),
+    const BestResponseConfig& engine_config = BestResponseConfig());
 
 /// Enumerates every pure Nash equilibrium of the FTA game by exhaustive
 /// search over conflict-free joint strategies. Exponential — tiny
@@ -50,10 +51,10 @@ struct NashEnumeration {
   size_t states_explored = 0;
   bool complete = false;
 };
-NashEnumeration EnumeratePureNash(const Instance& instance,
-                                  const VdpsCatalog& catalog,
-                                  const IauParams& params = IauParams(),
-                                  size_t max_states = 2'000'000);
+NashEnumeration EnumeratePureNash(
+    const Instance& instance, const VdpsCatalog& catalog,
+    const IauParams& params = IauParams(), size_t max_states = 2'000'000,
+    const BestResponseConfig& engine_config = BestResponseConfig());
 
 }  // namespace fta
 

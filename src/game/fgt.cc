@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "game/best_response.h"
 #include "game/init.h"
 #include "game/potential.h"
 #include "util/math_util.h"
@@ -11,24 +12,16 @@
 namespace fta {
 namespace {
 
-/// Payoffs of everyone except w, for the responder's IAU evaluation.
-OthersView MakeOthersView(const JointState& state, size_t w) {
-  std::vector<double> others;
-  others.reserve(state.payoffs().size() - 1);
-  for (size_t j = 0; j < state.payoffs().size(); ++j) {
-    if (j != w) others.push_back(state.payoffs()[j]);
-  }
-  return OthersView(std::move(others));
-}
-
 IterationStats Snapshot(const JointState& state, int iteration,
-                        size_t num_changes, double alpha) {
+                        size_t num_changes, double alpha,
+                        const BestResponseCounters& engine_delta) {
   IterationStats s;
   s.iteration = iteration;
   s.payoff_difference = MeanAbsolutePairwiseDifference(state.payoffs());
   s.average_payoff = Mean(state.payoffs());
   s.potential = ExactPotential(state.payoffs(), alpha);
   s.num_changes = num_changes;
+  s.engine = engine_delta;
   return s;
 }
 
@@ -36,39 +29,21 @@ IterationStats Snapshot(const JointState& state, int iteration,
 
 int32_t BestResponse(const JointState& state, size_t w,
                      const IauParams& params) {
-  const OthersView others = MakeOthersView(state, w);
-  // The incumbent strategy is the default; any challenger (including the
-  // null strategy) must improve utility *strictly* to displace it. This
-  // tie-break prevents cycling between equal-utility strategies.
-  const int32_t current = state.strategy_of(w);
-  int32_t best_idx = current;
-  double best_u = others.Iau(state.payoff_of(w), params);
-  if (current != kNullStrategy) {
-    const double null_u = others.Iau(0.0, params);
-    if (DefinitelyGreater(null_u, best_u)) {
-      best_idx = kNullStrategy;
-      best_u = null_u;
-    }
-  }
-  const auto& strategies = state.catalog().strategies(w);
-  for (size_t i = 0; i < strategies.size(); ++i) {
-    const int32_t idx = static_cast<int32_t>(i);
-    if (idx == current) continue;  // already evaluated (as incumbent)
-    if (!state.IsAvailable(w, idx)) continue;
-    const double u = others.Iau(strategies[i].payoff, params);
-    if (DefinitelyGreater(u, best_u)) {
-      best_idx = idx;
-      best_u = u;
-    }
-  }
-  return best_idx;
+  // One-shot scan: serial, no cache (building it would cost exactly one
+  // full scan anyway). Evaluate never mutates the state.
+  BestResponseConfig config;
+  config.num_threads = 1;
+  config.use_incremental_index = false;
+  BestResponseEngine engine(const_cast<JointState&>(state), params, config);
+  return engine.BestResponse(w);
 }
 
 bool IsPureNashEquilibrium(const JointState& state, const IauParams& params) {
-  for (size_t w = 0; w < state.payoffs().size(); ++w) {
-    if (BestResponse(state, w, params) != state.strategy_of(w)) return false;
-  }
-  return true;
+  BestResponseConfig config;
+  config.num_threads = 1;
+  config.use_incremental_index = false;
+  BestResponseEngine engine(const_cast<JointState&>(state), params, config);
+  return engine.IsNash();
 }
 
 GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
@@ -76,10 +51,12 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
   JointState state(instance, catalog);
   Rng rng(config.seed);
   RandomSingletonInit(state, rng);
+  BestResponseEngine engine(state, config.iau, config.engine);
 
   GameResult result;
   if (config.record_trace) {
-    result.trace.push_back(Snapshot(state, 0, 0, config.iau.alpha));
+    result.trace.push_back(
+        Snapshot(state, 0, 0, config.iau.alpha, BestResponseCounters()));
   }
 
   // Sequential asynchronous best responses (lines 18-24): one worker moves
@@ -102,18 +79,15 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
                          });
         break;
     }
+    const BestResponseCounters round_start = engine.counters();
     size_t changes = 0;
     for (size_t w : order) {
-      const int32_t br = BestResponse(state, w, config.iau);
-      if (br != state.strategy_of(w)) {
-        state.Apply(w, br);
-        ++changes;
-      }
+      if (engine.Step(w)) ++changes;
     }
     result.rounds = round;
     if (config.record_trace) {
-      result.trace.push_back(
-          Snapshot(state, round, changes, config.iau.alpha));
+      result.trace.push_back(Snapshot(state, round, changes, config.iau.alpha,
+                                      engine.counters() - round_start));
     }
     if (changes == 0) {
       result.converged = true;
@@ -125,6 +99,7 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
     }
   }
   result.assignment = state.ToAssignment();
+  result.engine = engine.counters();
   return result;
 }
 

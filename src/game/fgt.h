@@ -1,6 +1,7 @@
 #ifndef FTA_GAME_FGT_H_
 #define FTA_GAME_FGT_H_
 
+#include "game/best_response.h"
 #include "game/iau.h"
 #include "game/joint_state.h"
 #include "game/trace.h"
@@ -37,6 +38,9 @@ struct FgtConfig {
   bool record_trace = false;
   /// Optional early termination (patience = 0 disables; see EarlyStopRule).
   EarlyStopRule early_stop;
+  /// Best-response engine tuning (threads, incremental availability index).
+  /// Assignments are bit-identical across all engine settings.
+  BestResponseConfig engine;
 };
 
 /// Fairness-aware Game-Theoretic approach (Algorithm 2): random singleton
@@ -48,7 +52,8 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
 /// The best-response strategy index of worker w in the given state
 /// (Equation 10): the available VDPS (or kNullStrategy) maximizing the
 /// worker's IAU against the other workers' current payoffs. Ties keep the
-/// current strategy; remaining ties pick the lowest index.
+/// current strategy; remaining ties pick the lowest index. Convenience
+/// wrapper over a one-shot BestResponseEngine scan.
 int32_t BestResponse(const JointState& state, size_t w,
                      const IauParams& params);
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "game/best_response.h"
 #include "game/init.h"
 #include "util/math_util.h"
 #include "util/rng.h"
@@ -26,12 +27,14 @@ std::vector<double> ReplicatorDynamics(const JointState& state) {
 namespace {
 
 IterationStats Snapshot(const JointState& state, int iteration,
-                        size_t num_changes) {
+                        size_t num_changes,
+                        const BestResponseCounters& engine_delta) {
   IterationStats s;
   s.iteration = iteration;
   s.payoff_difference = MeanAbsolutePairwiseDifference(state.payoffs());
   s.average_payoff = Mean(state.payoffs());
   s.num_changes = num_changes;
+  s.engine = engine_delta;
   return s;
 }
 
@@ -42,9 +45,12 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
   JointState state(instance, catalog);
   Rng rng(config.seed);
   RandomSingletonInit(state, rng);
+  BestResponseEngine engine(state, IauParams(), config.engine);
 
   GameResult result;
-  if (config.record_trace) result.trace.push_back(Snapshot(state, 0, 0));
+  if (config.record_trace) {
+    result.trace.push_back(Snapshot(state, 0, 0, BestResponseCounters()));
+  }
 
   std::vector<int32_t> better;  // reused candidate buffer
   EarlyStopMonitor early(config.early_stop);
@@ -52,6 +58,7 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
     // Ū is computed once per iteration: all players compare their utility
     // with the average utility of the whole population (Section VI-C).
     const double avg = Mean(state.payoffs());
+    const BestResponseCounters round_start = engine.counters();
     size_t changes = 0;
     for (size_t w = 0; w < instance.num_workers(); ++w) {
       // σ̇_km < 0 ⇔ the worker's payoff is below the population average
@@ -61,22 +68,16 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
       const double payoff = state.payoff_of(w);
       const bool pressured = payoff < avg - kEps;
       if (!pressured) continue;
-      better.clear();
-      const auto& strategies = catalog.strategies(w);
-      for (size_t i = 0; i < strategies.size(); ++i) {
-        const int32_t idx = static_cast<int32_t>(i);
-        if (idx == state.strategy_of(w)) continue;
-        if (strategies[i].payoff <= payoff + kEps) break;  // sorted desc
-        if (state.IsAvailable(w, idx)) better.push_back(idx);
-      }
+      engine.AvailableAbovePayoff(w, payoff, better);
       if (!better.empty()) {
-        state.Apply(w, better[rng.Index(better.size())]);
+        engine.Apply(w, better[rng.Index(better.size())]);
         ++changes;
       }
     }
     result.rounds = round;
     if (config.record_trace) {
-      result.trace.push_back(Snapshot(state, round, changes));
+      result.trace.push_back(
+          Snapshot(state, round, changes, engine.counters() - round_start));
     }
     if (changes == 0) {
       // Improved evolutionary equilibrium: σ̇_k(t) = 0 or st^t == st^{t-1}.
@@ -89,6 +90,7 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
     }
   }
   result.assignment = state.ToAssignment();
+  result.engine = engine.counters();
   return result;
 }
 

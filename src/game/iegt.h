@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "game/best_response.h"
 #include "game/joint_state.h"
 #include "game/trace.h"
 #include "model/instance.h"
@@ -21,6 +22,9 @@ struct IegtConfig {
   bool record_trace = false;
   /// Optional early termination (patience = 0 disables; see EarlyStopRule).
   EarlyStopRule early_stop;
+  /// Shared engine tuning (the incremental availability index accelerates
+  /// the evolution scan; the candidate set is unchanged by it).
+  BestResponseConfig engine;
 };
 
 /// Per-worker replicator dynamics σ̇_km(t) (Equation 11) of the current

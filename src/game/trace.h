@@ -8,6 +8,34 @@
 
 namespace fta {
 
+/// Work counters of the BestResponseEngine, exposed through the game trace
+/// for the Figure-12 convergence benches. Purely observational: two runs
+/// that differ only in these counters produced identical assignments.
+struct BestResponseCounters {
+  /// Strategies whose availability was recomputed from delivery-point
+  /// ownership (the full DP walk).
+  uint64_t strategies_scanned = 0;
+  /// Strategies whose availability was served by the incremental index
+  /// (cache hit, no DP walk).
+  uint64_t cache_skips = 0;
+  /// Candidate fan-outs that ran on the thread pool.
+  uint64_t parallel_batches = 0;
+
+  BestResponseCounters& operator+=(const BestResponseCounters& o) {
+    strategies_scanned += o.strategies_scanned;
+    cache_skips += o.cache_skips;
+    parallel_batches += o.parallel_batches;
+    return *this;
+  }
+  friend BestResponseCounters operator-(BestResponseCounters a,
+                                        const BestResponseCounters& b) {
+    a.strategies_scanned -= b.strategies_scanned;
+    a.cache_skips -= b.cache_skips;
+    a.parallel_batches -= b.parallel_batches;
+    return a;
+  }
+};
+
 /// Per-iteration snapshot of a game-theoretic solver; one row of Figure 12.
 struct IterationStats {
   int iteration = 0;
@@ -19,6 +47,8 @@ struct IterationStats {
   double potential = 0.0;
   /// Number of workers that changed strategy in this iteration.
   size_t num_changes = 0;
+  /// Engine work done during this iteration (delta, not cumulative).
+  BestResponseCounters engine;
 };
 
 /// Outcome of a game-theoretic solver run.
@@ -35,6 +65,8 @@ struct GameResult {
   bool early_stopped = false;
   /// Per-iteration statistics; filled only when the config asks for it.
   std::vector<IterationStats> trace;
+  /// Total engine work across the whole run (always filled).
+  BestResponseCounters engine;
 };
 
 /// Early-termination rule shared by FGT and IEGT (the paper's future-work

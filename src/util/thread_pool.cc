@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <exception>
+#include <memory>
 
 #include "util/logging.h"
 
@@ -49,13 +51,57 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    job();
+    try {
+      job();
+    } catch (const std::exception& e) {
+      FTA_LOG(kError) << "ThreadPool job threw: " << e.what();
+    } catch (...) {
+      FTA_LOG(kError) << "ThreadPool job threw a non-std exception";
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) done_cv_.notify_all();
     }
   }
+}
+
+void ThreadPool::RunBatch(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Completion is tracked per batch (not via Wait) so concurrent batches
+  // and unrelated Submit-ed jobs never block each other.
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t drivers_left;
+    std::atomic<size_t> next{0};
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<BatchState>();
+  const size_t drivers = std::min(std::max<size_t>(num_threads(), 1), n);
+  state->drivers_left = drivers;
+  // `fn` is captured by reference: this frame outlives the batch because it
+  // blocks below until every driver has finished.
+  for (size_t t = 0; t < drivers; ++t) {
+    Submit([state, n, &fn] {
+      for (size_t i = state->next.fetch_add(1); i < n;
+           i = state->next.fetch_add(1)) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::unique_lock<std::mutex> lock(state->mu);
+          if (!state->first_error) {
+            state->first_error = std::current_exception();
+          }
+        }
+      }
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (--state->drivers_left == 0) state->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->drivers_left == 0; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 void ThreadPool::ParallelFor(size_t n, size_t num_threads,

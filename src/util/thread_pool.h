@@ -14,22 +14,34 @@ namespace fta {
 /// Fixed-size worker pool for running independent jobs, e.g. per-center task
 /// assignment (the paper notes centers are independent and parallelizable).
 ///
-/// Jobs must not throw; the library reports recoverable errors via Status
-/// captured inside the job closure.
+/// Jobs should not throw; the library reports recoverable errors via Status
+/// captured inside the job closure. A job that does throw never kills the
+/// pool: Submit-ed exceptions are caught and logged, RunBatch captures the
+/// first one and rethrows it to the batch's caller.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
+
+  /// Drains every job still queued, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a job. Never blocks.
+  /// Enqueues a job. Never blocks. Safe to call from a pool worker.
   void Submit(std::function<void()> job);
 
   /// Blocks until every submitted job has finished.
   void Wait();
+
+  /// Bulk-submit/wait helper: runs fn(i) for i in [0, n) on this pool and
+  /// blocks until the whole batch has finished, without disturbing other
+  /// outstanding jobs. fn must be safe to invoke concurrently for distinct
+  /// i. Every index is attempted even when some throw; the first exception
+  /// is rethrown here once the batch is done. Must not be called from a
+  /// pool worker thread (it would block a lane of its own batch).
+  void RunBatch(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
 

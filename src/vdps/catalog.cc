@@ -55,6 +55,20 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
                 return a.entry_id < b.entry_id;
               });
   }
+
+  // Delivery-point → strategies inverted index, built once against the
+  // final (sorted) strategy order.
+  catalog.touching_.resize(instance.num_delivery_points());
+  for (uint32_t w = 0; w < catalog.strategies_.size(); ++w) {
+    const auto& strategies = catalog.strategies_[w];
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      const CVdpsEntry& entry = catalog.entries_[strategies[i].entry_id];
+      for (uint32_t dp : entry.dps) {
+        catalog.touching_[dp].push_back(
+            StrategyRef{w, static_cast<int32_t>(i)});
+      }
+    }
+  }
   return catalog;
 }
 

@@ -89,6 +89,14 @@ struct WorkerStrategy {
   double payoff = 0.0;
 };
 
+/// Reference to one worker strategy, as stored in the delivery-point →
+/// strategies inverted index.
+struct StrategyRef {
+  uint32_t worker = 0;
+  /// Index into VdpsCatalog::strategies(worker).
+  int32_t strategy = 0;
+};
+
 /// The set of C-VDPSs of one instance plus per-worker strategy
 /// materialization. Generated once and shared by every solver.
 class VdpsCatalog {
@@ -114,6 +122,16 @@ class VdpsCatalog {
   /// bounds.
   size_t MaxStrategiesPerWorker() const;
 
+  /// Every strategy (across all workers) whose VDPS contains delivery point
+  /// `dp` — the delivery-point → strategies inverted index that lets the
+  /// BestResponseEngine invalidate only the availability cache entries a
+  /// strategy switch can actually affect.
+  const std::vector<StrategyRef>& strategies_touching(uint32_t dp) const {
+    return touching_[dp];
+  }
+  /// Number of delivery points the inverted index covers.
+  size_t num_indexed_delivery_points() const { return touching_.size(); }
+
   /// True if generation hit the max_entries cap (results may be partial).
   bool truncated() const { return truncated_; }
 
@@ -123,6 +141,7 @@ class VdpsCatalog {
  private:
   std::vector<CVdpsEntry> entries_;
   std::vector<std::vector<WorkerStrategy>> strategies_;
+  std::vector<std::vector<StrategyRef>> touching_;  // per delivery point
   bool truncated_ = false;
 };
 

@@ -1,0 +1,241 @@
+// Correctness battery for the shared BestResponseEngine: bit-identical
+// solver output at any thread count and with the incremental availability
+// index on or off, cache coherence under random strategy churn, counter
+// accounting, and agreement with the one-shot BestResponse wrapper.
+
+#include "game/best_response.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "game/equilibrium.h"
+#include "game/fgt.h"
+#include "game/iegt.h"
+#include "game/init.h"
+#include "model/builder.h"
+#include "util/rng.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+namespace {
+
+Instance RandomInstance(uint64_t seed, size_t num_dps, size_t num_workers) {
+  Rng rng(seed);
+  InstanceBuilder builder(Point{4, 4});
+  builder.Speed(5.0);
+  for (size_t d = 0; d < num_dps; ++d) {
+    builder.DeliveryPoint({rng.Uniform(0, 8), rng.Uniform(0, 8)},
+                          1 + rng.Index(4), rng.Uniform(1.0, 4.0));
+  }
+  for (size_t w = 0; w < num_workers; ++w) {
+    builder.Worker({rng.Uniform(0, 8), rng.Uniform(0, 8)});
+  }
+  return builder.Build();
+}
+
+/// The solver-visible dynamics of a run: everything except the engine's
+/// observational work counters (which legitimately differ between engine
+/// configurations) must be bit-identical.
+void ExpectSameDynamics(const GameResult& a, const GameResult& b) {
+  EXPECT_EQ(a.assignment.routes(), b.assignment.routes());
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.early_stopped, b.early_stopped);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].iteration, b.trace[i].iteration);
+    // Bit-identical, not approximately equal: the parallel reduce must
+    // reproduce the serial path exactly.
+    EXPECT_EQ(a.trace[i].payoff_difference, b.trace[i].payoff_difference);
+    EXPECT_EQ(a.trace[i].average_payoff, b.trace[i].average_payoff);
+    EXPECT_EQ(a.trace[i].potential, b.trace[i].potential);
+    EXPECT_EQ(a.trace[i].num_changes, b.trace[i].num_changes);
+  }
+}
+
+std::vector<BestResponseConfig> EngineVariants() {
+  std::vector<BestResponseConfig> variants;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (bool incremental : {true, false}) {
+      BestResponseConfig config;
+      config.num_threads = threads;
+      config.use_incremental_index = incremental;
+      config.min_parallel_candidates = 1;  // force fan-out on tiny catalogs
+      variants.push_back(config);
+    }
+  }
+  return variants;
+}
+
+class EngineSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineSeeds, FgtDeterministicAcrossThreadsAndIndexModes) {
+  const Instance inst = RandomInstance(GetParam(), 12, 5);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  FgtConfig config;
+  config.record_trace = true;
+  config.seed = GetParam() * 31 + 7;
+  const GameResult reference = SolveFgt(inst, catalog, config);
+  for (const BestResponseConfig& engine : EngineVariants()) {
+    FgtConfig variant = config;
+    variant.engine = engine;
+    const GameResult run = SolveFgt(inst, catalog, variant);
+    ExpectSameDynamics(reference, run);
+    EXPECT_EQ(reference.assignment.PayoffDifference(inst),
+              run.assignment.PayoffDifference(inst));
+  }
+}
+
+TEST_P(EngineSeeds, IegtDeterministicAcrossThreadsAndIndexModes) {
+  const Instance inst = RandomInstance(GetParam() + 500, 12, 5);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  IegtConfig config;
+  config.record_trace = true;
+  config.seed = GetParam() * 17 + 3;
+  const GameResult reference = SolveIegt(inst, catalog, config);
+  for (const BestResponseConfig& engine : EngineVariants()) {
+    IegtConfig variant = config;
+    variant.engine = engine;
+    const GameResult run = SolveIegt(inst, catalog, variant);
+    ExpectSameDynamics(reference, run);
+    EXPECT_EQ(reference.assignment.PayoffDifference(inst),
+              run.assignment.PayoffDifference(inst));
+  }
+}
+
+TEST_P(EngineSeeds, EvaluateMatchesFreeFunctionBestResponse) {
+  const Instance inst = RandomInstance(GetParam() + 1000, 10, 4);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  const IauParams params;
+  JointState state(inst, catalog);
+  Rng rng(GetParam());
+  RandomSingletonInit(state, rng);
+  BestResponseConfig config;
+  config.num_threads = 2;
+  config.min_parallel_candidates = 1;
+  BestResponseEngine engine(state, params, config);
+  // Interleave random churn with comparisons so the cache sees real dirt.
+  for (int step = 0; step < 50; ++step) {
+    for (size_t w = 0; w < inst.num_workers(); ++w) {
+      EXPECT_EQ(engine.BestResponse(w), BestResponse(state, w, params));
+    }
+    const size_t w = rng.Index(inst.num_workers());
+    const auto& strategies = catalog.strategies(w);
+    if (strategies.empty()) continue;
+    const int32_t idx = rng.Bernoulli(0.2)
+                            ? kNullStrategy
+                            : static_cast<int32_t>(rng.Index(strategies.size()));
+    if (state.IsAvailable(w, idx)) engine.Apply(w, idx);
+  }
+}
+
+TEST_P(EngineSeeds, AvailabilityCacheMatchesGroundTruthUnderChurn) {
+  const Instance inst = RandomInstance(GetParam() + 2000, 10, 4);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  JointState state(inst, catalog);
+  BestResponseEngine engine(state, IauParams(), BestResponseConfig());
+  Rng rng(GetParam() * 3 + 1);
+  for (int step = 0; step < 200; ++step) {
+    const size_t w = rng.Index(inst.num_workers());
+    const auto& strategies = catalog.strategies(w);
+    if (!strategies.empty()) {
+      const int32_t idx =
+          rng.Bernoulli(0.25)
+              ? kNullStrategy
+              : static_cast<int32_t>(rng.Index(strategies.size()));
+      if (state.IsAvailable(w, idx)) engine.Apply(w, idx);
+    }
+    // Every cached availability bit must agree with a fresh DP walk.
+    for (size_t v = 0; v < inst.num_workers(); ++v) {
+      for (size_t i = 0; i < catalog.strategies(v).size(); ++i) {
+        const int32_t idx = static_cast<int32_t>(i);
+        EXPECT_EQ(engine.IsAvailableCached(v, idx), state.IsAvailable(v, idx))
+            << "worker " << v << " strategy " << i << " step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));
+
+TEST(BestResponseEngineTest, CacheSkipsGrowAndScansShrinkAfterWarmup) {
+  const Instance inst = RandomInstance(99, 14, 6);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  FgtConfig with_index;
+  with_index.record_trace = true;
+  FgtConfig without_index = with_index;
+  without_index.engine.use_incremental_index = false;
+  const GameResult warm = SolveFgt(inst, catalog, with_index);
+  const GameResult cold = SolveFgt(inst, catalog, without_index);
+  ExpectSameDynamics(warm, cold);
+  EXPECT_EQ(cold.engine.cache_skips, 0u);
+  EXPECT_GT(warm.engine.cache_skips, 0u);
+  // The incremental index must do strictly less availability work overall,
+  // and the per-round scan counts after round 1 must drop versus cold.
+  EXPECT_LT(warm.engine.strategies_scanned, cold.engine.strategies_scanned);
+  ASSERT_GE(warm.trace.size(), 3u);
+  for (size_t i = 2; i < warm.trace.size(); ++i) {
+    EXPECT_LE(warm.trace[i].engine.strategies_scanned,
+              cold.trace[i].engine.strategies_scanned);
+  }
+}
+
+TEST(BestResponseEngineTest, ParallelBatchCounterTracksFanOuts) {
+  const Instance inst = RandomInstance(7, 12, 5);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  FgtConfig serial;
+  FgtConfig parallel = serial;
+  parallel.engine.num_threads = 4;
+  parallel.engine.min_parallel_candidates = 1;
+  const GameResult a = SolveFgt(inst, catalog, serial);
+  const GameResult b = SolveFgt(inst, catalog, parallel);
+  EXPECT_EQ(a.engine.parallel_batches, 0u);
+  EXPECT_GT(b.engine.parallel_batches, 0u);
+  EXPECT_EQ(a.assignment.routes(), b.assignment.routes());
+  // The set of candidates examined is thread-count invariant.
+  EXPECT_EQ(a.engine.strategies_scanned + a.engine.cache_skips,
+            b.engine.strategies_scanned + b.engine.cache_skips);
+}
+
+TEST(BestResponseEngineTest, EquilibriumConsumersAgreeAcrossEngineConfigs) {
+  const Instance inst = RandomInstance(21, 5, 2);
+  VdpsConfig vdps;
+  vdps.max_set_size = 2;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, vdps);
+  const GameResult fgt = SolveFgt(inst, catalog);
+  for (const BestResponseConfig& engine : EngineVariants()) {
+    const EquilibriumReport report = AnalyzeEquilibrium(
+        inst, catalog, fgt.assignment, IauParams(), engine);
+    EXPECT_TRUE(report.is_nash);
+    const NashEnumeration nash =
+        EnumeratePureNash(inst, catalog, IauParams(), 2'000'000, engine);
+    ASSERT_TRUE(nash.complete);
+    bool found = false;
+    for (const Assignment& eq : nash.equilibria) {
+      found = found || eq.routes() == fgt.assignment.routes();
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(BestResponseEngineTest, EmptyCatalogWorkerKeepsNullStrategy) {
+  // A worker that cannot reach anything must best-respond with null.
+  std::vector<DeliveryPoint> dps;
+  dps.emplace_back(Point{100, 100},
+                   std::vector<SpatialTask>{SpatialTask{0, 0.1, 1.0}});
+  Instance inst(Point{0, 0}, std::move(dps), {Worker{{0, 0}, 3}},
+                TravelModel(1.0));
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  JointState state(inst, catalog);
+  BestResponseEngine engine(state, IauParams(), BestResponseConfig());
+  EXPECT_EQ(engine.BestResponse(0), kNullStrategy);
+  EXPECT_FALSE(engine.Step(0));
+  EXPECT_TRUE(engine.IsNash());
+}
+
+}  // namespace
+}  // namespace fta

@@ -9,6 +9,7 @@
 #include "baseline/exhaustive.h"
 #include "baseline/gta.h"
 #include "baseline/mpta.h"
+#include "game/equilibrium.h"
 #include "game/fgt.h"
 #include "game/iau.h"
 #include "game/iegt.h"
@@ -131,6 +132,50 @@ TEST_P(PropertySeeds, ExhaustiveBoundsEveryAlgorithm) {
     EXPECT_GE(a.PayoffDifference(inst), truth.fairest_pdif - 1e-9);
     EXPECT_LE(a.TotalPayoff(inst), truth.max_total_payoff + 1e-9);
   }
+}
+
+/// Every converged FGT run is a measurable equilibrium: the analysis built
+/// on the shared best-response engine reports (near-)zero max regret and
+/// certifies the Nash property. The regret tolerance is the engine's
+/// strict-improvement tolerance (kEps, relative — see DefinitelyGreater):
+/// a deviation inside that window is by definition not an improvement.
+TEST_P(PropertySeeds, ConvergedFgtHasZeroRegretAndIsNash) {
+  const Instance inst = RandomInstance(GetParam() + 40, 10, 5);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  FgtConfig config;
+  config.seed = GetParam() * 3 + 11;
+  const GameResult fgt = SolveFgt(inst, catalog, config);
+  ASSERT_TRUE(fgt.converged);
+  const EquilibriumReport report =
+      AnalyzeEquilibrium(inst, catalog, fgt.assignment, config.iau);
+  EXPECT_TRUE(report.is_nash);
+  EXPECT_EQ(report.deviating_workers, 0u);
+  double scale = 1.0;
+  for (const WorkerRegret& r : report.regrets) {
+    scale = std::max({scale, std::fabs(r.utility),
+                      std::fabs(r.best_response_utility)});
+  }
+  EXPECT_LE(report.max_regret, 1e-9 * scale);
+}
+
+/// On tiny instances the exhaustive pure-NE enumeration must contain the
+/// FGT fixed point — the solvers and the enumerator share one engine, so
+/// they cannot disagree about what an equilibrium is.
+TEST_P(PropertySeeds, EnumeratedPureNashContainsFgtFixedPoint) {
+  const Instance inst = RandomInstance(GetParam() + 50, 4, 2);
+  VdpsConfig vdps;
+  vdps.max_set_size = 2;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, vdps);
+  const NashEnumeration nash = EnumeratePureNash(inst, catalog);
+  ASSERT_TRUE(nash.complete);
+  ASSERT_FALSE(nash.equilibria.empty());  // EPG: a pure NE always exists
+  const GameResult fgt = SolveFgt(inst, catalog);
+  ASSERT_TRUE(fgt.converged);
+  bool found = false;
+  for (const Assignment& eq : nash.equilibria) {
+    found = found || eq.routes() == fgt.assignment.routes();
+  }
+  EXPECT_TRUE(found);
 }
 
 /// Collected reward equals the summed reward of covered delivery points.

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace fta {
@@ -45,6 +48,85 @@ TEST(ThreadPoolTest, JobsCanSubmitFollowUps) {
   });
   pool.Wait();
   EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, RunBatchCoversTenThousandNoOps) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.RunBatch(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunBatchRethrowsFirstErrorAfterAttemptingEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> attempted{0};
+  EXPECT_THROW(
+      pool.RunBatch(10'000,
+                    [&](size_t i) {
+                      attempted.fetch_add(1);
+                      if (i % 3 == 0) throw std::runtime_error("task failed");
+                    }),
+      std::runtime_error);
+  // Throwing tasks don't starve the rest of the batch.
+  EXPECT_EQ(attempted.load(), 10'000);
+  // The pool survives a throwing batch and still runs new work.
+  std::atomic<int> after{0};
+  pool.RunBatch(100, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmittedThrowingJobDoesNotKillPool) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  pool.Wait();
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitChainFromWorkerThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  // Each job enqueues the next from inside a worker thread, 1000 deep.
+  std::function<void(int)> chain = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth > 0) pool.Submit([&chain, depth] { chain(depth - 1); });
+  };
+  pool.Submit([&chain] { chain(999); });
+  // Each link submits its successor while still in flight, so Wait() can
+  // only return once the whole chain has unrolled.
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ShutdownWhileBusyDrainsTheQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        counter.fetch_add(1);
+      });
+    }
+    // Destructor fires with most jobs still queued.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ConcurrentBatchesFromSeparatePoolsDoNotInterfere) {
+  ThreadPool a(2);
+  ThreadPool b(2);
+  std::atomic<int> total{0};
+  std::thread t([&] {
+    a.RunBatch(5'000, [&](size_t) { total.fetch_add(1); });
+  });
+  b.RunBatch(5'000, [&](size_t) { total.fetch_add(1); });
+  t.join();
+  EXPECT_EQ(total.load(), 10'000);
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
