@@ -12,6 +12,33 @@ namespace fta {
 namespace bench {
 namespace {
 
+/// Per-|DP| C-VDPS generation counters on GM: the paper's complexity
+/// analysis says generation dominates as |DP| grows; this shows where the
+/// states, Pareto traffic, and arena bytes go.
+void PrintGmGenerationCounters(const std::vector<size_t>& sizes) {
+  const std::vector<std::string> header{"|DP|",         "states",
+                                        "pareto_ins",   "pareto_evic",
+                                        "entries",      "strategies",
+                                        "arena_bytes",  "shards",
+                                        "max_shard_st", "wall_ms"};
+  ResultTable table("Fig 8 GM — C-VDPS generation counters", header);
+  const auto u = [](uint64_t v) {
+    return StrFormat("%llu", static_cast<unsigned long long>(v));
+  };
+  for (size_t s : sizes) {
+    const Instance instance =
+        GenerateGMissionLike(GmDefault(), GmPrepDefault(s));
+    const VdpsCatalog catalog =
+        VdpsCatalog::Generate(instance, GmOptions().vdps);
+    const GenerationCounters& g = catalog.generation();
+    table.AddRow({StrFormat("%zu", s), u(g.states_expanded),
+                  u(g.pareto_inserts), u(g.pareto_evictions), u(g.entries),
+                  u(g.strategies), u(g.arena_bytes), u(g.shards),
+                  u(g.max_shard_states), StrFormat("%.2f", g.wall_ms)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+}
+
 void Main() {
   PrintHeader("Figures 8-9 — effect of the number of delivery points |DP|");
 
@@ -26,6 +53,7 @@ void Main() {
         },
         PaperSeries(GmOptions()));
     std::printf("%s\n", gm.ToText().c_str());
+    PrintGmGenerationCounters(sizes);
   }
   {
     const std::vector<size_t> paper_sizes{3000, 3500, 4000, 4500, 5000};

@@ -124,6 +124,7 @@ RunMetrics RunOnInstance(Algorithm algorithm, const Instance& instance,
   m.covered_tasks = out.assignment.num_covered_tasks(instance);
   m.rounds = out.rounds;
   m.converged = out.converged;
+  m.generation = catalog.generation();
   return m;
 }
 
@@ -148,6 +149,7 @@ RunMetrics RunOnMulti(Algorithm algorithm, const MultiCenterInstance& multi,
             out.assignment.num_covered_tasks(instance);
         per_center[c].rounds = out.rounds;
         per_center[c].converged = out.converged;
+        per_center[c].generation = catalog.generation();
         payoffs_per_center[c] = out.assignment.Payoffs(instance);
       });
 
@@ -163,6 +165,7 @@ RunMetrics RunOnMulti(Algorithm algorithm, const MultiCenterInstance& multi,
     m.covered_tasks += c.covered_tasks;
     m.rounds = std::max(m.rounds, c.rounds);
     m.converged = m.converged && c.converged;
+    m.generation.Merge(c.generation);
   }
   return m;
 }

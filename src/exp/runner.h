@@ -46,6 +46,9 @@ struct RunMetrics {
   /// Game iterations (0 for one-shot algorithms).
   int rounds = 0;
   bool converged = true;
+  /// Catalog-generation counters of the run (summed across centers for
+  /// multi-center runs). Zero for RunWithCatalog, which skips generation.
+  GenerationCounters generation;
 };
 
 /// Runs one algorithm end-to-end (VDPS generation + solve) on a

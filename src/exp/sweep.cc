@@ -7,7 +7,7 @@ namespace fta {
 
 std::string SweepResult::ToText() const {
   return payoff_difference.ToText() + "\n" + average_payoff.ToText() + "\n" +
-         cpu_time.ToText();
+         cpu_time.ToText() + "\n" + generation_time.ToText();
 }
 
 SweepResult RunParameterSweep(
@@ -22,10 +22,11 @@ SweepResult RunParameterSweep(
       ResultTable(figure + " — payoff difference", header),
       ResultTable(figure + " — average payoff", header),
       ResultTable(figure + " — CPU time (s)", header),
+      ResultTable(figure + " — C-VDPS generation wall (ms)", header),
   };
 
-  std::vector<std::vector<double>> pdif(series.size()),
-      avg(series.size()), cpu(series.size());
+  std::vector<std::vector<double>> pdif(series.size()), avg(series.size()),
+      cpu(series.size()), gen_ms(series.size());
   for (size_t p = 0; p < point_labels.size(); ++p) {
     const MultiCenterInstance multi = instance_at(p);
     for (size_t s = 0; s < series.size(); ++s) {
@@ -34,17 +35,21 @@ SweepResult RunParameterSweep(
       pdif[s].push_back(m.payoff_difference);
       avg[s].push_back(m.average_payoff);
       cpu[s].push_back(m.cpu_seconds);
+      gen_ms[s].push_back(m.generation.wall_ms);
       FTA_LOG(kDebug) << figure << " " << series[s].name << " "
                       << param_name << "=" << point_labels[p]
                       << StrFormat(": pdif=%.4f avg=%.4f cpu=%.3fs",
                                    m.payoff_difference, m.average_payoff,
-                                   m.cpu_seconds);
+                                   m.cpu_seconds)
+                      << " gen_states=" << m.generation.states_expanded
+                      << " gen_arena_bytes=" << m.generation.arena_bytes;
     }
   }
   for (size_t s = 0; s < series.size(); ++s) {
     result.payoff_difference.AddNumericRow(series[s].name, pdif[s]);
     result.average_payoff.AddNumericRow(series[s].name, avg[s]);
     result.cpu_time.AddNumericRow(series[s].name, cpu[s]);
+    result.generation_time.AddNumericRow(series[s].name, gen_ms[s]);
   }
   return result;
 }

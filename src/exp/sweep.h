@@ -17,15 +17,19 @@ struct SweepSeries {
   SolverOptions options;
 };
 
-/// The three metric tables of one figure (one row per series, one column
-/// per x-axis point), mirroring the paper's (a) payoff difference,
-/// (b) average payoff, (c/d) CPU time sub-figures.
+/// The metric tables of one figure (one row per series, one column per
+/// x-axis point), mirroring the paper's (a) payoff difference, (b) average
+/// payoff, (c/d) CPU time sub-figures, plus the C-VDPS generation wall
+/// time — the paper's complexity analysis and our Fig-8/9 runs both show
+/// generation dominating as |DP| and maxDP grow, so every sweep reports
+/// where that time went.
 struct SweepResult {
   ResultTable payoff_difference;
   ResultTable average_payoff;
   ResultTable cpu_time;
+  ResultTable generation_time;
 
-  /// Renders all three tables.
+  /// Renders all tables.
   std::string ToText() const;
 };
 

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace fta {
 
@@ -90,6 +91,32 @@ std::vector<uint32_t> GridIndex::RadiusQuery(const Point& center,
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+RadiusAdjacency GridIndex::BuildRadiusAdjacency(double radius,
+                                                ThreadPool* pool) const {
+  const size_t n = points_.size();
+  std::vector<std::vector<uint32_t>> rows(n);
+  const auto build_row = [&](size_t j) {
+    rows[j] = RadiusQuery(points_[j], radius);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    pool->RunBatch(n, build_row);
+  } else {
+    for (size_t j = 0; j < n; ++j) build_row(j);
+  }
+
+  RadiusAdjacency adj;
+  adj.offsets.resize(n + 1, 0);
+  for (size_t j = 0; j < n; ++j) {
+    adj.offsets[j + 1] =
+        adj.offsets[j] + static_cast<uint32_t>(rows[j].size());
+  }
+  adj.neighbors.reserve(adj.offsets[n]);
+  for (size_t j = 0; j < n; ++j) {
+    adj.neighbors.insert(adj.neighbors.end(), rows[j].begin(), rows[j].end());
+  }
+  return adj;
 }
 
 int64_t GridIndex::Nearest(const Point& center) const {

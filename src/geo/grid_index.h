@@ -9,6 +9,31 @@
 
 namespace fta {
 
+class ThreadPool;
+
+/// Precomputed ε-neighborhoods of a point set in CSR layout: row j holds
+/// the ids of every point within the build radius of point j, ascending
+/// (including j itself). One radius query per point, paid once — inner
+/// loops that would otherwise re-run RadiusQuery (or scan all n points and
+/// re-check distances) iterate the row instead.
+struct RadiusAdjacency {
+  std::vector<uint32_t> offsets;    // size n + 1
+  std::vector<uint32_t> neighbors;  // CSR payload, ascending per row
+
+  size_t num_points() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  /// Total neighbor-list length (Σ row degrees).
+  size_t num_pairs() const { return neighbors.size(); }
+  size_t degree(uint32_t j) const { return offsets[j + 1] - offsets[j]; }
+  const uint32_t* begin(uint32_t j) const {
+    return neighbors.data() + offsets[j];
+  }
+  const uint32_t* end(uint32_t j) const {
+    return neighbors.data() + offsets[j + 1];
+  }
+};
+
 /// Uniform grid over a point set, supporting radius queries. This is the
 /// index behind the distance-constrained pruning strategy of Section IV:
 /// D(dp_j) = { dp_q : d(dp_j, dp_q) <= epsilon } is one RadiusQuery.
@@ -32,6 +57,12 @@ class GridIndex {
 
   /// Index of the nearest point to `center`, or -1 for an empty index.
   int64_t Nearest(const Point& center) const;
+
+  /// Builds the full ε-neighbor adjacency (one RadiusQuery per point).
+  /// Rows are computed independently, so a non-null `pool` fans the build
+  /// out across its threads; the result is identical either way.
+  RadiusAdjacency BuildRadiusAdjacency(double radius,
+                                       ThreadPool* pool = nullptr) const;
 
  private:
   struct Cell {

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -102,6 +103,19 @@ void ThreadPool::RunBatch(size_t n, const std::function<void(size_t)>& fn) {
   std::unique_lock<std::mutex> lock(state->mu);
   state->done.wait(lock, [&] { return state->drivers_left == 0; });
   if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void ThreadPool::RunChunked(size_t n, size_t chunk_size,
+                            const std::function<void(size_t, size_t, size_t)>&
+                                fn) {
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = 1;
+  const size_t chunks = NumChunks(n, chunk_size);
+  RunBatch(chunks, [&](size_t c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    fn(c, begin, end);
+  });
 }
 
 void ThreadPool::ParallelFor(size_t n, size_t num_threads,

@@ -43,6 +43,22 @@ class ThreadPool {
   /// pool worker thread (it would block a lane of its own batch).
   void RunBatch(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Range fan-out: splits [0, n) into NumChunks(n, chunk_size) contiguous
+  /// chunks and runs fn(chunk, begin, end) for each as one batch. Chunk
+  /// boundaries depend only on (n, chunk_size) — never on the thread count
+  /// or scheduling — so callers that write per-chunk results into
+  /// chunk-indexed slots and concatenate them in chunk order get
+  /// thread-count-invariant output.
+  void RunChunked(size_t n, size_t chunk_size,
+                  const std::function<void(size_t chunk, size_t begin,
+                                           size_t end)>& fn);
+
+  /// Number of chunks RunChunked(n, chunk_size, ...) will produce.
+  static size_t NumChunks(size_t n, size_t chunk_size) {
+    if (chunk_size == 0) chunk_size = 1;
+    return (n + chunk_size - 1) / chunk_size;
+  }
+
   size_t num_threads() const { return threads_.size(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.

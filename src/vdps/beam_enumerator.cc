@@ -1,49 +1,56 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "geo/distance_matrix.h"
 #include "geo/grid_index.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+#include "vdps/enumeration_store.h"
 #include "vdps/generators.h"
-#include "vdps/pareto.h"
+#include "vdps/route_arena.h"
 
 namespace fta {
 namespace {
 
-/// One partial delivery-point sequence in the beam.
+/// Beam items per extension chunk. The chunk partition — and therefore the
+/// candidate concatenation order — depends only on the beam size, never on
+/// the thread count, so the level's candidate list is byte-identical to a
+/// serial scan.
+constexpr size_t kBeamChunk = 16;
+
+/// One partial delivery-point sequence surviving the beam. The route lives
+/// in the shared arena; `last` caches its final delivery point.
 struct BeamItem {
-  Route route;
-  double arrival = 0.0;   // center-origin arrival at the last point
-  double slack = 0.0;     // max tolerable start offset so far
+  uint32_t node = RouteArena::kNone;
+  uint32_t last = 0;
+  double arrival = 0.0;  // center-origin arrival at the last point
+  double slack = 0.0;    // max tolerable start offset so far
+  double reward = 0.0;
+};
+
+/// A candidate extension produced by the level scan. Arena nodes are
+/// allocated only for the candidates that survive the shrink, so dropped
+/// candidates cost 32 stack-local bytes instead of a heap route copy.
+struct PendingChild {
+  uint32_t parent = RouteArena::kNone;  // kNone for level-1 roots
+  uint32_t dp = 0;
+  double arrival = 0.0;
+  double slack = 0.0;
   double reward = 0.0;
   /// Beam score: payoff rate of the partial sequence. Higher is more
   /// promising — workers ultimately rank VDPSs by reward / time.
-  double Score() const {
-    return reward / std::max(arrival, 1e-12);
-  }
-};
-
-/// FNV-1a over a sorted id vector (same as the exhaustive enumerator).
-struct VectorHash {
-  size_t operator()(const std::vector<uint32_t>& v) const {
-    uint64_t h = 1469598103934665603ULL;
-    for (uint32_t x : v) {
-      h ^= x;
-      h *= 1099511628211ULL;
-    }
-    return static_cast<size_t>(h);
-  }
+  double Score() const { return reward / std::max(arrival, 1e-12); }
 };
 
 }  // namespace
 
 GenerationResult GenerateCVdpsBeam(const Instance& instance,
-                                   const VdpsConfig& config,
-                                   size_t beam_width) {
+                                   const VdpsConfig& config, size_t beam_width,
+                                   ThreadPool* pool) {
   FTA_CHECK_MSG(beam_width > 0, "beam_width must be positive");
   GenerationResult result;
   const uint32_t n = static_cast<uint32_t>(instance.num_delivery_points());
@@ -51,108 +58,156 @@ GenerationResult GenerateCVdpsBeam(const Instance& instance,
 
   const DistanceMatrix dm(instance.center(), instance.DeliveryPointLocations(),
                           instance.travel());
-  const GridIndex grid(instance.DeliveryPointLocations(),
-                       std::isinf(config.epsilon) ? 0.0 : config.epsilon);
+  RadiusAdjacency adj;
+  const bool pruned = !std::isinf(config.epsilon);
+  if (pruned) {
+    Stopwatch adj_sw;
+    const GridIndex grid(instance.DeliveryPointLocations(), config.epsilon);
+    adj = grid.BuildRadiusAdjacency(config.epsilon, pool);
+    result.counters.adjacency_ms = adj_sw.ElapsedMillis();
+    result.counters.adjacency_pairs = adj.num_pairs();
+  }
   const uint32_t cap =
       config.max_set_size == 0 ? n : std::min(config.max_set_size, n);
 
-  std::unordered_map<std::vector<uint32_t>, CVdpsEntry, VectorHash> entries;
-  bool truncated = false;
+  Stopwatch enum_sw;
+  // Single shard: the beam itself is the unit of parallelism (per-level
+  // extension chunks); set store, arena, and recording stay serial.
+  std::vector<vdps_internal::EnumerationShard> shards(1);
+  vdps_internal::EnumerationShard& store = shards[0];
+  GenerationCounters& c = store.counters;
+
+  Route scratch_route;
+  std::vector<uint32_t> scratch_key;
   const auto record = [&](const BeamItem& item) {
-    std::vector<uint32_t> key = item.route;
-    std::sort(key.begin(), key.end());
-    auto it = entries.find(key);
-    if (it == entries.end()) {
-      if (config.max_entries > 0 && entries.size() >= config.max_entries) {
-        truncated = true;
-        return;
-      }
-      CVdpsEntry entry;
-      entry.dps = key;
-      entry.total_reward = item.reward;
-      it = entries.emplace(std::move(key), std::move(entry)).first;
+    ++c.states_expanded;
+    store.arena.Materialize(item.node, scratch_route);
+    scratch_key = scratch_route;
+    std::sort(scratch_key.begin(), scratch_key.end());
+    // Reused scratch buffers: copies, but no per-record allocations. The
+    // pre-arena implementation allocated both.
+    c.scratch_bytes_copied += 2 * scratch_key.size() * sizeof(uint32_t);
+    c.legacy_route_bytes += 2 * scratch_key.size() * sizeof(uint32_t);
+    c.legacy_route_allocs += 2;
+    bool created = false;
+    vdps_internal::SetRecord* rec =
+        store.Intern(scratch_key, config.max_entries, &created);
+    if (rec == nullptr) return;  // entry cap hit; store.truncated is set
+    if (created) {
+      c.legacy_route_bytes += scratch_key.size() * sizeof(uint32_t);
+      ++c.legacy_route_allocs;
+      rec->total_reward = item.reward;
     }
-    SequenceOption opt;
-    opt.route = item.route;
-    opt.center_time = item.arrival;
-    opt.slack = item.slack;
-    InsertParetoOption(it->second.options, std::move(opt),
-                       config.max_pareto);
+    rec->options.push_back(
+        vdps_internal::RawOption{item.arrival, item.slack, item.node, 0});
+    ++c.options_recorded;
   };
 
-  // Level 1: every feasible center -> dp start (first hop is never
+  bool shrink_truncated = false;
+  const auto shrink = [&](std::vector<PendingChild>& level) {
+    if (level.size() <= beam_width) return;
+    std::nth_element(level.begin(),
+                     level.begin() + static_cast<ptrdiff_t>(beam_width),
+                     level.end(), [](const PendingChild& a,
+                                     const PendingChild& b) {
+                       return a.Score() > b.Score();
+                     });
+    level.resize(beam_width);
+    shrink_truncated = true;  // some partial sequences were dropped
+  };
+
+  /// Allocates arena nodes for the shrink survivors (in candidate order,
+  /// so node ids match a serial run), records them, and forms the beam.
+  const auto admit = [&](const std::vector<PendingChild>& level,
+                         std::vector<BeamItem>& out) {
+    out.clear();
+    out.reserve(level.size());
+    for (const PendingChild& p : level) {
+      BeamItem item;
+      item.node = store.arena.Push(p.parent, p.dp);
+      item.last = p.dp;
+      item.arrival = p.arrival;
+      item.slack = p.slack;
+      item.reward = p.reward;
+      record(item);
+      out.push_back(item);
+    }
+  };
+
+  // Level 1: every feasible center -> dp start (the first hop is never
   // ε-pruned, matching the exhaustive enumerator).
-  std::vector<BeamItem> beam;
+  std::vector<PendingChild> pending;
   for (uint32_t j = 0; j < n; ++j) {
     const double arr = dm.FromOrigin(j);
     const double slack = instance.delivery_point(j).earliest_expiry() - arr;
     if (slack < 0.0) continue;
-    BeamItem item;
-    item.route = {j};
-    item.arrival = arr;
-    item.slack = slack;
-    item.reward = instance.delivery_point(j).total_reward();
-    beam.push_back(std::move(item));
+    pending.push_back(PendingChild{RouteArena::kNone, j, arr, slack,
+                                   instance.delivery_point(j).total_reward()});
   }
-
-  const auto shrink = [&](std::vector<BeamItem>& level) {
-    if (level.size() <= beam_width) return;
-    std::nth_element(level.begin(),
-                     level.begin() + static_cast<ptrdiff_t>(beam_width),
-                     level.end(), [](const BeamItem& a, const BeamItem& b) {
-                       return a.Score() > b.Score();
-                     });
-    level.resize(beam_width);
-    truncated = true;  // some partial sequences were dropped
-  };
-
-  shrink(beam);
-  for (const BeamItem& item : beam) record(item);
+  // The pre-arena implementation allocated a route per candidate before
+  // shrinking (level-length payload each).
+  c.legacy_route_allocs += pending.size();
+  c.legacy_route_bytes += pending.size() * sizeof(uint32_t);
+  shrink(pending);
+  std::vector<BeamItem> beam;
+  admit(pending, beam);
 
   for (uint32_t level = 2; level <= cap && !beam.empty(); ++level) {
-    std::vector<BeamItem> next;
-    for (const BeamItem& item : beam) {
-      const uint32_t last = item.route.back();
-      const auto extend = [&](uint32_t j) {
-        for (uint32_t r : item.route) {
-          if (r == j) return;
-        }
-        const double arr = item.arrival + dm.Between(last, j);
-        const double slack = std::min(
+    // Extension scan. Reads the arena (dedup walks) but never writes it —
+    // survivors get their nodes only in admit() — so fixed-order chunks of
+    // the beam can scan concurrently.
+    const auto extend_item = [&](const BeamItem& item,
+                                 std::vector<PendingChild>& out) {
+      const auto try_extend = [&](uint32_t j) {
+        if (store.arena.Contains(item.node, j)) return;
+        const double arr = item.arrival + dm.Between(item.last, j);
+        const double slk = std::min(
             item.slack, instance.delivery_point(j).earliest_expiry() - arr);
-        if (slack < 0.0) return;
-        BeamItem child;
-        child.route = item.route;
-        child.route.push_back(j);
-        child.arrival = arr;
-        child.slack = slack;
-        child.reward =
-            item.reward + instance.delivery_point(j).total_reward();
-        next.push_back(std::move(child));
+        if (slk < 0.0) return;
+        out.push_back(PendingChild{
+            item.node, j, arr, slk,
+            item.reward + instance.delivery_point(j).total_reward()});
       };
-      if (std::isinf(config.epsilon)) {
-        for (uint32_t j = 0; j < n; ++j) extend(j);
+      if (pruned) {
+        for (const uint32_t* p = adj.begin(item.last); p != adj.end(item.last);
+             ++p) {
+          try_extend(*p);
+        }
       } else {
-        const Point& at = instance.delivery_point(last).location();
-        for (uint32_t j : grid.RadiusQuery(at, config.epsilon)) extend(j);
+        for (uint32_t j = 0; j < n; ++j) try_extend(j);
       }
+    };
+
+    pending.clear();
+    if (pool != nullptr && pool->num_threads() > 1 && beam.size() > 1) {
+      std::vector<std::vector<PendingChild>> chunk_out(
+          ThreadPool::NumChunks(beam.size(), kBeamChunk));
+      pool->RunChunked(beam.size(), kBeamChunk,
+                       [&](size_t chunk, size_t begin, size_t end) {
+                         for (size_t i = begin; i < end; ++i) {
+                           extend_item(beam[i], chunk_out[chunk]);
+                         }
+                       });
+      for (const auto& out : chunk_out) {
+        pending.insert(pending.end(), out.begin(), out.end());
+      }
+    } else {
+      for (const BeamItem& item : beam) extend_item(item, pending);
     }
-    shrink(next);
-    for (const BeamItem& item : next) record(item);
+    c.legacy_route_allocs += pending.size();
+    c.legacy_route_bytes += pending.size() * level * sizeof(uint32_t);
+
+    shrink(pending);
+    std::vector<BeamItem> next;
+    admit(pending, next);
     beam = std::move(next);
   }
+  result.counters.enumerate_ms = enum_sw.ElapsedMillis();
 
-  result.entries.reserve(entries.size());
-  for (auto& [key, entry] : entries) {
-    result.entries.push_back(std::move(entry));
-  }
-  std::sort(result.entries.begin(), result.entries.end(),
-            [](const CVdpsEntry& a, const CVdpsEntry& b) {
-              if (a.dps.size() != b.dps.size())
-                return a.dps.size() < b.dps.size();
-              return a.dps < b.dps;
-            });
-  result.truncated = truncated;
+  Stopwatch fin_sw;
+  vdps_internal::FinalizeShards(shards, config, result);
+  result.counters.finalize_ms = fin_sw.ElapsedMillis();
+  result.truncated = result.truncated || shrink_truncated;
   return result;
 }
 

@@ -1,9 +1,12 @@
 #include "vdps/catalog.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "vdps/generators.h"
 
 namespace fta {
@@ -13,25 +16,65 @@ namespace {
 /// standing at the center with a delivery point there too).
 constexpr double kMinTravelTime = 1e-12;
 
+/// Workers per inverted-index scan chunk (fixed partition, so the spliced
+/// output never depends on the thread count).
+constexpr size_t kWorkerChunk = 8;
+
 }  // namespace
+
+void GenerationCounters::Merge(const GenerationCounters& o) {
+  states_expanded += o.states_expanded;
+  options_recorded += o.options_recorded;
+  pareto_inserts += o.pareto_inserts;
+  pareto_evictions += o.pareto_evictions;
+  entries += o.entries;
+  arena_nodes += o.arena_nodes;
+  arena_bytes += o.arena_bytes;
+  route_bytes_copied += o.route_bytes_copied;
+  route_allocs += o.route_allocs;
+  scratch_bytes_copied += o.scratch_bytes_copied;
+  legacy_route_bytes += o.legacy_route_bytes;
+  legacy_route_allocs += o.legacy_route_allocs;
+  adjacency_pairs += o.adjacency_pairs;
+  shards += o.shards;
+  max_shard_states = std::max(max_shard_states, o.max_shard_states);
+  strategies += o.strategies;
+  adjacency_ms += o.adjacency_ms;
+  enumerate_ms += o.enumerate_ms;
+  finalize_ms += o.finalize_ms;
+  strategies_ms += o.strategies_ms;
+  wall_ms += o.wall_ms;
+}
 
 VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
                                   const VdpsConfig& config) {
+  Stopwatch wall;
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = nullptr;
+  if (config.num_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(config.num_threads);
+    pool = owned_pool.get();
+  }
+
   GenerationResult gen =
       config.use_exact_dp
           ? GenerateCVdpsExact(instance, config)
           : (config.beam_width > 0
-                 ? GenerateCVdpsBeam(instance, config, config.beam_width)
-                 : GenerateCVdpsSequences(instance, config));
+                 ? GenerateCVdpsBeam(instance, config, config.beam_width, pool)
+                 : GenerateCVdpsSequences(instance, config, pool));
   VdpsCatalog catalog;
   catalog.entries_ = std::move(gen.entries);
   catalog.truncated_ = gen.truncated;
+  catalog.gen_ = gen.counters;
 
   // Materialize per-worker strategies: a C-VDPS is valid for worker w iff
   // some retained sequence tolerates the worker's center offset, and the
-  // set respects the worker's maxDP.
-  catalog.strategies_.resize(instance.num_workers());
-  for (size_t w = 0; w < instance.num_workers(); ++w) {
+  // set respects the worker's maxDP. Workers are independent, so the build
+  // fans out per worker; each slot is written by exactly one job.
+  Stopwatch strat_sw;
+  const size_t num_workers = instance.num_workers();
+  catalog.strategies_.resize(num_workers);
+  const auto build_worker = [&](size_t w) {
     const double offset = instance.WorkerToCenterTime(w);
     const uint32_t max_dp = instance.worker(w).max_delivery_points;
     std::vector<WorkerStrategy>& out = catalog.strategies_[w];
@@ -54,21 +97,67 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
                 if (a.payoff != b.payoff) return a.payoff > b.payoff;
                 return a.entry_id < b.entry_id;
               });
+  };
+  if (pool != nullptr && num_workers > 1) {
+    pool->RunBatch(num_workers, build_worker);
+  } else {
+    for (size_t w = 0; w < num_workers; ++w) build_worker(w);
   }
 
   // Delivery-point → strategies inverted index, built once against the
-  // final (sorted) strategy order.
+  // final (sorted) strategy order. The parallel path scans fixed worker
+  // chunks into private (dp, ref) lists and splices them in chunk order —
+  // identical to the serial (worker asc, strategy asc) append order.
   catalog.touching_.resize(instance.num_delivery_points());
-  for (uint32_t w = 0; w < catalog.strategies_.size(); ++w) {
+  struct Touch {
+    uint32_t dp;
+    StrategyRef ref;
+  };
+  const auto scan_worker = [&](uint32_t w, std::vector<Touch>& out) {
     const auto& strategies = catalog.strategies_[w];
     for (size_t i = 0; i < strategies.size(); ++i) {
       const CVdpsEntry& entry = catalog.entries_[strategies[i].entry_id];
       for (uint32_t dp : entry.dps) {
-        catalog.touching_[dp].push_back(
-            StrategyRef{w, static_cast<int32_t>(i)});
+        out.push_back(Touch{dp, StrategyRef{w, static_cast<int32_t>(i)}});
+      }
+    }
+  };
+  if (pool != nullptr && num_workers > 1) {
+    std::vector<std::vector<Touch>> chunk_out(
+        ThreadPool::NumChunks(num_workers, kWorkerChunk));
+    pool->RunChunked(num_workers, kWorkerChunk,
+                     [&](size_t chunk, size_t begin, size_t end) {
+                       for (size_t w = begin; w < end; ++w) {
+                         scan_worker(static_cast<uint32_t>(w),
+                                     chunk_out[chunk]);
+                       }
+                     });
+    for (const auto& out : chunk_out) {
+      for (const Touch& t : out) {
+        catalog.touching_[t.dp].push_back(t.ref);
+      }
+    }
+  } else {
+    std::vector<Touch> out;
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      out.clear();
+      scan_worker(w, out);
+      for (const Touch& t : out) {
+        catalog.touching_[t.dp].push_back(t.ref);
       }
     }
   }
+  catalog.gen_.strategies_ms = strat_sw.ElapsedMillis();
+  for (const auto& s : catalog.strategies_) {
+    catalog.gen_.strategies += s.size();
+  }
+
+  catalog.gen_.wall_ms = wall.ElapsedMillis();
+  FTA_LOG(kInfo) << "C-VDPS generation: entries=" << catalog.entries_.size()
+                 << " strategies=" << catalog.gen_.strategies << " wall_ms="
+                 << StrFormat("%.2f", catalog.gen_.wall_ms)
+                 << " arena_bytes=" << catalog.gen_.arena_bytes
+                 << " threads=" << (pool != nullptr ? pool->num_threads() : 1);
   return catalog;
 }
 

@@ -1,6 +1,7 @@
 #ifndef FTA_VDPS_CATALOG_H_
 #define FTA_VDPS_CATALOG_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -10,6 +11,65 @@
 #include "util/math_util.h"
 
 namespace fta {
+
+/// Observability counters of one catalog generation run. Counts are exact
+/// (incremented on the hot paths, summed across shards deterministically);
+/// the `legacy_*` pair additionally models what the pre-arena
+/// implementation would have spent — two route copies (sort key +
+/// option route) per recorded sequence plus a full route copy per beam
+/// extension — so benches can report the arena's allocation savings
+/// without keeping the old code alive.
+struct GenerationCounters {
+  /// Feasible partial sequences visited (DP states for the exact engine).
+  uint64_t states_expanded = 0;
+  /// Raw (route, center_time, slack) options recorded into set stores.
+  uint64_t options_recorded = 0;
+  /// Pareto-frontier acceptances across all sets.
+  uint64_t pareto_inserts = 0;
+  /// Options removed from a frontier again (dominated later, or cap).
+  uint64_t pareto_evictions = 0;
+  /// C-VDPS entries produced.
+  uint64_t entries = 0;
+  /// Route-arena nodes allocated (== states for the sequence engines).
+  uint64_t arena_nodes = 0;
+  /// Total arena heap footprint in bytes.
+  uint64_t arena_bytes = 0;
+  /// Route payload bytes copied into heap vectors. For the arena engines
+  /// every one of these survives into the final catalog (set keys that
+  /// become entry.dps, materialized survivor routes); the exact reference
+  /// engine also counts its DP-table route copies here.
+  uint64_t route_bytes_copied = 0;
+  /// Route vector heap allocations actually performed (same scope).
+  uint64_t route_allocs = 0;
+  /// Route payload bytes copied into reused scratch buffers (no heap
+  /// allocation) — e.g. the beam's per-record key materialization.
+  uint64_t scratch_bytes_copied = 0;
+  /// Route payload bytes the pre-arena implementation would have copied.
+  uint64_t legacy_route_bytes = 0;
+  /// Route vector allocations the pre-arena implementation would have
+  /// performed.
+  uint64_t legacy_route_allocs = 0;
+  /// Total ε-adjacency list length (0 when ε = ∞ disables the precompute).
+  uint64_t adjacency_pairs = 0;
+  /// Enumeration shards (1 when serial).
+  uint64_t shards = 0;
+  /// States expanded by the busiest shard — shard-imbalance numerator
+  /// (perfect balance has max_shard_states ≈ states_expanded / shards).
+  uint64_t max_shard_states = 0;
+  /// Worker strategies materialized.
+  uint64_t strategies = 0;
+
+  double adjacency_ms = 0.0;
+  double enumerate_ms = 0.0;
+  double finalize_ms = 0.0;
+  double strategies_ms = 0.0;
+  /// End-to-end VdpsCatalog::Generate wall time.
+  double wall_ms = 0.0;
+
+  /// Accumulates another run's counters (multi-center aggregation): counts
+  /// and times add, max_shard_states takes the max.
+  void Merge(const GenerationCounters& o);
+};
 
 /// One center-origin delivery point sequence retained for a C-VDPS: the
 /// route, its final arrival time when starting at the center at time 0, and
@@ -39,11 +99,18 @@ struct CVdpsEntry {
 
   /// The fastest sequence whose slack admits a start offset of `offset`,
   /// or nullptr if the set is infeasible for that offset.
+  ///
+  /// The frontier is sorted by center_time ascending AND slack ascending
+  /// (see InsertParetoOptionT; the generators assert the invariant after
+  /// every merge), so the admissible options form a suffix and the first
+  /// one — found by binary search on slack — is the fastest.
   const SequenceOption* BestOptionFor(double offset) const {
-    for (const SequenceOption& opt : options) {
-      if (opt.slack + kEps >= offset) return &opt;
-    }
-    return nullptr;
+    const auto it = std::lower_bound(
+        options.begin(), options.end(), offset,
+        [](const SequenceOption& o, double off) {
+          return o.slack + kEps < off;
+        });
+    return it == options.end() ? nullptr : &*it;
   }
 };
 
@@ -71,6 +138,14 @@ struct VdpsConfig {
   /// level-wise beam search instead of the exhaustive enumerator — the
   /// scalable choice for large max_set_size. See GenerateCVdpsBeam.
   size_t beam_width = 0;
+  /// Threads for catalog construction: sharded sequence enumeration, beam
+  /// level extension, ε-adjacency precompute, and per-worker strategy
+  /// materialization. Catalogs are bit-identical at any thread count —
+  /// shard results merge in a fixed root/chunk order that scheduling
+  /// cannot disturb. <= 1 keeps everything on the calling thread. When
+  /// max_entries > 0 the sequence enumerator runs single-sharded so the
+  /// truncation point stays exactly the serial one.
+  size_t num_threads = 1;
 };
 
 /// One strategy of a worker in the FTA game: a VDPS (catalog entry) plus
@@ -135,6 +210,9 @@ class VdpsCatalog {
   /// True if generation hit the max_entries cap (results may be partial).
   bool truncated() const { return truncated_; }
 
+  /// Counters of the generation run that built this catalog.
+  const GenerationCounters& generation() const { return gen_; }
+
   /// Summary line for logs: entry/strategy counts.
   std::string Summary() const;
 
@@ -142,6 +220,7 @@ class VdpsCatalog {
   std::vector<CVdpsEntry> entries_;
   std::vector<std::vector<WorkerStrategy>> strategies_;
   std::vector<std::vector<StrategyRef>> touching_;  // per delivery point
+  GenerationCounters gen_;
   bool truncated_ = false;
 };
 

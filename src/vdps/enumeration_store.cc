@@ -1,0 +1,106 @@
+#include "vdps/enumeration_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "vdps/pareto.h"
+
+namespace fta {
+namespace vdps_internal {
+
+SetRecord* EnumerationShard::Intern(std::span<const uint32_t> key,
+                                    size_t max_entries, bool* created) {
+  *created = false;
+  auto it = sets.find(key);
+  if (it == sets.end()) {
+    if (max_entries > 0 && sets.size() >= max_entries) {
+      truncated = true;
+      return nullptr;
+    }
+    it = sets.emplace(std::vector<uint32_t>(key.begin(), key.end()),
+                      SetRecord{})
+             .first;
+    counters.route_bytes_copied += key.size() * sizeof(uint32_t);
+    ++counters.route_allocs;
+    *created = true;
+  }
+  return &it->second;
+}
+
+void FinalizeShards(std::vector<EnumerationShard>& shards,
+                    const VdpsConfig& config, GenerationResult& result) {
+  GenerationCounters& c = result.counters;
+  for (const EnumerationShard& s : shards) {
+    c.states_expanded += s.counters.states_expanded;
+    c.options_recorded += s.counters.options_recorded;
+    c.route_bytes_copied += s.counters.route_bytes_copied;
+    c.route_allocs += s.counters.route_allocs;
+    c.scratch_bytes_copied += s.counters.scratch_bytes_copied;
+    c.legacy_route_bytes += s.counters.legacy_route_bytes;
+    c.legacy_route_allocs += s.counters.legacy_route_allocs;
+    c.arena_nodes += s.arena.num_nodes();
+    c.arena_bytes += s.arena.bytes();
+    c.max_shard_states =
+        std::max(c.max_shard_states, s.counters.states_expanded);
+    result.truncated = result.truncated || s.truncated;
+  }
+  c.shards += shards.size();
+
+  // Merge the shard stores into shards[0].sets. merge() splices every set
+  // first seen in shard s (raw options riding along untouched); sets that
+  // already exist stay behind in the source and get their options appended
+  // to the spliced record. Shards cover ascending first-delivery-point
+  // ranges and are processed ascending, so the per-set concatenation is
+  // exactly the order the serial enumerator would have recorded in.
+  SetStore& merged = shards[0].sets;
+  for (size_t s = 1; s < shards.size(); ++s) {
+    merged.merge(shards[s].sets);
+    for (auto& [key, rec] : shards[s].sets) {
+      SetRecord& target = merged.find(key)->second;
+      target.options.insert(target.options.end(), rec.options.begin(),
+                            rec.options.end());
+    }
+    shards[s].sets.clear();
+  }
+
+  // Replay the serial Pareto selection over each set's raw options, then
+  // materialize routes only for the survivors.
+  ParetoStats stats;
+  std::vector<RawOption> frontier;
+  result.entries.reserve(merged.size());
+  while (!merged.empty()) {
+    auto nh = merged.extract(merged.begin());
+    frontier.clear();
+    for (const RawOption& raw : nh.mapped().options) {
+      InsertParetoOptionT(frontier, raw, config.max_pareto, &stats);
+    }
+    CVdpsEntry entry;
+    entry.dps = std::move(nh.key());
+    entry.total_reward = nh.mapped().total_reward;
+    entry.options.reserve(frontier.size());
+    for (const RawOption& raw : frontier) {
+      SequenceOption opt;
+      shards[raw.shard].arena.Materialize(raw.node, opt.route);
+      c.route_bytes_copied += opt.route.size() * sizeof(uint32_t);
+      ++c.route_allocs;
+      opt.center_time = raw.center_time;
+      opt.slack = raw.slack;
+      entry.options.push_back(std::move(opt));
+    }
+    FTA_DCHECK(ParetoFrontierInvariantHolds(entry.options));
+    result.entries.push_back(std::move(entry));
+  }
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const CVdpsEntry& a, const CVdpsEntry& b) {
+              if (a.dps.size() != b.dps.size())
+                return a.dps.size() < b.dps.size();
+              return a.dps < b.dps;
+            });
+  c.pareto_inserts += stats.inserts;
+  c.pareto_evictions += stats.evictions;
+  c.entries += result.entries.size();
+}
+
+}  // namespace vdps_internal
+}  // namespace fta

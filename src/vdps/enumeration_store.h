@@ -1,0 +1,101 @@
+#ifndef FTA_VDPS_ENUMERATION_STORE_H_
+#define FTA_VDPS_ENUMERATION_STORE_H_
+
+// Internal shared machinery of the sequence/beam C-VDPS enumerators: the
+// per-shard raw set store and the deterministic shard merge. Not part of
+// the public catalog API.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "vdps/catalog.h"
+#include "vdps/generators.h"
+#include "vdps/route_arena.h"
+
+namespace fta {
+namespace vdps_internal {
+
+/// FNV-1a over an id sequence. Transparent so lookups can hash the
+/// enumerator's incrementally maintained sorted key without materializing
+/// a fresh vector per probe.
+struct SetHash {
+  using is_transparent = void;
+  size_t operator()(std::span<const uint32_t> v) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    return operator()(std::span<const uint32_t>(v));
+  }
+};
+
+struct SetEq {
+  using is_transparent = void;
+  bool operator()(std::span<const uint32_t> a,
+                  std::span<const uint32_t> b) const {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+};
+
+/// One recorded feasible sequence: an arena route handle plus the
+/// (center_time, slack) pair. Field names match SequenceOption so the
+/// shared Pareto template runs the exact same selection on these 24-byte
+/// records as it would on full options; routes materialize only for the
+/// survivors.
+struct RawOption {
+  double center_time = 0.0;
+  double slack = 0.0;
+  /// Route handle into the owning shard's arena.
+  uint32_t node = RouteArena::kNone;
+  /// Owning shard index (selects the arena at materialization time).
+  uint32_t shard = 0;
+};
+
+/// Raw per-set record: every feasible ordering, in discovery order.
+struct SetRecord {
+  double total_reward = 0.0;
+  std::vector<RawOption> options;
+};
+
+using SetStore = std::unordered_map<std::vector<uint32_t>, SetRecord,
+                                    SetHash, SetEq>;
+
+/// One enumeration shard: a private set store, route arena, and counters.
+/// Shards never share mutable state, so a batch of them runs lock-free;
+/// FinalizeShards merges them in shard order afterwards.
+struct EnumerationShard {
+  SetStore sets;
+  RouteArena arena;
+  GenerationCounters counters;
+  /// True if the max_entries cap blocked a set creation.
+  bool truncated = false;
+
+  /// Looks up or creates the record for `key` (sorted ascending). Returns
+  /// nullptr — and sets `truncated` — when a creation would exceed
+  /// `max_entries` (0 = unlimited). `*created` reports whether a new
+  /// record was made; the caller fills total_reward exactly once then.
+  /// Key-copy costs of a creation are charged to `counters`.
+  SetRecord* Intern(std::span<const uint32_t> key, size_t max_entries,
+                    bool* created);
+};
+
+/// Merges the shards in index order and builds the final sorted entry
+/// list. Per set, raw options concatenate across shards ascending — with
+/// shards covering ascending first-delivery-point ranges this reproduces
+/// the serial enumerator's insertion order exactly, for any shard count —
+/// then run through the shared Pareto selection; only surviving options
+/// get their routes materialized from the owning shard's arena. Aggregates
+/// every shard's counters (and arena totals) into result.counters.
+void FinalizeShards(std::vector<EnumerationShard>& shards,
+                    const VdpsConfig& config, GenerationResult& result);
+
+}  // namespace vdps_internal
+}  // namespace fta
+
+#endif  // FTA_VDPS_ENUMERATION_STORE_H_

@@ -1,11 +1,14 @@
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "geo/distance_matrix.h"
+#include "geo/grid_index.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/stopwatch.h"
 #include "vdps/generators.h"
 #include "vdps/pareto.h"
 
@@ -29,17 +32,32 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
                 "GenerateCVdpsSequences beyond 24 delivery points");
   GenerationResult result;
   if (n == 0) return result;
+  GenerationCounters& c = result.counters;
 
   const uint32_t cap =
       config.max_set_size == 0 ? n : std::min(config.max_set_size, n);
   const DistanceMatrix dm(instance.center(), instance.DeliveryPointLocations(),
                           instance.travel());
 
+  // ε-adjacency rows (ascending, including self) replace the O(n) distance
+  // rescan per state expansion — the same precompute, and therefore the
+  // exact same neighborhood predicate, as the sequence enumerators.
+  RadiusAdjacency adj;
+  const bool pruned = !std::isinf(config.epsilon);
+  if (pruned) {
+    Stopwatch adj_sw;
+    const GridIndex grid(instance.DeliveryPointLocations(), config.epsilon);
+    adj = grid.BuildRadiusAdjacency(config.epsilon, nullptr);
+    c.adjacency_ms = adj_sw.ElapsedMillis();
+    c.adjacency_pairs = adj.num_pairs();
+  }
+
+  Stopwatch enum_sw;
   // dp[(mask, last)] -> Pareto frontier of (arrival, slack) with routes.
   std::unordered_map<StateKey, std::vector<SequenceOption>> dp;
-  dp.reserve(1u << std::min(n, 20u));
 
   // Base case |Q| = 1 (Equation 3): center -> dp_j.
+  std::vector<std::pair<uint32_t, SequenceOption>> roots;
   for (uint32_t j = 0; j < n; ++j) {
     const double arr = dm.FromOrigin(j);
     const double slack = instance.delivery_point(j).earliest_expiry() - arr;
@@ -48,9 +66,20 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
     opt.route = {j};
     opt.center_time = arr;
     opt.slack = slack;
+    roots.emplace_back(j, std::move(opt));
+  }
+  // Size the table from the level-1 frontier: each feasible root seeds a
+  // state and each deeper level multiplies by a bounded branching factor.
+  // (The old 2^min(n,20) reservation allocated a million-bucket table even
+  // for a 10-point instance.)
+  dp.reserve(roots.size() * (cap > 1 ? 8 : 1));
+  for (auto& [j, opt] : roots) {
     dp[MakeKey(1u << j, j, n)].push_back(std::move(opt));
   }
+  roots.clear();
 
+  ParetoStats stats;
+  std::unordered_map<uint32_t, CVdpsEntry> by_mask;
   // Expand masks in increasing numeric order; every submask precedes its
   // supersets, which realizes Algorithm 1's by-size iteration (Equation 4).
   const uint32_t full = (n >= 32) ? 0xffffffffu : ((1u << n) - 1);
@@ -59,18 +88,43 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
     if (size > static_cast<int>(cap)) continue;
     for (uint32_t last = 0; last < n; ++last) {
       if ((mask & (1u << last)) == 0) continue;
-      auto it = dp.find(MakeKey(mask, last, n));
-      if (it == dp.end()) continue;
+      const auto it = dp.find(MakeKey(mask, last, n));
+      // operator[] during expansion default-creates target states that may
+      // end up with no feasible option; those are not C-VDPSs.
+      if (it == dp.end() || it->second.empty()) continue;
+      ++c.states_expanded;
+
+      // Collect this state into its set's entry now: expansions only write
+      // strictly larger masks, so (mask, last) is final once the sweep
+      // reaches it. Collecting in (mask asc, last asc) order here makes
+      // each entry's frontier deterministic, unlike the old post-hoc sweep
+      // in unordered_map bucket order.
+      CVdpsEntry& entry = by_mask[mask];
+      if (entry.dps.empty()) {
+        for (uint32_t j = 0; j < n; ++j) {
+          if (mask & (1u << j)) {
+            entry.dps.push_back(j);
+            entry.total_reward += instance.delivery_point(j).total_reward();
+          }
+        }
+      }
+      for (const SequenceOption& opt : it->second) {
+        c.route_bytes_copied += opt.route.size() * sizeof(uint32_t);
+        ++c.route_allocs;
+        InsertParetoOption(entry.options, opt, config.max_pareto, &stats);
+      }
+
       if (size == static_cast<int>(cap)) continue;  // no further expansion
-      for (uint32_t next = 0; next < n; ++next) {
-        if (mask & (1u << next)) continue;
-        // Distance-constrained pruning: only ε-neighbors of `last`.
-        if (dm.DistanceBetween(last, next) > config.epsilon) continue;
+      // Copy the source frontier by value (<= max_pareto short routes):
+      // the dp[] target lookups below can rehash the table, which would
+      // invalidate `it` — the old code re-found the source after every
+      // target access instead.
+      const std::vector<SequenceOption> sources = it->second;
+      const auto expand_to = [&](uint32_t next) {
+        if (mask & (1u << next)) return;
         const double hop = dm.Between(last, next);
         const double e_next = instance.delivery_point(next).earliest_expiry();
         auto& target = dp[MakeKey(mask | (1u << next), next, n)];
-        // NOTE: dp[] above may rehash; re-find the source options after.
-        const auto& sources = dp.find(MakeKey(mask, last, n))->second;
         for (const SequenceOption& src : sources) {
           const double arr = src.center_time + hop;
           const double slack = std::min(src.slack, e_next - arr);
@@ -80,35 +134,28 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
           opt.route.push_back(next);
           opt.center_time = arr;
           opt.slack = slack;
-          InsertParetoOption(target, std::move(opt), config.max_pareto);
+          c.route_bytes_copied += opt.route.size() * sizeof(uint32_t);
+          ++c.route_allocs;
+          ++c.options_recorded;
+          InsertParetoOption(target, std::move(opt), config.max_pareto,
+                             &stats);
         }
+      };
+      if (pruned) {
+        for (const uint32_t* p = adj.begin(last); p != adj.end(last); ++p) {
+          expand_to(*p);
+        }
+      } else {
+        for (uint32_t next = 0; next < n; ++next) expand_to(next);
       }
     }
   }
+  c.enumerate_ms = enum_sw.ElapsedMillis();
 
-  // Collect: every mask with at least one feasible (last, option) is a
-  // C-VDPS; merge options across last points into one frontier per set.
-  std::unordered_map<uint32_t, CVdpsEntry> by_mask;
-  for (const auto& [key, options] : dp) {
-    // operator[] during expansion default-creates target states that may
-    // end up with no feasible option; those are not C-VDPSs.
-    if (options.empty()) continue;
-    const uint32_t mask = static_cast<uint32_t>(key / n);
-    CVdpsEntry& entry = by_mask[mask];
-    if (entry.dps.empty()) {
-      for (uint32_t j = 0; j < n; ++j) {
-        if (mask & (1u << j)) {
-          entry.dps.push_back(j);
-          entry.total_reward += instance.delivery_point(j).total_reward();
-        }
-      }
-    }
-    for (const SequenceOption& opt : options) {
-      InsertParetoOption(entry.options, opt, config.max_pareto);
-    }
-  }
+  Stopwatch fin_sw;
   result.entries.reserve(by_mask.size());
   for (auto& [mask, entry] : by_mask) {
+    FTA_DCHECK(ParetoFrontierInvariantHolds(entry.options));
     result.entries.push_back(std::move(entry));
   }
   // Deterministic order: by set size, then lexicographic dps.
@@ -122,6 +169,16 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
     result.entries.resize(config.max_entries);
     result.truncated = true;
   }
+  c.finalize_ms = fin_sw.ElapsedMillis();
+  c.pareto_inserts = stats.inserts;
+  c.pareto_evictions = stats.evictions;
+  c.entries = result.entries.size();
+  // The exact engine keeps full routes in its DP table (no arena), so the
+  // legacy model equals the actual cost.
+  c.legacy_route_bytes = c.route_bytes_copied;
+  c.legacy_route_allocs = c.route_allocs;
+  c.shards = 1;
+  c.max_shard_states = c.states_expanded;
   return result;
 }
 

@@ -8,28 +8,42 @@
 
 namespace fta {
 
+class ThreadPool;
+
 /// Result of a raw C-VDPS generation pass (before per-worker strategy
 /// materialization).
 struct GenerationResult {
   std::vector<CVdpsEntry> entries;
   /// True if the max_entries cap stopped the search early.
   bool truncated = false;
+  /// Generation observability (states, Pareto traffic, arena footprint,
+  /// shard balance, phase timings).
+  GenerationCounters counters;
 };
 
 /// Exact C-VDPS generation following Algorithm 1: a dynamic program over
 /// (subset, last delivery point) states with deadline checks, optionally
 /// restricted by the ε-pruning predicate of Section IV and capped at
-/// config.max_set_size. Requires |dc.DP| <= 24 (checked).
+/// config.max_set_size. Requires |dc.DP| <= 24 (checked). Always serial —
+/// this is the small-instance reference engine.
 GenerationResult GenerateCVdpsExact(const Instance& instance,
                                     const VdpsConfig& config);
 
 /// Scalable C-VDPS generation: depth-first enumeration of deadline-feasible
-/// delivery point sequences from the center, extending only to ε-neighbors
-/// of the current point (grid-index lookups) and at most max_set_size deep.
-/// Sequences are merged per set into Pareto frontiers. Produces the same
-/// catalog as GenerateCVdpsExact for matched parameters.
+/// delivery point sequences from the center, extending only along the
+/// precomputed ε-adjacency of the current point and at most max_set_size
+/// deep. Sequences are merged per set into Pareto frontiers. Produces the
+/// same catalog as GenerateCVdpsExact for matched parameters.
+///
+/// A non-null `pool` shards the enumeration over the level-1 frontier (one
+/// shard per feasible first delivery point, each with a private route
+/// arena and set store) and merges the shard stores in root order — the
+/// catalog is bit-identical to the serial run at any thread count. When
+/// config.max_entries > 0 the run stays single-sharded so the truncation
+/// point matches the serial enumeration exactly.
 GenerationResult GenerateCVdpsSequences(const Instance& instance,
-                                        const VdpsConfig& config);
+                                        const VdpsConfig& config,
+                                        ThreadPool* pool = nullptr);
 
 /// Approximate C-VDPS generation for large max_set_size, where exhaustive
 /// sequence enumeration explodes combinatorially: a level-wise beam search
@@ -39,9 +53,14 @@ GenerationResult GenerateCVdpsSequences(const Instance& instance,
 /// complete: low-scoring sets may be missed. With beam_width >= the number
 /// of feasible partial sequences at every level it matches
 /// GenerateCVdpsSequences.
+///
+/// A non-null `pool` parallelizes each level's extension scan in fixed
+/// chunk order (recording and beam shrinking stay serial), so the result
+/// is bit-identical at any thread count.
 GenerationResult GenerateCVdpsBeam(const Instance& instance,
                                    const VdpsConfig& config,
-                                   size_t beam_width);
+                                   size_t beam_width,
+                                   ThreadPool* pool = nullptr);
 
 }  // namespace fta
 

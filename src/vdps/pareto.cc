@@ -1,39 +1,11 @@
 #include "vdps/pareto.h"
 
-#include <algorithm>
-
-#include "util/math_util.h"
-
 namespace fta {
 
 bool InsertParetoOption(std::vector<SequenceOption>& frontier,
-                        SequenceOption opt, size_t max_size) {
-  if (max_size == 0) return false;
-  // Reject if dominated by an existing option.
-  for (const SequenceOption& o : frontier) {
-    if (o.center_time <= opt.center_time + kEps && o.slack + kEps >= opt.slack)
-      return false;
-  }
-  // Remove options dominated by the new one.
-  frontier.erase(std::remove_if(frontier.begin(), frontier.end(),
-                                [&](const SequenceOption& o) {
-                                  return opt.center_time <= o.center_time + kEps &&
-                                         opt.slack + kEps >= o.slack;
-                                }),
-                 frontier.end());
-  // Insert keeping center_time ascending order (slack is then ascending
-  // automatically on a Pareto frontier).
-  auto it = std::lower_bound(frontier.begin(), frontier.end(), opt,
-                             [](const SequenceOption& a,
-                                const SequenceOption& b) {
-                               return a.center_time < b.center_time;
-                             });
-  frontier.insert(it, std::move(opt));
-  if (frontier.size() > max_size) {
-    // Keep the fastest option and the max-slack option; squeeze the middle.
-    frontier.erase(frontier.begin() + 1);
-  }
-  return true;
+                        SequenceOption opt, size_t max_size,
+                        ParetoStats* stats) {
+  return InsertParetoOptionT(frontier, std::move(opt), max_size, stats);
 }
 
 }  // namespace fta

@@ -1,12 +1,26 @@
 #ifndef FTA_VDPS_PARETO_H_
 #define FTA_VDPS_PARETO_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "util/math_util.h"
 #include "vdps/catalog.h"
 
 namespace fta {
+
+/// Bookkeeping of one frontier's insertion history (generation counters).
+struct ParetoStats {
+  /// Options accepted into the frontier.
+  uint64_t inserts = 0;
+  /// Options rejected as dominated on arrival.
+  uint64_t rejects = 0;
+  /// Options removed again — dominated by a later arrival or squeezed out
+  /// by the max_size cap.
+  uint64_t evictions = 0;
+};
 
 /// Inserts `opt` into `frontier` (kept sorted by center_time ascending,
 /// slack ascending), dropping dominated options. Option A dominates B when
@@ -14,9 +28,68 @@ namespace fta {
 /// would exceed `max_size`, the option whose removal loses the least slack
 /// coverage is dropped (the first one after the minimum-time option).
 ///
+/// Templated so the enumerators can run the selection on lightweight
+/// (center_time, slack, arena-handle) records and materialize routes only
+/// for survivors; `Option` needs `center_time` and `slack` members. The
+/// algorithm — and therefore the surviving set for a given insertion
+/// order — is identical for every instantiation.
+///
 /// Returns true if `opt` was inserted.
+template <typename Option>
+bool InsertParetoOptionT(std::vector<Option>& frontier, Option opt,
+                         size_t max_size, ParetoStats* stats = nullptr) {
+  if (max_size == 0) return false;
+  // Reject if dominated by an existing option.
+  for (const Option& o : frontier) {
+    if (o.center_time <= opt.center_time + kEps &&
+        o.slack + kEps >= opt.slack) {
+      if (stats != nullptr) ++stats->rejects;
+      return false;
+    }
+  }
+  // Remove options dominated by the new one.
+  const size_t before = frontier.size();
+  frontier.erase(std::remove_if(frontier.begin(), frontier.end(),
+                                [&](const Option& o) {
+                                  return opt.center_time <=
+                                             o.center_time + kEps &&
+                                         opt.slack + kEps >= o.slack;
+                                }),
+                 frontier.end());
+  if (stats != nullptr) stats->evictions += before - frontier.size();
+  // Insert keeping center_time ascending order (slack is then ascending
+  // automatically on a Pareto frontier).
+  auto it = std::lower_bound(frontier.begin(), frontier.end(), opt,
+                             [](const Option& a, const Option& b) {
+                               return a.center_time < b.center_time;
+                             });
+  frontier.insert(it, std::move(opt));
+  if (stats != nullptr) ++stats->inserts;
+  if (frontier.size() > max_size) {
+    // Keep the fastest option and the max-slack option; squeeze the middle.
+    frontier.erase(frontier.begin() + 1);
+    if (stats != nullptr) ++stats->evictions;
+  }
+  return true;
+}
+
+/// The SequenceOption instantiation (callable with braced initializers).
 bool InsertParetoOption(std::vector<SequenceOption>& frontier,
-                        SequenceOption opt, size_t max_size);
+                        SequenceOption opt, size_t max_size,
+                        ParetoStats* stats = nullptr);
+
+/// True if `frontier` satisfies the documented ordering invariant: strictly
+/// ascending center_time AND strictly ascending slack (every prefix option
+/// is faster but tighter than its successors). CVdpsEntry::BestOptionFor's
+/// binary search relies on it.
+template <typename Option>
+bool ParetoFrontierInvariantHolds(const std::vector<Option>& frontier) {
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    if (frontier[i - 1].center_time >= frontier[i].center_time) return false;
+    if (frontier[i - 1].slack >= frontier[i].slack) return false;
+  }
+  return true;
+}
 
 }  // namespace fta
 

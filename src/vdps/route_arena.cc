@@ -1,0 +1,34 @@
+#include "vdps/route_arena.h"
+
+#include <algorithm>
+
+namespace fta {
+
+uint32_t RouteArena::Depth(uint32_t node) const {
+  uint32_t depth = 0;
+  for (uint32_t at = node; at != kNone; at = nodes_[at].parent) ++depth;
+  return depth;
+}
+
+bool RouteArena::Contains(uint32_t node, uint32_t dp) const {
+  for (uint32_t at = node; at != kNone; at = nodes_[at].parent) {
+    if (nodes_[at].dp == dp) return true;
+  }
+  return false;
+}
+
+void RouteArena::Materialize(uint32_t node, Route& out) const {
+  out.clear();
+  for (uint32_t at = node; at != kNone; at = nodes_[at].parent) {
+    out.push_back(nodes_[at].dp);
+  }
+  std::reverse(out.begin(), out.end());
+}
+
+Route RouteArena::Materialize(uint32_t node) const {
+  Route out;
+  Materialize(node, out);
+  return out;
+}
+
+}  // namespace fta

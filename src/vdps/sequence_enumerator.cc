@@ -1,149 +1,192 @@
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "geo/distance_matrix.h"
 #include "geo/grid_index.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+#include "vdps/enumeration_store.h"
 #include "vdps/generators.h"
-#include "vdps/pareto.h"
+#include "vdps/route_arena.h"
 
 namespace fta {
 namespace {
 
-/// FNV-1a over a sorted id vector, used to key C-VDPS sets.
-struct VectorHash {
-  size_t operator()(const std::vector<uint32_t>& v) const {
-    uint64_t h = 1469598103934665603ULL;
-    for (uint32_t x : v) {
-      h ^= x;
-      h *= 1099511628211ULL;
-    }
-    return static_cast<size_t>(h);
-  }
-};
+/// Roots per enumeration shard. Small enough to keep ~n/8 shards for
+/// dynamic load balancing across the pool, large enough that per-shard
+/// scratch (an n-bit visited mask) stays negligible. The catalog does not
+/// depend on this value: FinalizeShards reproduces the serial recording
+/// order for any shard partition of ascending root ranges.
+constexpr size_t kRootsPerShard = 8;
 
-/// Mutable DFS state shared across recursive calls.
-struct Search {
+/// Read-only inputs shared by every shard.
+struct DfsContext {
   const Instance* instance = nullptr;
   const VdpsConfig* config = nullptr;
   const DistanceMatrix* dm = nullptr;
-  const GridIndex* grid = nullptr;
+  /// ε-neighbor rows; nullptr when ε = ∞ disables pruning.
+  const RadiusAdjacency* adj = nullptr;
+  uint32_t n = 0;
   uint32_t cap = 0;
+};
 
-  std::unordered_map<std::vector<uint32_t>, CVdpsEntry, VectorHash> entries;
-  std::vector<bool> in_route;
-  Route route;
-  bool truncated = false;
-
-  bool AtEntryCap() const {
-    return config->max_entries > 0 && entries.size() >= config->max_entries;
+/// Depth-first enumeration over one shard's root range. All mutable state
+/// (set store, route arena, counters) lives in the shard, so shards run
+/// lock-free on a pool.
+class ShardDfs {
+ public:
+  ShardDfs(const DfsContext& ctx, vdps_internal::EnumerationShard& shard,
+           uint32_t shard_index)
+      : ctx_(ctx), shard_(shard), shard_index_(shard_index) {
+    in_route_.assign(ctx.n, false);
+    key_.reserve(ctx.cap);
   }
 
-  /// Records the current route into its set's entry.
-  void Record(double arrival, double slack) {
-    std::vector<uint32_t> key = route;
-    std::sort(key.begin(), key.end());
-    auto it = entries.find(key);
-    if (it == entries.end()) {
-      if (AtEntryCap()) {
-        truncated = true;
-        return;
-      }
-      CVdpsEntry entry;
-      entry.dps = key;
-      for (uint32_t dp : key) {
-        entry.total_reward += instance->delivery_point(dp).total_reward();
-      }
-      it = entries.emplace(std::move(key), std::move(entry)).first;
+  /// Enumerates every feasible sequence whose first delivery point lies in
+  /// [begin, end). The first hop (center -> dp) is not ε-pruned: Equation 4
+  /// constrains inter-point hops only.
+  void RunRoots(uint32_t begin, uint32_t end) {
+    for (uint32_t j = begin; j < end; ++j) {
+      const double arr = ctx_.dm->FromOrigin(j);
+      const double slack =
+          ctx_.instance->delivery_point(j).earliest_expiry() - arr;
+      if (slack < 0.0) continue;
+      in_route_[j] = true;
+      key_.push_back(j);
+      Dfs(j, arr, slack, shard_.arena.Push(RouteArena::kNone, j));
+      key_.pop_back();
+      in_route_[j] = false;
     }
-    SequenceOption opt;
-    opt.route = route;
-    opt.center_time = arrival;
-    opt.slack = slack;
-    InsertParetoOption(it->second.options, std::move(opt),
-                       config->max_pareto);
   }
 
-  void Dfs(uint32_t last, double arrival, double slack) {
-    Record(arrival, slack);
-    if (route.size() >= cap) return;
-    if (truncated && AtEntryCap()) return;
+ private:
+  /// Records the current sequence (its set is `key_`, its route is the
+  /// arena chain ending at `node`) as a raw option.
+  void Record(double arrival, double slack, uint32_t node) {
+    GenerationCounters& c = shard_.counters;
+    // What the pre-arena implementation would have spent here: a sort-key
+    // copy plus a full route copy per recorded sequence...
+    c.legacy_route_bytes += 2 * key_.size() * sizeof(uint32_t);
+    c.legacy_route_allocs += 2;
+    bool created = false;
+    vdps_internal::SetRecord* rec =
+        shard_.Intern(key_, ctx_.config->max_entries, &created);
+    if (rec == nullptr) return;  // entry cap hit; shard_.truncated is set
+    if (created) {
+      // ...plus an entry.dps copy per new set.
+      c.legacy_route_bytes += key_.size() * sizeof(uint32_t);
+      ++c.legacy_route_allocs;
+      double reward = 0.0;
+      for (uint32_t dp : key_) {
+        reward += ctx_.instance->delivery_point(dp).total_reward();
+      }
+      rec->total_reward = reward;
+    }
+    rec->options.push_back(
+        vdps_internal::RawOption{arrival, slack, node, shard_index_});
+    ++c.options_recorded;
+  }
+
+  void Dfs(uint32_t last, double arrival, double slack, uint32_t node) {
+    ++shard_.counters.states_expanded;
+    Record(arrival, slack, node);
+    if (key_.size() >= ctx_.cap) return;
+    if (shard_.truncated) return;
     // Distance-constrained pruning (Section IV): extend only to delivery
-    // points within ε of the current one.
+    // points within ε of the current one — one precomputed adjacency row.
     const auto extend = [&](uint32_t next) {
-      if (in_route[next]) return;
-      const double arr = arrival + dm->Between(last, next);
+      if (in_route_[next]) return;
+      const double arr = arrival + ctx_.dm->Between(last, next);
       const double slk = std::min(
-          slack, instance->delivery_point(next).earliest_expiry() - arr);
+          slack, ctx_.instance->delivery_point(next).earliest_expiry() - arr);
       if (slk < 0.0) return;  // misses a deadline even with offset 0
-      in_route[next] = true;
-      route.push_back(next);
-      Dfs(next, arr, slk);
-      route.pop_back();
-      in_route[next] = false;
+      in_route_[next] = true;
+      key_.insert(std::lower_bound(key_.begin(), key_.end(), next), next);
+      Dfs(next, arr, slk, shard_.arena.Push(node, next));
+      key_.erase(std::lower_bound(key_.begin(), key_.end(), next));
+      in_route_[next] = false;
     };
-    if (std::isinf(config->epsilon)) {
-      for (uint32_t next = 0; next < instance->num_delivery_points(); ++next) {
-        extend(next);
-      }
+    if (ctx_.adj == nullptr) {
+      for (uint32_t next = 0; next < ctx_.n; ++next) extend(next);
     } else {
-      const Point& at = instance->delivery_point(last).location();
-      for (uint32_t next : grid->RadiusQuery(at, config->epsilon)) {
-        extend(next);
+      for (const uint32_t* p = ctx_.adj->begin(last); p != ctx_.adj->end(last);
+           ++p) {
+        extend(*p);
       }
     }
   }
+
+  const DfsContext& ctx_;
+  vdps_internal::EnumerationShard& shard_;
+  const uint32_t shard_index_;
+  std::vector<bool> in_route_;
+  /// The current set, kept sorted ascending — the enumerators key set
+  /// stores by sorted id sequences, and maintaining the key incrementally
+  /// (|key| <= max_set_size) replaces the old copy+sort per Record.
+  std::vector<uint32_t> key_;
 };
 
 }  // namespace
 
 GenerationResult GenerateCVdpsSequences(const Instance& instance,
-                                        const VdpsConfig& config) {
+                                        const VdpsConfig& config,
+                                        ThreadPool* pool) {
   GenerationResult result;
   const uint32_t n = static_cast<uint32_t>(instance.num_delivery_points());
   if (n == 0) return result;
 
   const DistanceMatrix dm(instance.center(), instance.DeliveryPointLocations(),
                           instance.travel());
-  // Cell size tuned to the query radius; for ε = inf the grid is unused.
-  const GridIndex grid(instance.DeliveryPointLocations(),
-                       std::isinf(config.epsilon) ? 0.0 : config.epsilon);
 
-  Search search;
-  search.instance = &instance;
-  search.config = &config;
-  search.dm = &dm;
-  search.grid = &grid;
-  search.cap = config.max_set_size == 0 ? n : std::min(config.max_set_size, n);
-  search.in_route.assign(n, false);
-
-  // The first hop (center -> dp) is not ε-pruned: Equation 4 constrains
-  // inter-point hops only.
-  for (uint32_t j = 0; j < n; ++j) {
-    const double arr = dm.FromOrigin(j);
-    const double slack = instance.delivery_point(j).earliest_expiry() - arr;
-    if (slack < 0.0) continue;
-    search.in_route[j] = true;
-    search.route.push_back(j);
-    search.Dfs(j, arr, slack);
-    search.route.pop_back();
-    search.in_route[j] = false;
+  // ε-adjacency precompute: one radius query per delivery point up front
+  // instead of one per expanded DFS state.
+  RadiusAdjacency adj;
+  const bool pruned = !std::isinf(config.epsilon);
+  if (pruned) {
+    Stopwatch adj_sw;
+    const GridIndex grid(instance.DeliveryPointLocations(), config.epsilon);
+    adj = grid.BuildRadiusAdjacency(config.epsilon, pool);
+    result.counters.adjacency_ms = adj_sw.ElapsedMillis();
+    result.counters.adjacency_pairs = adj.num_pairs();
   }
 
-  result.entries.reserve(search.entries.size());
-  for (auto& [key, entry] : search.entries) {
-    result.entries.push_back(std::move(entry));
+  DfsContext ctx;
+  ctx.instance = &instance;
+  ctx.config = &config;
+  ctx.dm = &dm;
+  ctx.adj = pruned ? &adj : nullptr;
+  ctx.n = n;
+  ctx.cap = config.max_set_size == 0 ? n : std::min(config.max_set_size, n);
+
+  // max_entries > 0 forces a single shard: the truncation point is
+  // path-dependent, and only the serial path reproduces it exactly.
+  const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
+                        config.max_entries == 0 && n > 1;
+  std::vector<vdps_internal::EnumerationShard> shards;
+  Stopwatch enum_sw;
+  if (parallel) {
+    shards.resize(ThreadPool::NumChunks(n, kRootsPerShard));
+    pool->RunChunked(n, kRootsPerShard,
+                     [&](size_t chunk, size_t begin, size_t end) {
+                       ShardDfs dfs(ctx, shards[chunk],
+                                    static_cast<uint32_t>(chunk));
+                       dfs.RunRoots(static_cast<uint32_t>(begin),
+                                    static_cast<uint32_t>(end));
+                     });
+  } else {
+    shards.resize(1);
+    ShardDfs dfs(ctx, shards[0], 0);
+    dfs.RunRoots(0, n);
   }
-  std::sort(result.entries.begin(), result.entries.end(),
-            [](const CVdpsEntry& a, const CVdpsEntry& b) {
-              if (a.dps.size() != b.dps.size())
-                return a.dps.size() < b.dps.size();
-              return a.dps < b.dps;
-            });
-  result.truncated = search.truncated;
+  result.counters.enumerate_ms = enum_sw.ElapsedMillis();
+
+  Stopwatch fin_sw;
+  vdps_internal::FinalizeShards(shards, config, result);
+  result.counters.finalize_ms = fin_sw.ElapsedMillis();
   if (result.truncated) {
     FTA_LOG(kWarning) << "C-VDPS generation truncated at "
                       << result.entries.size() << " entries";

@@ -1,0 +1,90 @@
+// RouteArena unit tests: prefix sharing, on-demand materialization against
+// golden routes, and the O(depth) queries the enumerators rely on.
+
+#include <gtest/gtest.h>
+
+#include "model/route.h"
+#include "vdps/route_arena.h"
+
+namespace fta {
+namespace {
+
+TEST(RouteArenaTest, GoldenRoutesMaterialize) {
+  RouteArena arena;
+  // Build the route tree
+  //   3            (root a)
+  //   3 -> 7
+  //   3 -> 7 -> 1
+  //   3 -> 5       (shares the root with the 3->7 branch)
+  //   9            (root b)
+  const uint32_t a = arena.Push(RouteArena::kNone, 3);
+  const uint32_t a7 = arena.Push(a, 7);
+  const uint32_t a71 = arena.Push(a7, 1);
+  const uint32_t a5 = arena.Push(a, 5);
+  const uint32_t b = arena.Push(RouteArena::kNone, 9);
+
+  EXPECT_EQ(arena.Materialize(a), (Route{3}));
+  EXPECT_EQ(arena.Materialize(a7), (Route{3, 7}));
+  EXPECT_EQ(arena.Materialize(a71), (Route{3, 7, 1}));
+  EXPECT_EQ(arena.Materialize(a5), (Route{3, 5}));
+  EXPECT_EQ(arena.Materialize(b), (Route{9}));
+  // Five routes, five nodes — the shared prefixes are stored once.
+  EXPECT_EQ(arena.num_nodes(), 5u);
+}
+
+TEST(RouteArenaTest, MaterializeIntoReplacesContents) {
+  RouteArena arena;
+  const uint32_t r = arena.Push(RouteArena::kNone, 2);
+  const uint32_t r4 = arena.Push(r, 4);
+  Route out{100, 101, 102, 103};
+  arena.Materialize(r4, out);
+  EXPECT_EQ(out, (Route{2, 4}));
+  arena.Materialize(r, out);
+  EXPECT_EQ(out, (Route{2}));
+}
+
+TEST(RouteArenaTest, DepthCountsRouteLength) {
+  RouteArena arena;
+  uint32_t node = arena.Push(RouteArena::kNone, 0);
+  EXPECT_EQ(arena.Depth(node), 1u);
+  for (uint32_t d = 1; d < 6; ++d) {
+    node = arena.Push(node, d);
+    EXPECT_EQ(arena.Depth(node), d + 1);
+  }
+}
+
+TEST(RouteArenaTest, ContainsWalksOnlyOwnChain) {
+  RouteArena arena;
+  const uint32_t a = arena.Push(RouteArena::kNone, 3);
+  const uint32_t a7 = arena.Push(a, 7);
+  const uint32_t a5 = arena.Push(a, 5);
+  EXPECT_TRUE(arena.Contains(a7, 3));
+  EXPECT_TRUE(arena.Contains(a7, 7));
+  EXPECT_FALSE(arena.Contains(a7, 5));  // sibling branch, not this chain
+  EXPECT_TRUE(arena.Contains(a5, 5));
+  EXPECT_FALSE(arena.Contains(a5, 7));
+  EXPECT_FALSE(arena.Contains(a, 7));
+}
+
+TEST(RouteArenaTest, ParentAndDpAccessors) {
+  RouteArena arena;
+  const uint32_t a = arena.Push(RouteArena::kNone, 12);
+  const uint32_t a9 = arena.Push(a, 9);
+  EXPECT_EQ(arena.parent(a), RouteArena::kNone);
+  EXPECT_EQ(arena.dp(a), 12u);
+  EXPECT_EQ(arena.parent(a9), a);
+  EXPECT_EQ(arena.dp(a9), 9u);
+}
+
+TEST(RouteArenaTest, BytesTracksNodeStorage) {
+  RouteArena arena;
+  EXPECT_EQ(arena.bytes(), 0u);
+  arena.Reserve(64);
+  EXPECT_EQ(arena.bytes(), 64u * 8u);  // 8-byte (parent, dp) nodes
+  for (uint32_t i = 0; i < 64; ++i) arena.Push(RouteArena::kNone, i);
+  EXPECT_EQ(arena.bytes(), 64u * 8u);  // no regrowth within the reserve
+  EXPECT_EQ(arena.num_nodes(), 64u);
+}
+
+}  // namespace
+}  // namespace fta

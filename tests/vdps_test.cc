@@ -386,6 +386,41 @@ TEST(CatalogTest, BestOptionForPicksFastestAdmissible) {
   EXPECT_EQ(entry.BestOptionFor(3.0), nullptr);
 }
 
+TEST(CatalogTest, BestOptionForEmptyFrontier) {
+  CVdpsEntry entry;
+  EXPECT_EQ(entry.BestOptionFor(0.0), nullptr);
+}
+
+TEST(CatalogTest, BestOptionForOffsetOnSlackBoundary) {
+  CVdpsEntry entry;
+  entry.options = {{{0}, 1.0, 0.5}, {{0}, 2.0, 2.0}};
+  // An offset exactly equal to an option's slack still admits it (the
+  // binary search is kEps-tolerant), and the fastest admissible wins.
+  EXPECT_DOUBLE_EQ(entry.BestOptionFor(0.5)->center_time, 1.0);
+  EXPECT_DOUBLE_EQ(entry.BestOptionFor(2.0)->center_time, 2.0);
+  EXPECT_DOUBLE_EQ(entry.BestOptionFor(0.5 + 1e-12)->center_time, 1.0);
+  EXPECT_EQ(entry.BestOptionFor(2.0 + 1e-6), nullptr);
+}
+
+TEST(CatalogTest, BestOptionForScansLongFrontier) {
+  // A long ascending (center_time, slack) frontier: for every offset the
+  // binary search must agree with a linear scan.
+  CVdpsEntry entry;
+  for (uint32_t i = 0; i < 9; ++i) {
+    entry.options.push_back({{i}, 1.0 + i, 0.25 * i});
+  }
+  for (double offset = 0.0; offset < 2.6; offset += 0.05) {
+    const SequenceOption* linear = nullptr;
+    for (const SequenceOption& o : entry.options) {
+      if (o.slack + kEps >= offset) {
+        linear = &o;
+        break;
+      }
+    }
+    EXPECT_EQ(entry.BestOptionFor(offset), linear) << "offset=" << offset;
+  }
+}
+
 TEST(CatalogTest, SummaryMentionsCounts) {
   const Instance inst = RandomInstance(54, 6, 2);
   const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
