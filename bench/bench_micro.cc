@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
 #include "fta/fta.h"
 
 namespace fta {
@@ -226,7 +230,145 @@ void BM_GridRadiusQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_GridRadiusQuery)->Arg(1000)->Arg(100000);
 
+// --- Observability micro-costs -------------------------------------------
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  for (auto _ : state) {
+    FTA_SPAN("bench/span");
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+// Fixed iteration count: every enabled span is retained in the recorder, so
+// letting google-benchmark pick the count would grow the buffer unbounded.
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::TraceRecorder::Global().Clear();
+  obs::SetTracingEnabled(true);
+  for (auto _ : state) {
+    FTA_SPAN("bench/span");
+  }
+  obs::SetTracingEnabled(false);
+  obs::TraceRecorder::Global().Clear();
+}
+BENCHMARK(BM_SpanEnabled)->Iterations(1 << 16);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("bench/counter_add");
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "bench/hist_observe", obs::ExponentialBounds(0.25, 4.0, 8));
+  double value = 0.0;
+  for (auto _ : state) {
+    hist.Observe(value);
+    value += 0.5;
+    if (value > 4096.0) value = 0.0;
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
 }  // namespace
+
+// Observability overhead gate, run before the benchmark suite proper: the
+// instrumentation left in the hot paths must cost < 2% of a GM-default FGT
+// run when tracing is disabled (the production configuration). Disabled
+// spans do constant work, so the modeled overhead is
+//
+//   spans-per-run x disabled-span-cost / untraced-run-wall-time
+//
+// with spans-per-run counted from a traced run of the same workload. The
+// model is deliberate: on a noisy 1-CPU container, differencing two wall
+// times of the full solver would drown the signal, while the per-span cost
+// is measurable to well under a nanosecond. Results go to BENCH_obs.json.
+int RunObsOverheadGate() {
+  // Per-span cost with tracing disabled (one relaxed atomic load).
+  obs::SetTracingEnabled(false);
+  constexpr int kProbeSpans = 2000000;
+  Stopwatch probe;
+  for (int i = 0; i < kProbeSpans; ++i) {
+    FTA_SPAN("bench/obs_gate_probe");
+  }
+  const double disabled_span_ns =
+      probe.ElapsedSeconds() * 1e9 / kProbeSpans;
+
+  // Spans a traced GM-default FGT run emits.
+  const Instance inst = GmInstance();
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, PrunedVdps());
+  obs::TraceRecorder::Global().Clear();
+  obs::SetTracingEnabled(true);
+  benchmark::DoNotOptimize(SolveFgt(inst, catalog));
+  obs::SetTracingEnabled(false);
+  const size_t spans_per_run = obs::TraceRecorder::Global().num_events();
+  obs::TraceRecorder::Global().Clear();
+
+  // Untraced FGT wall time: best of 5 to shed scheduler noise.
+  double run_seconds = kInfinity;
+  for (int rep = 0; rep < 5; ++rep) {
+    Stopwatch sw;
+    benchmark::DoNotOptimize(SolveFgt(inst, catalog));
+    run_seconds = std::min(run_seconds, sw.ElapsedSeconds());
+  }
+
+  const double overhead_fraction =
+      static_cast<double>(spans_per_run) * disabled_span_ns * 1e-9 /
+      run_seconds;
+  constexpr double kThreshold = 0.02;
+  const bool pass = overhead_fraction < kThreshold;
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("obs_overhead");
+  json.Key("workload");
+  json.String("gm_default_fgt");
+  json.Key("disabled_span_ns");
+  json.Double(disabled_span_ns);
+  json.Key("spans_per_run");
+  json.UInt(spans_per_run);
+  json.Key("run_seconds");
+  json.Double(run_seconds);
+  json.Key("overhead_fraction");
+  json.Double(overhead_fraction);
+  json.Key("threshold");
+  json.Double(kThreshold);
+  json.Key("pass");
+  json.Bool(pass);
+  json.EndObject();
+  const std::string path = "BENCH_obs.json";
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  out.close();
+
+  std::printf(
+      "obs overhead gate: %.3f ns/span disabled, %zu spans/run, FGT run "
+      "%.3f ms -> modeled overhead %.4f%% (< %.1f%%: %s); wrote %s\n",
+      disabled_span_ns, spans_per_run, run_seconds * 1e3,
+      overhead_fraction * 100.0, kThreshold * 100.0,
+      pass ? "PASS" : "FAIL", path.c_str());
+  if (!pass) {
+    std::fprintf(stderr,
+                 "obs overhead gate FAILED: disabled-mode instrumentation "
+                 "costs %.4f%% of the GM-default FGT run (limit %.1f%%)\n",
+                 overhead_fraction * 100.0, kThreshold * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace fta
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const int rc = fta::RunObsOverheadGate(); rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -88,6 +88,8 @@ int CmdGenerate(int argc, const char* const* argv) {
 int CmdSolve(int argc, const char* const* argv) {
   std::string algorithm_name = "iegt";
   std::string svg;
+  std::string trace_json;
+  std::string metrics_json;
   double epsilon = 2.0;
   size_t max_set = 3;
   size_t threads = 1;
@@ -102,6 +104,10 @@ int CmdSolve(int argc, const char* const* argv) {
   flags.AddInt("seed", &seed, "solver seed");
   flags.AddString("svg", &svg,
                   "write the first center's assignment as SVG here");
+  flags.AddString("trace-json", &trace_json,
+                  "record spans and write a Chrome/Perfetto trace here");
+  flags.AddString("metrics-json", &metrics_json,
+                  "write the structured run report (fta-run-report-v1) here");
   flags.AddBool("help", &help, "show flags");
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
   if (help || flags.positional().size() != 2) {
@@ -115,17 +121,44 @@ int CmdSolve(int argc, const char* const* argv) {
   StatusOr<MultiCenterInstance> multi = LoadInstances(flags.positional()[1]);
   if (!multi.ok()) return Fail(multi.status());
 
+  if (!trace_json.empty()) {
+    obs::TraceRecorder::Global().Clear();
+    obs::SetTracingEnabled(true);
+  }
   SolverOptions options;
   options.vdps.epsilon = epsilon > 0 ? epsilon : kInfinity;
   options.vdps.max_set_size = static_cast<uint32_t>(max_set);
   options.seed = static_cast<uint64_t>(seed);
+  if (!metrics_json.empty()) {
+    // The report's per-iteration section needs the solver trace.
+    options.fgt.record_trace = true;
+    options.iegt.record_trace = true;
+  }
   const RunMetrics m = RunOnMulti(*algorithm, *multi, options, threads);
+  if (!trace_json.empty()) obs::SetTracingEnabled(false);
   std::printf(
       "%s on %zu centers: P_dif %.4f | avg payoff %.4f | total %.2f | "
       "assigned %zu/%zu | covered tasks %zu | CPU %.3fs\n",
       AlgorithmName(*algorithm), multi->centers.size(), m.payoff_difference,
       m.average_payoff, m.total_payoff, m.assigned_workers, m.num_workers,
       m.covered_tasks, m.cpu_seconds);
+
+  if (!trace_json.empty()) {
+    if (Status s = obs::TraceRecorder::Global().WriteChromeJson(trace_json);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s (%zu spans)\n", trace_json.c_str(),
+                obs::TraceRecorder::Global().num_events());
+  }
+  if (!metrics_json.empty()) {
+    const RunReport report =
+        BuildRunReport("fta_tool", AlgorithmName(*algorithm),
+                       flags.positional()[1], m);
+    if (Status s = report.WriteJson(metrics_json); !s.ok()) return Fail(s);
+    std::printf("wrote %s (%zu registry metrics)\n", metrics_json.c_str(),
+                report.registry.metrics.size());
+  }
 
   if (!svg.empty() && !multi->centers.empty()) {
     // Re-solve the first center alone for the picture.

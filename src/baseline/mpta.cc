@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "game/joint_state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "treedec/mwis.h"
 #include "util/logging.h"
 
@@ -21,6 +23,7 @@ struct Candidate {
 
 MptaResult SolveMpta(const Instance& instance, const VdpsCatalog& catalog,
                      const MptaConfig& config) {
+  FTA_SPAN("baseline/mpta/solve");
   // Candidate nodes: top-K strategies per worker (lists are payoff-sorted).
   std::vector<Candidate> candidates;
   for (uint32_t w = 0; w < instance.num_workers(); ++w) {
@@ -36,14 +39,25 @@ MptaResult SolveMpta(const Instance& instance, const VdpsCatalog& catalog,
   MptaResult result;
   result.num_candidates = candidates.size();
   result.assignment = Assignment(instance.num_workers());
+  // Registry mirror of the result counters, published at every exit.
+  const auto publish = [&result] {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("baseline/mpta/runs").Increment();
+    reg.GetCounter("baseline/mpta/candidates").Add(result.num_candidates);
+    reg.GetCounter("baseline/mpta/width_sum")
+        .Add(result.width < 0 ? 0 : static_cast<uint64_t>(result.width));
+    if (result.exact) reg.GetCounter("baseline/mpta/exact").Increment();
+  };
   if (candidates.empty()) {
     result.exact = true;
+    publish();
     return result;
   }
 
   // Conflict graph: same-worker edges + overlapping-delivery-point edges.
   Graph graph(candidates.size());
   {
+    FTA_SPAN("baseline/mpta/conflict_graph");
     // Same worker: consecutive runs in `candidates`.
     size_t run_start = 0;
     for (size_t i = 1; i <= candidates.size(); ++i) {
@@ -79,6 +93,7 @@ MptaResult SolveMpta(const Instance& instance, const VdpsCatalog& catalog,
   weights.reserve(candidates.size());
   for (const Candidate& c : candidates) weights.push_back(c.payoff);
 
+  FTA_SPAN("baseline/mpta/mwis");
   const TreeDecomposition td = TreeDecomposition::Build(graph,
                                                         config.heuristic);
   result.width = td.width();
@@ -117,6 +132,7 @@ MptaResult SolveMpta(const Instance& instance, const VdpsCatalog& catalog,
     }
   }
   result.assignment = state.ToAssignment();
+  publish();
   return result;
 }
 

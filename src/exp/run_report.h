@@ -1,0 +1,46 @@
+#ifndef FTA_EXP_RUN_REPORT_H_
+#define FTA_EXP_RUN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace fta {
+
+/// One run's unified observability record: the paper-facing RunMetrics
+/// (effectiveness + efficiency), the VDPS generation counters, the
+/// best-response engine counters, the per-iteration solver trace, a global
+/// metrics-registry snapshot, and the span tree — all in one JSON document
+/// (schema "fta-run-report-v1").
+///
+/// The report is assembled at the run boundary from values the run already
+/// produced; building it never influences the run itself.
+struct RunReport {
+  /// Producer, e.g. "fta_tool".
+  std::string tool;
+  /// AlgorithmName() of the solver that ran.
+  std::string algorithm;
+  /// Free-form input description (dataset path or generator spec).
+  std::string dataset;
+  RunMetrics metrics;
+  /// Global registry snapshot at report time.
+  obs::MetricsSnapshot registry;
+  /// Recorded spans at report time (empty when tracing was off).
+  std::vector<obs::SpanEvent> spans;
+
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+};
+
+/// Assembles a report from a finished run: captures the global metrics
+/// registry and the trace recorder alongside the run's own metrics.
+RunReport BuildRunReport(std::string tool, std::string algorithm,
+                         std::string dataset, RunMetrics metrics);
+
+}  // namespace fta
+
+#endif  // FTA_EXP_RUN_REPORT_H_

@@ -5,7 +5,10 @@
 #include "baseline/gta.h"
 #include "baseline/random_assignment.h"
 #include "model/assignment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -41,10 +44,15 @@ struct SolveOutcome {
   Assignment assignment;
   int rounds = 0;
   bool converged = true;
+  BestResponseCounters engine;
+  std::vector<IterationStats> trace;
 };
 
 SolveOutcome Solve(Algorithm algorithm, const Instance& instance,
                    const VdpsCatalog& catalog, const SolverOptions& options) {
+  // Dynamic span name: one small allocation per solve — fine at run scope.
+  const obs::ScopedSpan span(std::string("run/solve/") +
+                             AlgorithmName(algorithm));
   SolveOutcome out;
   switch (algorithm) {
     case Algorithm::kMpta: {
@@ -62,6 +70,8 @@ SolveOutcome Solve(Algorithm algorithm, const Instance& instance,
       out.assignment = std::move(r.assignment);
       out.rounds = r.rounds;
       out.converged = r.converged;
+      out.engine = r.engine;
+      out.trace = std::move(r.trace);
       break;
     }
     case Algorithm::kIegt: {
@@ -71,6 +81,8 @@ SolveOutcome Solve(Algorithm algorithm, const Instance& instance,
       out.assignment = std::move(r.assignment);
       out.rounds = r.rounds;
       out.converged = r.converged;
+      out.engine = r.engine;
+      out.trace = std::move(r.trace);
       break;
     }
     case Algorithm::kRandom: {
@@ -96,8 +108,9 @@ RunMetrics MetricsFromPayoffs(const std::vector<double>& payoffs) {
 RunMetrics RunWithCatalog(Algorithm algorithm, const Instance& instance,
                           const VdpsCatalog& catalog,
                           const SolverOptions& options) {
+  FTA_SPAN("run/with_catalog");
   CpuTimer timer;
-  const SolveOutcome out = Solve(algorithm, instance, catalog, options);
+  SolveOutcome out = Solve(algorithm, instance, catalog, options);
   const double cpu = timer.ElapsedSeconds();
 
   const std::vector<double> payoffs = out.assignment.Payoffs(instance);
@@ -107,14 +120,18 @@ RunMetrics RunWithCatalog(Algorithm algorithm, const Instance& instance,
   m.covered_tasks = out.assignment.num_covered_tasks(instance);
   m.rounds = out.rounds;
   m.converged = out.converged;
+  m.engine = out.engine;
+  m.trace = std::move(out.trace);
   return m;
 }
 
 RunMetrics RunOnInstance(Algorithm algorithm, const Instance& instance,
                          const SolverOptions& options) {
+  FTA_SPAN("run/instance");
+  obs::MetricsRegistry::Global().GetCounter("run/instances").Increment();
   CpuTimer timer;
   const VdpsCatalog catalog = VdpsCatalog::Generate(instance, options.vdps);
-  const SolveOutcome out = Solve(algorithm, instance, catalog, options);
+  SolveOutcome out = Solve(algorithm, instance, catalog, options);
   const double cpu = timer.ElapsedSeconds();
 
   const std::vector<double> payoffs = out.assignment.Payoffs(instance);
@@ -125,24 +142,30 @@ RunMetrics RunOnInstance(Algorithm algorithm, const Instance& instance,
   m.rounds = out.rounds;
   m.converged = out.converged;
   m.generation = catalog.generation();
+  m.engine = out.engine;
+  m.trace = std::move(out.trace);
   return m;
 }
 
 RunMetrics RunOnMulti(Algorithm algorithm, const MultiCenterInstance& multi,
                       const SolverOptions& options, size_t threads) {
+  FTA_SPAN("run/multi");
+  obs::MetricsRegistry::Global()
+      .GetCounter("run/centers")
+      .Add(multi.centers.size());
   std::vector<std::vector<double>> payoffs_per_center(multi.centers.size());
   std::vector<RunMetrics> per_center(multi.centers.size());
 
   ThreadPool::ParallelFor(
       multi.centers.size(), threads, [&](size_t c) {
+        const obs::ScopedSpan center_span(StrFormat("run/center_%zu", c));
         const Instance& instance = multi.centers[c];
         SolverOptions center_options = options;
         center_options.seed = options.seed * 1000003 + c;
         CpuTimer timer;
         const VdpsCatalog catalog =
             VdpsCatalog::Generate(instance, options.vdps);
-        const SolveOutcome out =
-            Solve(algorithm, instance, catalog, center_options);
+        SolveOutcome out = Solve(algorithm, instance, catalog, center_options);
         per_center[c].cpu_seconds = timer.ElapsedSeconds();
         per_center[c].assigned_workers = out.assignment.num_assigned_workers();
         per_center[c].covered_tasks =
@@ -150,6 +173,8 @@ RunMetrics RunOnMulti(Algorithm algorithm, const MultiCenterInstance& multi,
         per_center[c].rounds = out.rounds;
         per_center[c].converged = out.converged;
         per_center[c].generation = catalog.generation();
+        per_center[c].engine = out.engine;
+        per_center[c].trace = std::move(out.trace);
         payoffs_per_center[c] = out.assignment.Payoffs(instance);
       });
 
@@ -166,7 +191,11 @@ RunMetrics RunOnMulti(Algorithm algorithm, const MultiCenterInstance& multi,
     m.rounds = std::max(m.rounds, c.rounds);
     m.converged = m.converged && c.converged;
     m.generation.Merge(c.generation);
+    m.engine += c.engine;
   }
+  // Iteration traces from different centers do not concatenate meaningfully
+  // (rounds are per-center); keep the trace only in the single-center case.
+  if (per_center.size() == 1) m.trace = std::move(per_center[0].trace);
   return m;
 }
 

@@ -49,6 +49,12 @@ struct RunMetrics {
   /// Catalog-generation counters of the run (summed across centers for
   /// multi-center runs). Zero for RunWithCatalog, which skips generation.
   GenerationCounters generation;
+  /// Best-response engine work of the run (summed across centers). Zero
+  /// for one-shot algorithms.
+  BestResponseCounters engine;
+  /// Per-iteration solver snapshots; filled only when the solver config
+  /// asks for a trace (record_trace) and the run is single-center.
+  std::vector<IterationStats> trace;
 };
 
 /// Runs one algorithm end-to-end (VDPS generation + solve) on a

@@ -1,5 +1,6 @@
 #include "exp/sweep.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -27,9 +28,15 @@ SweepResult RunParameterSweep(
 
   std::vector<std::vector<double>> pdif(series.size()), avg(series.size()),
       cpu(series.size()), gen_ms(series.size());
+  FTA_SPAN("exp/sweep");
   for (size_t p = 0; p < point_labels.size(); ++p) {
+    const obs::ScopedSpan point_span(
+        StrFormat("exp/sweep_point/%s=%s", param_name.c_str(),
+                  point_labels[p].c_str()));
     const MultiCenterInstance multi = instance_at(p);
     for (size_t s = 0; s < series.size(); ++s) {
+      const obs::ScopedSpan series_span(std::string("exp/series/") +
+                                        series[s].name);
       const RunMetrics m =
           RunOnMulti(series[s].algorithm, multi, series[s].options, threads);
       pdif[s].push_back(m.payoff_difference);

@@ -25,6 +25,7 @@
 #include "datagen/synthetic.h"
 #include "datagen/workload.h"
 #include "exp/report.h"
+#include "exp/run_report.h"
 #include "exp/runner.h"
 #include "exp/simulation.h"
 #include "exp/stats.h"
@@ -56,6 +57,9 @@
 #include "model/route_opt.h"
 #include "model/task.h"
 #include "model/worker.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "treedec/graph.h"
 #include "treedec/mwis.h"
 #include "treedec/tree_decomposition.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "vdps/catalog.h"
@@ -91,6 +92,7 @@ void BestResponseEngine::Apply(size_t w, int32_t idx) {
 }
 
 BestResponseOutcome BestResponseEngine::Evaluate(size_t w) {
+  FTA_SPAN("game/best_response");
   const std::vector<double>& payoffs = state_->payoffs();
   std::vector<double> others;
   others.reserve(payoffs.empty() ? 0 : payoffs.size() - 1);
@@ -132,7 +134,9 @@ BestResponseOutcome BestResponseEngine::Evaluate(size_t w) {
     const size_t chunk = (n + shards - 1) / shards;
     std::vector<Candidate> winners(shards);
     std::vector<BestResponseCounters> shard_counters(shards);
+    FTA_SPAN("game/br_batch");
     pool_->RunBatch(shards, [&](size_t s) {
+      FTA_SPAN("game/br_shard");
       const size_t lo = s * chunk;
       const size_t hi = std::min(n, lo + chunk);
       if (lo < hi) scan(lo, hi, winners[s], shard_counters[s]);

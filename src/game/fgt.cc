@@ -6,6 +6,8 @@
 #include "game/best_response.h"
 #include "game/init.h"
 #include "game/potential.h"
+#include "game/solver_metrics.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 
@@ -48,6 +50,7 @@ bool IsPureNashEquilibrium(const JointState& state, const IauParams& params) {
 
 GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
                     const FgtConfig& config) {
+  FTA_SPAN("game/fgt/solve");
   JointState state(instance, catalog);
   Rng rng(config.seed);
   RandomSingletonInit(state, rng);
@@ -66,6 +69,7 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
   std::vector<size_t> order(instance.num_workers());
   for (size_t w = 0; w < order.size(); ++w) order[w] = w;
   for (int round = 1; round <= config.max_rounds; ++round) {
+    FTA_SPAN("game/fgt/round");
     switch (config.order) {
       case UpdateOrder::kSequential:
         break;  // keep worker-id order
@@ -100,6 +104,7 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
   }
   result.assignment = state.ToAssignment();
   result.engine = engine.counters();
+  PublishGameRun("game/fgt", result);
   return result;
 }
 

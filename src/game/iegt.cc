@@ -4,6 +4,8 @@
 
 #include "game/best_response.h"
 #include "game/init.h"
+#include "game/solver_metrics.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 
@@ -42,6 +44,7 @@ IterationStats Snapshot(const JointState& state, int iteration,
 
 GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
                      const IegtConfig& config) {
+  FTA_SPAN("game/iegt/solve");
   JointState state(instance, catalog);
   Rng rng(config.seed);
   RandomSingletonInit(state, rng);
@@ -55,6 +58,7 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
   std::vector<int32_t> better;  // reused candidate buffer
   EarlyStopMonitor early(config.early_stop);
   for (int round = 1; round <= config.max_rounds; ++round) {
+    FTA_SPAN("game/iegt/round");
     // Ū is computed once per iteration: all players compare their utility
     // with the average utility of the whole population (Section VI-C).
     const double avg = Mean(state.payoffs());
@@ -91,6 +95,7 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
   }
   result.assignment = state.ToAssignment();
   result.engine = engine.counters();
+  PublishGameRun("game/iegt", result);
   return result;
 }
 

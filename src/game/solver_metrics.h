@@ -1,0 +1,20 @@
+#ifndef FTA_GAME_SOLVER_METRICS_H_
+#define FTA_GAME_SOLVER_METRICS_H_
+
+#include "game/trace.h"
+
+namespace fta {
+
+/// Mirrors one finished solver run into the global metrics registry:
+/// per-solver run/round/convergence counters plus the shared
+/// BestResponseEngine work counters. Called once per solve at the run
+/// boundary — the GameResult stays the deterministic transport, the
+/// registry is the observability view, and publishing here (instead of in
+/// the round loop) keeps the hot path untouched.
+///
+/// `solver` must be a stable registry prefix such as "game/fgt".
+void PublishGameRun(const char* solver, const GameResult& result);
+
+}  // namespace fta
+
+#endif  // FTA_GAME_SOLVER_METRICS_H_

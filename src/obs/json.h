@@ -1,0 +1,96 @@
+#ifndef FTA_OBS_JSON_H_
+#define FTA_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fta {
+namespace obs {
+
+/// Streaming JSON writer with automatic comma placement and string
+/// escaping. The observability exporters (Chrome traces, metric snapshots,
+/// run reports) all emit through this one writer so the quoting and number
+/// formatting rules live in a single place.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("entries"); w.UInt(catalog.num_entries());
+///   w.Key("spans"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string text = w.str();
+///
+/// Doubles are printed with round-trip precision (%.17g trimmed); NaN and
+/// infinities — which JSON cannot represent — are emitted as null.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object key; must be followed by exactly one value (or container).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The document so far. Valid once every container has been closed.
+  const std::string& str() const { return out_; }
+
+  /// Escapes `value` per JSON string rules (without surrounding quotes).
+  static std::string Escape(std::string_view value);
+
+ private:
+  /// Emits the pending comma/nothing before a value or key.
+  void Separate();
+
+  std::string out_;
+  /// One entry per open container: the number of values emitted so far.
+  std::vector<size_t> counts_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node. Object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Find + numeric coercion helpers for terse test/report code. The
+  /// fallback is returned when the key is absent or the wrong type.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string fallback) const;
+  bool BoolOr(std::string_view key, bool fallback) const;
+};
+
+/// Strict recursive-descent parser for the JSON this library emits (and
+/// any standard document without \u surrogate pairs beyond the BMP).
+/// Rejects trailing garbage, unterminated containers, and bad escapes.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace fta
+
+#endif  // FTA_OBS_JSON_H_

@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace fta {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// The calling thread's buffer pointer. A shared_ptr so the recorder keeps
+/// a thread's spans alive after the thread (e.g. a pool worker) exits.
+thread_local std::shared_ptr<TraceRecorder::ThreadBuffer> tls_buffer;  // NOLINT
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  // Touch the epoch before the first span can, so span timestamps are
+  // measured from (at latest) the moment tracing was first switched on.
+  TraceEpoch();
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t TraceNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  if (tls_buffer == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(buffer);
+    tls_buffer = std::move(buffer);
+  }
+  return *tls_buffer;
+}
+
+void TraceRecorder::Record(std::string name, uint64_t start_us,
+                           uint64_t dur_us, uint32_t depth) {
+  ThreadBuffer& buffer = LocalBuffer();
+  SpanEvent event;
+  event.name = std::move(name);
+  event.start_us = start_us;
+  event.dur_us = dur_us;
+  event.tid = buffer.tid;
+  event.depth = depth;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::vector<SpanEvent> TraceRecorder::Snapshot() const {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.depth < b.depth;
+            });
+  return out;
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+uint32_t TraceRecorder::CurrentDepth() {
+  return Global().LocalBuffer().depth;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<SpanEvent> events = Snapshot();
+  uint32_t max_tid = 0;
+  for (const SpanEvent& e : events) max_tid = std::max(max_tid, e.tid);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  if (!events.empty()) {
+    for (uint32_t t = 0; t <= max_tid; ++t) {
+      w.BeginObject();
+      w.Key("ph");
+      w.String("M");
+      w.Key("pid");
+      w.Int(0);
+      w.Key("tid");
+      w.UInt(t);
+      w.Key("name");
+      w.String("thread_name");
+      w.Key("args");
+      w.BeginObject();
+      w.Key("name");
+      w.String(t == 0 ? "fta-main" : "fta-worker-" + std::to_string(t));
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+  for (const SpanEvent& e : events) {
+    w.BeginObject();
+    w.Key("ph");
+    w.String("X");
+    w.Key("pid");
+    w.Int(0);
+    w.Key("tid");
+    w.UInt(e.tid);
+    w.Key("name");
+    w.String(e.name);
+    w.Key("cat");
+    w.String("fta");
+    w.Key("ts");
+    w.UInt(e.start_us);
+    w.Key("dur");
+    w.UInt(e.dur_us);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("depth");
+    w.UInt(e.depth);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << ToChromeJson() << '\n';
+  out.close();
+  if (!out) return Status::IoError("failed writing '" + path + "'");
+  return Status::Ok();
+}
+
+void ScopedSpan::Open(std::string name) {
+  name_ = std::move(name);
+  TraceRecorder::ThreadBuffer& buffer = TraceRecorder::Global().LocalBuffer();
+  depth_ = buffer.depth++;
+  start_us_ = TraceNowMicros();
+  open_ = true;
+}
+
+void ScopedSpan::Close() {
+  const uint64_t end_us = TraceNowMicros();
+  TraceRecorder::ThreadBuffer& buffer = TraceRecorder::Global().LocalBuffer();
+  // Balanced even if tracing was toggled mid-span.
+  if (buffer.depth > 0) --buffer.depth;
+  TraceRecorder::Global().Record(std::move(name_), start_us_,
+                                 end_us - start_us_, depth_);
+  open_ = false;
+}
+
+}  // namespace obs
+}  // namespace fta

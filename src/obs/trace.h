@@ -1,0 +1,144 @@
+#ifndef FTA_OBS_TRACE_H_
+#define FTA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fta {
+namespace obs {
+
+/// Hierarchical scoped trace spans.
+///
+/// `FTA_SPAN("vdps/enumerate");` opens a span that closes at scope exit.
+/// Spans nest naturally (a thread-local depth counter records the nesting
+/// level) and are thread-aware: every pool worker records into its own
+/// buffer, so instrumenting a parallel fan-out attributes work to the
+/// thread that did it.
+///
+/// Cost model:
+///  - compile-time off (-DFTA_OBS_NO_TRACE): the macro expands to nothing.
+///  - runtime off (default): one relaxed atomic load per span; no clock
+///    reads, no allocation, no locking.
+///  - runtime on (SetTracingEnabled(true)): two steady-clock reads plus one
+///    push into the calling thread's buffer under that buffer's (otherwise
+///    uncontended) mutex.
+///
+/// Tracing is observational only: enabling it never changes assignments,
+/// catalogs, or metric counts. Export is Chrome trace-event JSON
+/// (chrome://tracing or https://ui.perfetto.dev).
+
+/// One closed span.
+struct SpanEvent {
+  std::string name;
+  /// Microseconds since the process trace epoch (steady clock).
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  /// Recorder-assigned thread index (0 = first thread that ever traced).
+  uint32_t tid = 0;
+  /// Nesting depth on its thread at open (0 = outermost).
+  uint32_t depth = 0;
+};
+
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// Microseconds since the trace epoch (process-wide steady-clock zero).
+uint64_t TraceNowMicros();
+
+/// Process-wide span store: per-thread buffers registered on first use.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Appends one closed span to the calling thread's buffer.
+  void Record(std::string name, uint64_t start_us, uint64_t dur_us,
+              uint32_t depth);
+
+  /// Drops every recorded span (buffers and thread ids survive).
+  void Clear();
+
+  /// All spans so far, sorted by (start, tid, depth) — a stable order for
+  /// tests and reports. Safe to call while other threads record.
+  std::vector<SpanEvent> Snapshot() const;
+
+  size_t num_events() const;
+
+  /// Chrome trace-event JSON ("X" complete events + thread-name metadata).
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+  /// Nesting depth of the calling thread's currently open spans.
+  static uint32_t CurrentDepth();
+
+  /// Per-thread span store. Public only so the implementation's
+  /// thread_local can name it; not part of the API.
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<SpanEvent> events;
+    uint32_t tid = 0;
+    /// Open-span depth; touched only by the owning thread.
+    uint32_t depth = 0;
+  };
+
+ private:
+  friend class ScopedSpan;
+
+  TraceRecorder() = default;
+  /// The calling thread's buffer, registered on first use.
+  ThreadBuffer& LocalBuffer();
+
+  mutable std::mutex mu_;  // guards buffers_ (registration + snapshot)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Use through FTA_SPAN; direct construction is for the rare
+/// dynamic-name case (e.g. one span per sweep point).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TracingEnabled()) Open(name);
+  }
+  explicit ScopedSpan(std::string name) {
+    if (TracingEnabled()) Open(std::move(name));
+  }
+  ~ScopedSpan() {
+    if (open_) Close();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Open(std::string name);
+  void Close();
+
+  std::string name_;
+  uint64_t start_us_ = 0;
+  uint32_t depth_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace obs
+}  // namespace fta
+
+#define FTA_OBS_CONCAT_INNER(a, b) a##b
+#define FTA_OBS_CONCAT(a, b) FTA_OBS_CONCAT_INNER(a, b)
+
+#if defined(FTA_OBS_NO_TRACE)
+/// Compile-time no-op path: spans vanish entirely.
+#define FTA_SPAN(name) \
+  do {                 \
+  } while (false)
+#else
+/// Opens a span that closes at the end of the enclosing scope.
+#define FTA_SPAN(name) \
+  ::fta::obs::ScopedSpan FTA_OBS_CONCAT(fta_span_, __LINE__)(name)
+#endif
+
+#endif  // FTA_OBS_TRACE_H_

@@ -8,6 +8,7 @@ namespace fta {
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+std::atomic<LogSink*> g_log_sink{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -37,6 +38,28 @@ const char* Basename(const char* path) {
 void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
+LogSink* SetLogSink(LogSink* sink) { return g_log_sink.exchange(sink); }
+
+void CaptureLogSink::Write(LogLevel /*level*/, std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.emplace_back(line);
+}
+
+std::vector<std::string> CaptureLogSink::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+size_t CaptureLogSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+void CaptureLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -47,9 +70,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ < GetLogLevel()) return;
-  const std::string msg = stream_.str();
-  std::fputs(msg.c_str(), stderr);
-  std::fputc('\n', stderr);
+  std::string msg = stream_.str();
+  if (LogSink* sink = g_log_sink.load()) {
+    sink->Write(level_, msg);
+    return;
+  }
+  // One buffered write including the newline: fwrite locks the FILE, so
+  // concurrent pool-thread log lines can interleave with each other but
+  // never split mid-line (two separate writes could).
+  msg.push_back('\n');
+  std::fwrite(msg.data(), 1, msg.size(), stderr);
 }
 
 void CheckFailed(const char* expr, const char* file, int line,

@@ -1,8 +1,11 @@
 #ifndef FTA_UTIL_LOGGING_H_
 #define FTA_UTIL_LOGGING_H_
 
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace fta {
 
@@ -12,6 +15,39 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Process-wide minimum level: messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Destination for formatted log lines. Implementations must be
+/// thread-safe: concurrent pool workers log without external
+/// synchronization.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// Receives one fully formatted line (prefix included, no trailing
+  /// newline). Exactly one call per log statement — never a split line.
+  virtual void Write(LogLevel level, std::string_view line) = 0;
+};
+
+/// Installs `sink` as the process-wide log destination (nullptr restores
+/// the default stderr sink). Returns the previously installed sink, or
+/// nullptr if stderr was active. The caller keeps ownership and must keep
+/// the sink alive until another SetLogSink call replaces it AND all
+/// threads that might be mid-log have quiesced.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Thread-safe in-memory sink for log-capture tests.
+class CaptureLogSink : public LogSink {
+ public:
+  void Write(LogLevel level, std::string_view line) override;
+
+  /// Snapshot of every captured line, in arrival order.
+  std::vector<std::string> lines() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
 
 namespace internal_logging {
 

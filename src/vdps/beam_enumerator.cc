@@ -5,6 +5,7 @@
 
 #include "geo/distance_matrix.h"
 #include "geo/grid_index.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/stopwatch.h"
@@ -62,6 +63,7 @@ GenerationResult GenerateCVdpsBeam(const Instance& instance,
   const bool pruned = !std::isinf(config.epsilon);
   if (pruned) {
     Stopwatch adj_sw;
+    FTA_SPAN("vdps/adjacency");
     const GridIndex grid(instance.DeliveryPointLocations(), config.epsilon);
     adj = grid.BuildRadiusAdjacency(config.epsilon, pool);
     result.counters.adjacency_ms = adj_sw.ElapsedMillis();
@@ -136,6 +138,7 @@ GenerationResult GenerateCVdpsBeam(const Instance& instance,
 
   // Level 1: every feasible center -> dp start (the first hop is never
   // ε-pruned, matching the exhaustive enumerator).
+  FTA_SPAN("vdps/enumerate");
   std::vector<PendingChild> pending;
   for (uint32_t j = 0; j < n; ++j) {
     const double arr = dm.FromOrigin(j);
@@ -153,6 +156,7 @@ GenerationResult GenerateCVdpsBeam(const Instance& instance,
   admit(pending, beam);
 
   for (uint32_t level = 2; level <= cap && !beam.empty(); ++level) {
+    FTA_SPAN("vdps/beam_level");
     // Extension scan. Reads the arena (dedup walks) but never writes it —
     // survivors get their nodes only in admit() — so fixed-order chunks of
     // the beam can scan concurrently.
@@ -205,7 +209,10 @@ GenerationResult GenerateCVdpsBeam(const Instance& instance,
   result.counters.enumerate_ms = enum_sw.ElapsedMillis();
 
   Stopwatch fin_sw;
-  vdps_internal::FinalizeShards(shards, config, result);
+  {
+    FTA_SPAN("vdps/finalize");
+    vdps_internal::FinalizeShards(shards, config, result);
+  }
   result.counters.finalize_ms = fin_sw.ElapsedMillis();
   result.truncated = result.truncated || shrink_truncated;
   return result;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -19,6 +21,38 @@ constexpr double kMinTravelTime = 1e-12;
 /// Workers per inverted-index scan chunk (fixed partition, so the spliced
 /// output never depends on the thread count).
 constexpr size_t kWorkerChunk = 8;
+
+/// Mirrors a finished generation run into the process-wide metrics
+/// registry. Counter adds only (order-invariant across parallel centers);
+/// wall times go to histograms, whose *counts* stay deterministic.
+void PublishGeneration(const GenerationCounters& g) {
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& runs = reg.GetCounter("vdps/generations");
+  static obs::Counter& states = reg.GetCounter("vdps/states_expanded");
+  static obs::Counter& options = reg.GetCounter("vdps/options_recorded");
+  static obs::Counter& inserts = reg.GetCounter("vdps/pareto_inserts");
+  static obs::Counter& evictions = reg.GetCounter("vdps/pareto_evictions");
+  static obs::Counter& entries = reg.GetCounter("vdps/entries");
+  static obs::Counter& strategies = reg.GetCounter("vdps/strategies");
+  static obs::Counter& arena_nodes = reg.GetCounter("vdps/arena_nodes");
+  static obs::Counter& arena_bytes = reg.GetCounter("vdps/arena_bytes");
+  static obs::Counter& adjacency = reg.GetCounter("vdps/adjacency_pairs");
+  static obs::Counter& shards = reg.GetCounter("vdps/shards");
+  static obs::Histogram& wall = reg.GetHistogram(
+      "vdps/generate_wall_ms", obs::ExponentialBounds(0.25, 4.0, 8));
+  runs.Increment();
+  states.Add(g.states_expanded);
+  options.Add(g.options_recorded);
+  inserts.Add(g.pareto_inserts);
+  evictions.Add(g.pareto_evictions);
+  entries.Add(g.entries);
+  strategies.Add(g.strategies);
+  arena_nodes.Add(g.arena_nodes);
+  arena_bytes.Add(g.arena_bytes);
+  adjacency.Add(g.adjacency_pairs);
+  shards.Add(g.shards);
+  wall.Observe(g.wall_ms);
+}
 
 }  // namespace
 
@@ -48,6 +82,7 @@ void GenerationCounters::Merge(const GenerationCounters& o) {
 
 VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
                                   const VdpsConfig& config) {
+  FTA_SPAN("vdps/generate");
   Stopwatch wall;
   std::unique_ptr<ThreadPool> owned_pool;
   ThreadPool* pool = nullptr;
@@ -74,40 +109,44 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
   Stopwatch strat_sw;
   const size_t num_workers = instance.num_workers();
   catalog.strategies_.resize(num_workers);
-  const auto build_worker = [&](size_t w) {
-    const double offset = instance.WorkerToCenterTime(w);
-    const uint32_t max_dp = instance.worker(w).max_delivery_points;
-    std::vector<WorkerStrategy>& out = catalog.strategies_[w];
-    for (uint32_t e = 0; e < catalog.entries_.size(); ++e) {
-      const CVdpsEntry& entry = catalog.entries_[e];
-      if (entry.dps.size() > max_dp) continue;
-      const SequenceOption* opt = entry.BestOptionFor(offset);
-      if (opt == nullptr) continue;
-      WorkerStrategy st;
-      st.entry_id = e;
-      st.route = opt->route;
-      st.total_time = offset + opt->center_time;
-      st.total_reward = entry.total_reward;
-      st.payoff =
-          entry.total_reward / std::max(st.total_time, kMinTravelTime);
-      out.push_back(std::move(st));
+  {
+    FTA_SPAN("vdps/strategies");
+    const auto build_worker = [&](size_t w) {
+      const double offset = instance.WorkerToCenterTime(w);
+      const uint32_t max_dp = instance.worker(w).max_delivery_points;
+      std::vector<WorkerStrategy>& out = catalog.strategies_[w];
+      for (uint32_t e = 0; e < catalog.entries_.size(); ++e) {
+        const CVdpsEntry& entry = catalog.entries_[e];
+        if (entry.dps.size() > max_dp) continue;
+        const SequenceOption* opt = entry.BestOptionFor(offset);
+        if (opt == nullptr) continue;
+        WorkerStrategy st;
+        st.entry_id = e;
+        st.route = opt->route;
+        st.total_time = offset + opt->center_time;
+        st.total_reward = entry.total_reward;
+        st.payoff =
+            entry.total_reward / std::max(st.total_time, kMinTravelTime);
+        out.push_back(std::move(st));
+      }
+      std::sort(out.begin(), out.end(),
+                [](const WorkerStrategy& a, const WorkerStrategy& b) {
+                  if (a.payoff != b.payoff) return a.payoff > b.payoff;
+                  return a.entry_id < b.entry_id;
+                });
+    };
+    if (pool != nullptr && num_workers > 1) {
+      pool->RunBatch(num_workers, build_worker);
+    } else {
+      for (size_t w = 0; w < num_workers; ++w) build_worker(w);
     }
-    std::sort(out.begin(), out.end(),
-              [](const WorkerStrategy& a, const WorkerStrategy& b) {
-                if (a.payoff != b.payoff) return a.payoff > b.payoff;
-                return a.entry_id < b.entry_id;
-              });
-  };
-  if (pool != nullptr && num_workers > 1) {
-    pool->RunBatch(num_workers, build_worker);
-  } else {
-    for (size_t w = 0; w < num_workers; ++w) build_worker(w);
   }
 
   // Delivery-point → strategies inverted index, built once against the
   // final (sorted) strategy order. The parallel path scans fixed worker
   // chunks into private (dp, ref) lists and splices them in chunk order —
   // identical to the serial (worker asc, strategy asc) append order.
+  FTA_SPAN("vdps/inverted_index");
   catalog.touching_.resize(instance.num_delivery_points());
   struct Touch {
     uint32_t dp;
@@ -153,6 +192,7 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
   }
 
   catalog.gen_.wall_ms = wall.ElapsedMillis();
+  PublishGeneration(catalog.gen_);
   FTA_LOG(kInfo) << "C-VDPS generation: entries=" << catalog.entries_.size()
                  << " strategies=" << catalog.gen_.strategies << " wall_ms="
                  << StrFormat("%.2f", catalog.gen_.wall_ms)

@@ -6,6 +6,7 @@
 
 #include "geo/distance_matrix.h"
 #include "geo/grid_index.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/stopwatch.h"
@@ -46,6 +47,7 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
   const bool pruned = !std::isinf(config.epsilon);
   if (pruned) {
     Stopwatch adj_sw;
+    FTA_SPAN("vdps/adjacency");
     const GridIndex grid(instance.DeliveryPointLocations(), config.epsilon);
     adj = grid.BuildRadiusAdjacency(config.epsilon, nullptr);
     c.adjacency_ms = adj_sw.ElapsedMillis();
@@ -53,6 +55,7 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
   }
 
   Stopwatch enum_sw;
+  FTA_SPAN("vdps/enumerate");
   // dp[(mask, last)] -> Pareto frontier of (arrival, slack) with routes.
   std::unordered_map<StateKey, std::vector<SequenceOption>> dp;
 
@@ -153,6 +156,7 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
   c.enumerate_ms = enum_sw.ElapsedMillis();
 
   Stopwatch fin_sw;
+  FTA_SPAN("vdps/finalize");
   result.entries.reserve(by_mask.size());
   for (auto& [mask, entry] : by_mask) {
     FTA_DCHECK(ParetoFrontierInvariantHolds(entry.options));

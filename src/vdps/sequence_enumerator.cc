@@ -5,6 +5,7 @@
 
 #include "geo/distance_matrix.h"
 #include "geo/grid_index.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/stopwatch.h"
@@ -148,6 +149,7 @@ GenerationResult GenerateCVdpsSequences(const Instance& instance,
   const bool pruned = !std::isinf(config.epsilon);
   if (pruned) {
     Stopwatch adj_sw;
+    FTA_SPAN("vdps/adjacency");
     const GridIndex grid(instance.DeliveryPointLocations(), config.epsilon);
     adj = grid.BuildRadiusAdjacency(config.epsilon, pool);
     result.counters.adjacency_ms = adj_sw.ElapsedMillis();
@@ -168,24 +170,31 @@ GenerationResult GenerateCVdpsSequences(const Instance& instance,
                         config.max_entries == 0 && n > 1;
   std::vector<vdps_internal::EnumerationShard> shards;
   Stopwatch enum_sw;
-  if (parallel) {
-    shards.resize(ThreadPool::NumChunks(n, kRootsPerShard));
-    pool->RunChunked(n, kRootsPerShard,
-                     [&](size_t chunk, size_t begin, size_t end) {
-                       ShardDfs dfs(ctx, shards[chunk],
-                                    static_cast<uint32_t>(chunk));
-                       dfs.RunRoots(static_cast<uint32_t>(begin),
-                                    static_cast<uint32_t>(end));
-                     });
-  } else {
-    shards.resize(1);
-    ShardDfs dfs(ctx, shards[0], 0);
-    dfs.RunRoots(0, n);
+  {
+    FTA_SPAN("vdps/enumerate");
+    if (parallel) {
+      shards.resize(ThreadPool::NumChunks(n, kRootsPerShard));
+      pool->RunChunked(n, kRootsPerShard,
+                       [&](size_t chunk, size_t begin, size_t end) {
+                         FTA_SPAN("vdps/enumerate_shard");
+                         ShardDfs dfs(ctx, shards[chunk],
+                                      static_cast<uint32_t>(chunk));
+                         dfs.RunRoots(static_cast<uint32_t>(begin),
+                                      static_cast<uint32_t>(end));
+                       });
+    } else {
+      shards.resize(1);
+      ShardDfs dfs(ctx, shards[0], 0);
+      dfs.RunRoots(0, n);
+    }
   }
   result.counters.enumerate_ms = enum_sw.ElapsedMillis();
 
   Stopwatch fin_sw;
-  vdps_internal::FinalizeShards(shards, config, result);
+  {
+    FTA_SPAN("vdps/finalize");
+    vdps_internal::FinalizeShards(shards, config, result);
+  }
   result.counters.finalize_ms = fin_sw.ElapsedMillis();
   if (result.truncated) {
     FTA_LOG(kWarning) << "C-VDPS generation truncated at "

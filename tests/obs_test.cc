@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/run_report.h"
+#include "exp/runner.h"
+#include "game/fgt.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "vdps/catalog.h"
+
+namespace fta {
+namespace {
+
+Instance RandomInstance(uint64_t seed, size_t num_dps, size_t num_workers,
+                        double area = 10.0) {
+  Rng rng(seed);
+  std::vector<DeliveryPoint> dps;
+  for (uint32_t d = 0; d < num_dps; ++d) {
+    std::vector<SpatialTask> tasks;
+    const size_t n = 1 + rng.Index(4);
+    for (size_t t = 0; t < n; ++t) {
+      tasks.push_back(SpatialTask{d, rng.Uniform(1.0, 4.0), 1.0});
+    }
+    dps.emplace_back(Point{rng.Uniform(0, area), rng.Uniform(0, area)},
+                     std::move(tasks));
+  }
+  std::vector<Worker> workers;
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers.push_back(
+        Worker{{rng.Uniform(0, area), rng.Uniform(0, area)}, 3});
+  }
+  return Instance(Point{area / 2, area / 2}, std::move(dps),
+                  std::move(workers), TravelModel(5.0));
+}
+
+// ------------------------------------------------------------------ JSON --
+
+TEST(JsonTest, WriterEscapesAndRoundTrips) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("text");
+  w.String("line1\nline2\t\"quoted\" \\slash");
+  w.Key("count");
+  w.UInt(18446744073709551615ull);
+  w.Key("neg");
+  w.Int(-42);
+  w.Key("pi");
+  w.Double(3.25);
+  w.Key("flag");
+  w.Bool(true);
+  w.Key("nothing");
+  w.Null();
+  w.Key("list");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.EndObject();
+
+  StatusOr<obs::JsonValue> parsed = obs::ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& v = *parsed;
+  EXPECT_EQ(v.StringOr("text", ""), "line1\nline2\t\"quoted\" \\slash");
+  EXPECT_DOUBLE_EQ(v.NumberOr("neg", 0), -42.0);
+  EXPECT_DOUBLE_EQ(v.NumberOr("pi", 0), 3.25);
+  EXPECT_TRUE(v.BoolOr("flag", false));
+  ASSERT_NE(v.Find("list"), nullptr);
+  EXPECT_EQ(v.Find("list")->array.size(), 2u);
+}
+
+TEST(JsonTest, ParserRejectsMalformed) {
+  EXPECT_FALSE(obs::ParseJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(obs::ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(obs::ParseJson("[1, 2").ok());
+  EXPECT_FALSE(obs::ParseJson("\"bad\\escape\"").ok());
+}
+
+// --------------------------------------------------------------- metrics --
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  auto& h = obs::MetricsRegistry::Global().GetHistogram(
+      "obs_test/boundaries", {1.0, 2.0, 4.0});
+  h.Reset();
+  // Bucket i counts value <= bounds[i] (first match); beyond the last
+  // bound goes to the overflow bucket.
+  h.Observe(0.5);  // bucket 0
+  h.Observe(1.0);  // bucket 0: exactly on a bound lands in that bucket
+  h.Observe(1.5);  // bucket 1
+  h.Observe(2.0);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(5.0);  // overflow
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.TotalCount(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 14.0);
+}
+
+TEST(MetricsTest, ExponentialBoundsShape) {
+  const std::vector<double> b = obs::ExponentialBounds(0.5, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 0.5);
+  EXPECT_DOUBLE_EQ(b[3], 4.0);
+}
+
+/// Runs a fixed integral workload split over `num_threads` threads and
+/// returns the resulting registry snapshot. The workload is identical in
+/// total regardless of the split, so every snapshot must be bit-identical.
+obs::MetricsSnapshot RunShardedWorkload(size_t num_threads) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+  auto& counter = reg.GetCounter("obs_test/work_items");
+  auto& hist = reg.GetHistogram("obs_test/work_sizes",
+                                obs::ExponentialBounds(1.0, 2.0, 6));
+  constexpr size_t kItems = 1200;
+  std::vector<std::thread> threads;
+  std::atomic<size_t> next{0};
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < kItems;
+           i = next.fetch_add(1)) {
+        counter.Add(i % 7);
+        // Integral values: the micro-unit sum is exact, so the merged
+        // reading cannot depend on which thread observed what.
+        hist.Observe(static_cast<double>(i % 40));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  return reg.Snapshot();
+}
+
+TEST(MetricsTest, SnapshotMergeIsOrderInvariantAcrossThreadCounts) {
+  const obs::MetricsSnapshot serial = RunShardedWorkload(1);
+  const obs::MetricsSnapshot two = RunShardedWorkload(2);
+  const obs::MetricsSnapshot eight = RunShardedWorkload(8);
+  ASSERT_FALSE(serial.metrics.empty());
+  EXPECT_EQ(serial.metrics, two.metrics);
+  EXPECT_EQ(serial.metrics, eight.metrics);
+  const obs::MetricReading* c = serial.Find("obs_test/work_items");
+  ASSERT_NE(c, nullptr);
+  uint64_t expected = 0;
+  for (size_t i = 0; i < 1200; ++i) expected += i % 7;
+  EXPECT_EQ(c->counter, expected);
+}
+
+TEST(MetricsTest, SnapshotJsonSortedAndParseable) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+  reg.GetCounter("obs_test/zeta").Add(3);
+  reg.GetCounter("obs_test/alpha").Add(1);
+  reg.GetGauge("obs_test/gauge").Set(2.5);
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  // Name-sorted regardless of registration order.
+  for (size_t i = 1; i < snap.metrics.size(); ++i) {
+    EXPECT_LT(snap.metrics[i - 1].name, snap.metrics[i].name);
+  }
+  StatusOr<obs::JsonValue> parsed = obs::ParseJson(snap.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* zeta = parsed->Find("obs_test/zeta");
+  ASSERT_NE(zeta, nullptr);
+  EXPECT_DOUBLE_EQ(zeta->NumberOr("value", 0), 3.0);
+  EXPECT_EQ(zeta->StringOr("kind", ""), "counter");
+}
+
+// ----------------------------------------------------------------- spans --
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  obs::SetTracingEnabled(false);
+  obs::TraceRecorder::Global().Clear();
+  {
+    FTA_SPAN("obs_test/should_not_appear");
+  }
+  EXPECT_EQ(obs::TraceRecorder::Global().num_events(), 0u);
+}
+
+TEST(TraceTest, SpanNestingAndThreadAttribution) {
+  obs::TraceRecorder::Global().Clear();
+  obs::SetTracingEnabled(true);
+  {
+    FTA_SPAN("obs_test/outer");
+    {
+      FTA_SPAN("obs_test/inner");
+    }
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 2; ++t) {
+      workers.emplace_back([] { FTA_SPAN("obs_test/worker"); });
+    }
+    for (std::thread& th : workers) th.join();
+  }
+  obs::SetTracingEnabled(false);
+
+  const std::vector<obs::SpanEvent> spans =
+      obs::TraceRecorder::Global().Snapshot();
+  const obs::SpanEvent* outer = nullptr;
+  const obs::SpanEvent* inner = nullptr;
+  std::vector<const obs::SpanEvent*> worker_spans;
+  for (const obs::SpanEvent& s : spans) {
+    if (s.name == "obs_test/outer") outer = &s;
+    if (s.name == "obs_test/inner") inner = &s;
+    if (s.name == "obs_test/worker") worker_spans.push_back(&s);
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_EQ(worker_spans.size(), 2u);
+  // Nesting: the inner span is one level deeper, on the same thread, and
+  // contained in the outer span's time range.
+  EXPECT_EQ(inner->depth, outer->depth + 1);
+  EXPECT_EQ(inner->tid, outer->tid);
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->start_us + inner->dur_us,
+            outer->start_us + outer->dur_us);
+  // Thread attribution: each worker records under its own tid, not the
+  // main thread's, and starts at depth 0 on its thread.
+  EXPECT_NE(worker_spans[0]->tid, outer->tid);
+  EXPECT_NE(worker_spans[1]->tid, outer->tid);
+  EXPECT_NE(worker_spans[0]->tid, worker_spans[1]->tid);
+  EXPECT_EQ(worker_spans[0]->depth, 0u);
+}
+
+TEST(TraceTest, ChromeJsonParsesAndCoversSpans) {
+  obs::TraceRecorder::Global().Clear();
+  obs::SetTracingEnabled(true);
+  {
+    FTA_SPAN("obs_test/chrome");
+  }
+  obs::SetTracingEnabled(false);
+  const std::string json = obs::TraceRecorder::Global().ToChromeJson();
+  StatusOr<obs::JsonValue> parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->StringOr("displayTimeUnit", ""), "ms");
+  const obs::JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  bool has_thread_name = false;
+  for (const obs::JsonValue& e : events->array) {
+    if (e.StringOr("ph", "") == "X" &&
+        e.StringOr("name", "") == "obs_test/chrome") {
+      found = true;
+    }
+    if (e.StringOr("ph", "") == "M") has_thread_name = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(has_thread_name);
+}
+
+// ------------------------------------------------------------ run report --
+
+TEST(RunReportTest, JsonRoundTrip) {
+  const Instance inst = RandomInstance(41, 10, 4);
+  SolverOptions options;
+  options.fgt.record_trace = true;
+  options.fgt.max_rounds = 20;
+  obs::MetricsRegistry::Global().Reset();
+  const RunMetrics m = RunOnInstance(Algorithm::kFgt, inst, options);
+  ASSERT_FALSE(m.trace.empty());
+
+  const RunReport report =
+      BuildRunReport("obs_test", "FGT", "random-41", m);
+  StatusOr<obs::JsonValue> parsed = obs::ParseJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& v = *parsed;
+  EXPECT_EQ(v.StringOr("schema", ""), "fta-run-report-v1");
+  EXPECT_EQ(v.StringOr("tool", ""), "obs_test");
+  EXPECT_EQ(v.StringOr("algorithm", ""), "FGT");
+  EXPECT_EQ(v.StringOr("dataset", ""), "random-41");
+
+  const obs::JsonValue* metrics = v.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->NumberOr("num_workers", 0), 4.0);
+  EXPECT_DOUBLE_EQ(metrics->NumberOr("payoff_difference", -1),
+                   m.payoff_difference);
+  EXPECT_DOUBLE_EQ(metrics->NumberOr("rounds", -1),
+                   static_cast<double>(m.rounds));
+
+  const obs::JsonValue* iterations = v.Find("iterations");
+  ASSERT_NE(iterations, nullptr);
+  EXPECT_EQ(iterations->array.size(), m.trace.size());
+
+  const obs::JsonValue* generation = v.Find("generation");
+  ASSERT_NE(generation, nullptr);
+  EXPECT_DOUBLE_EQ(generation->NumberOr("entries", -1),
+                   static_cast<double>(m.generation.entries));
+
+  const obs::JsonValue* registry = v.Find("metrics_registry");
+  ASSERT_NE(registry, nullptr);
+  const obs::JsonValue* fgt_runs = registry->Find("game/fgt/runs");
+  ASSERT_NE(fgt_runs, nullptr);
+  EXPECT_DOUBLE_EQ(fgt_runs->NumberOr("value", 0), 1.0);
+
+  ASSERT_NE(v.Find("spans"), nullptr);
+}
+
+// ----------------------------------------------------------- determinism --
+
+/// Counter-kind registry readings, minus parallel_batches (the one counter
+/// that legitimately depends on the thread count: it counts fan-outs, not
+/// algorithmic work).
+std::vector<obs::MetricReading> DeterministicCounters(
+    const obs::MetricsSnapshot& snap) {
+  std::vector<obs::MetricReading> out;
+  for (const obs::MetricReading& m : snap.Counters()) {
+    if (m.name.find("parallel_batches") != std::string::npos) continue;
+    out.push_back(m);
+  }
+  return out;
+}
+
+TEST(DeterminismTest, ObsModesAndThreadCountsAreBitIdentical) {
+  const Instance inst = RandomInstance(77, 12, 6);
+  VdpsConfig vdps;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, vdps);
+
+  struct RunResult {
+    std::vector<Route> routes;
+    std::vector<obs::MetricReading> counters;
+  };
+  const auto run = [&](bool tracing, size_t threads) {
+    obs::MetricsRegistry::Global().Reset();
+    obs::TraceRecorder::Global().Clear();
+    obs::SetTracingEnabled(tracing);
+    FgtConfig cfg;
+    cfg.max_rounds = 50;
+    cfg.engine.num_threads = threads;
+    cfg.engine.min_parallel_candidates = 1;  // force the parallel path
+    const GameResult r = SolveFgt(inst, catalog, cfg);
+    obs::SetTracingEnabled(false);
+    return RunResult{
+        r.assignment.routes(),
+        DeterministicCounters(obs::MetricsRegistry::Global().Snapshot())};
+  };
+
+  const RunResult base = run(/*tracing=*/false, /*threads=*/1);
+  const RunResult traced = run(/*tracing=*/true, /*threads=*/1);
+  const RunResult parallel = run(/*tracing=*/false, /*threads=*/4);
+  const RunResult traced_parallel = run(/*tracing=*/true, /*threads=*/4);
+
+  // Tracing is observational: identical assignment AND identical metrics.
+  EXPECT_EQ(base.routes, traced.routes);
+  EXPECT_EQ(base.counters, traced.counters);
+  // Thread count changes neither the assignment nor any counter other than
+  // the excluded fan-out count.
+  EXPECT_EQ(base.routes, parallel.routes);
+  EXPECT_EQ(base.counters, parallel.counters);
+  EXPECT_EQ(base.routes, traced_parallel.routes);
+  EXPECT_EQ(base.counters, traced_parallel.counters);
+}
+
+// --------------------------------------------------------------- logging --
+
+TEST(LogSinkTest, CaptureSinkReceivesWholeLinesUnderConcurrency) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  CaptureLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        FTA_LOG(kInfo) << "thread " << t << " line " << i << " tail";
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  SetLogSink(previous);
+  SetLogLevel(before);
+
+  const std::vector<std::string> lines = sink.lines();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kLines));
+  // Every line arrives whole: prefix, full message, no interleaving and no
+  // trailing newline.
+  const std::regex pattern(
+      R"(\[INFO obs_test\.cc:\d+\] thread \d+ line \d+ tail)");
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(std::regex_match(line, pattern)) << "malformed: " << line;
+  }
+}
+
+}  // namespace
+}  // namespace fta
