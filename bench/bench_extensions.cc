@@ -34,7 +34,7 @@ void PriorityEvolution() {
   ResultTable t("priority-aware IEGT vs plain IEGT (priorities 1 / 3)",
                 {"seed", "plain wP_dif", "prio wP_dif", "plain ratio",
                  "prio ratio"});
-  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
     GMissionConfig config = GmDefault(seed * 97);
     config.num_workers = 10;
     const Instance instance =
@@ -148,7 +148,7 @@ void MptaOptimalityGap() {
   // mid-size instances.
   ResultTable t("MPTA optimality gap vs exact branch and bound",
                 {"seed", "BnB optimum", "MPTA total", "gap %", "BnB nodes"});
-  for (uint64_t seed : {1, 2, 3}) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
     GMissionConfig config = GmDefault(seed * 31);
     config.num_workers = 10;
     config.num_tasks = 120;

@@ -31,7 +31,9 @@ double Assignment::TotalPayoff(const Instance& instance) const {
 
 size_t Assignment::num_assigned_workers() const {
   size_t n = 0;
-  for (const Route& r : routes_) n += r.empty() ? 0 : 1;
+  for (const Route& r : routes_) {
+    if (!r.empty()) ++n;
+  }
   return n;
 }
 

@@ -218,7 +218,8 @@ TEST(ExhaustiveTest, ResultsAreValidAssignments) {
   ASSERT_TRUE(r.complete);
   EXPECT_TRUE(r.fairest.Validate(inst).ok());
   EXPECT_TRUE(r.max_total.Validate(inst).ok());
-  EXPECT_GE(r.max_total_payoff, r.fairest_avg * inst.num_workers() - 1e-9);
+  EXPECT_GE(r.max_total_payoff,
+            r.fairest_avg * static_cast<double>(inst.num_workers()) - 1e-9);
 }
 
 }  // namespace
