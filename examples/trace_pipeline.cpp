@@ -5,15 +5,26 @@
 // any step can be swapped for real data.
 //
 // Usage:   ./build/examples/trace_pipeline [out_dir]
+//
+// Artifacts land in examples/output/ by default (created on demand and
+// gitignored) so repeated runs never litter the repository root.
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "fta/fta.h"
 
 int main(int argc, char** argv) {
   using namespace fta;
-  const std::string dir = argc > 1 ? argv[1] : ".";
+  const std::string dir = argc > 1 ? argv[1] : "examples/output";
+  std::error_code dir_ec;
+  std::filesystem::create_directories(dir, dir_ec);
+  if (dir_ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 dir_ec.message().c_str());
+    return 1;
+  }
   const std::string trace_path = dir + "/trace.csv";
   const std::string assignment_path = dir + "/assignment.csv";
   const std::string svg_path = dir + "/dispatch.svg";
