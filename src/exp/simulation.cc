@@ -9,6 +9,7 @@
 #include "game/iegt.h"
 #include "model/assignment.h"
 #include "model/route.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/rng.h"

@@ -5,6 +5,7 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/string_util.h"
 #include "vdps/catalog.h"
 
 namespace fta {
@@ -188,6 +189,24 @@ void BestResponseEngine::AvailableAbovePayoff(size_t w,
     if (strategies[i].payoff <= payoff_threshold + kEps) break;  // sorted desc
     if (Available(w, idx, counters_)) out.push_back(idx);
   }
+}
+
+Status BestResponseEngine::ValidateAvailabilityIndex() const {
+  for (size_t w = 0; w < avail_.size(); ++w) {
+    for (size_t i = 0; i < avail_[w].size(); ++i) {
+      const uint8_t slot = avail_[w][i];
+      if (slot == kUnknown) continue;
+      const bool actual = state_->IsAvailable(w, static_cast<int32_t>(i));
+      if (actual != (slot == kAvailable)) {
+        return Status::Internal(StrFormat(
+            "availability cache stale for worker %zu strategy %zu: cached "
+            "%s, actual %s",
+            w, i, slot == kAvailable ? "available" : "blocked",
+            actual ? "available" : "blocked"));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 bool BestResponseEngine::IsNash() {

@@ -8,6 +8,7 @@
 #include "game/iau.h"
 #include "game/joint_state.h"
 #include "game/trace.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace fta {
@@ -98,6 +99,12 @@ class BestResponseEngine {
 
   /// True if no worker has a strictly improving available deviation.
   bool IsNash();
+
+  /// Exactness contract of the incremental availability index
+  /// (FTA_VALIDATE, called at solver round boundaries): every cache slot
+  /// that is not kUnknown must agree with a fresh
+  /// JointState::IsAvailable scan. Trivially OK when the index is off.
+  Status ValidateAvailabilityIndex() const;
 
   const BestResponseCounters& counters() const { return counters_; }
   const JointState& state() const { return *state_; }

@@ -8,6 +8,7 @@
 #include "game/potential.h"
 #include "game/solver_metrics.h"
 #include "obs/trace.h"
+#include "util/check.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 
@@ -89,6 +90,10 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
       if (engine.Step(w)) ++changes;
     }
     result.rounds = round;
+    // Round-boundary contracts: state bookkeeping and the incremental
+    // availability index must be exact after every full round of moves.
+    FTA_DCHECK_OK(state.ValidateInvariants());
+    FTA_DCHECK_OK(engine.ValidateAvailabilityIndex());
     if (config.record_trace) {
       result.trace.push_back(Snapshot(state, round, changes, config.iau.alpha,
                                       engine.counters() - round_start));

@@ -6,6 +6,7 @@
 #include "game/init.h"
 #include "game/solver_metrics.h"
 #include "obs/trace.h"
+#include "util/check.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 
@@ -79,6 +80,10 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
       }
     }
     result.rounds = round;
+    // Round-boundary contracts (see SolveFgt): bookkeeping and the
+    // availability index stay exact across evolution moves.
+    FTA_DCHECK_OK(state.ValidateInvariants());
+    FTA_DCHECK_OK(engine.ValidateAvailabilityIndex());
     if (config.record_trace) {
       result.trace.push_back(
           Snapshot(state, round, changes, engine.counters() - round_start));

@@ -53,6 +53,13 @@ class JointState {
   /// Materializes the assignment A from the current joint strategy.
   Assignment ToAssignment() const;
 
+  /// Deep self-check of the state against its catalog (FTA_VALIDATE
+  /// contract, called at solver phase boundaries): strategy indices in
+  /// range, `owner_` exactly the union of the chosen strategies' delivery
+  /// points (which also proves Definition 8 disjointness), and every
+  /// cached payoff equal to its strategy's materialized payoff.
+  Status ValidateInvariants() const;
+
  private:
   const Instance* instance_;
   const VdpsCatalog* catalog_;

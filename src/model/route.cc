@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/math_util.h"
 
 namespace fta {
@@ -36,6 +37,18 @@ RouteEvaluation EvaluateRouteFromCenter(const Instance& instance,
   if (eval.total_time > 0.0) {
     eval.payoff = eval.total_reward / eval.total_time;
   }
+  // Evaluation contracts (Definition 5/6): travel times are nonnegative, so
+  // arrival times are monotone along the route, and feasibility is exactly
+  // "no deadline overshoots the tolerance", i.e. slack >= -kEps.
+  FTA_DCHECK_MSG(eval.arrivals.size() == route.size(),
+                 "one arrival per delivery point");
+  FTA_DCHECK_MSG(
+      std::is_sorted(eval.arrivals.begin(), eval.arrivals.end()),
+      "arrival times must be monotone along the route");
+  FTA_DCHECK_MSG(eval.arrivals.empty() || eval.arrivals.front() >= start_offset,
+                 "first arrival precedes the start offset");
+  FTA_DCHECK_MSG(eval.feasible == (eval.slack >= -kEps),
+                 "feasibility must agree with the deadline slack");
   return eval;
 }
 

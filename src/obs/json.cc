@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace fta {

@@ -1,0 +1,82 @@
+#ifndef FTA_UTIL_CHECK_H_
+#define FTA_UTIL_CHECK_H_
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+/// Runtime contract checking for the FTA library.
+///
+/// Two severities exist:
+///
+///  - FTA_CHECK / FTA_CHECK_MSG (util/logging.h): always-on invariant
+///    checks. Cheap, guard programming errors on cold paths, never
+///    compiled out.
+///  - FTA_DCHECK / FTA_DCHECK_MSG / FTA_DCHECK_OK (this header): validation
+///    contracts. Compiled out entirely unless the build defines
+///    FTA_VALIDATE (cmake -DFTA_VALIDATE=ON). They may be arbitrarily
+///    expensive — whole-structure validators run at phase boundaries
+///    (catalog finalize, solver round ends, assignment materialization) so
+///    the full tier-1 suite stays runnable in validate mode.
+///
+/// The disabled forms expand to an unevaluated sizeof — the expression is
+/// type-checked (so validate-only code cannot rot) but generates no code,
+/// executes nothing, and keeps referenced variables "used" for -Werror
+/// builds. FTA_CHECK_OK is the always-on Status form.
+
+namespace fta {
+
+/// True when the including translation unit was compiled with validation
+/// contracts enabled (cmake -DFTA_VALIDATE=ON). Deliberately internal
+/// linkage (non-inline constexpr): a test TU may toggle FTA_VALIDATE
+/// independently of the library without an ODR violation.
+#ifdef FTA_VALIDATE
+constexpr bool kValidateEnabled = true;
+#else
+constexpr bool kValidateEnabled = false;
+#endif
+
+}  // namespace fta
+
+/// Always-on Status check: evaluates `expr` once and aborts with the
+/// status message if it is not OK. Use for contract violations that must
+/// never ship, not for recoverable errors (those propagate the Status).
+#define FTA_CHECK_OK(expr)                                                 \
+  do {                                                                     \
+    const ::fta::Status fta_check_ok_status_ = (expr);                     \
+    if (!fta_check_ok_status_.ok()) {                                      \
+      ::fta::internal_logging::CheckFailed(                                \
+          #expr " is OK", __FILE__, __LINE__,                              \
+          fta_check_ok_status_.ToString());                                \
+    }                                                                      \
+  } while (false)
+
+#ifdef FTA_VALIDATE
+
+#define FTA_DCHECK(expr) FTA_CHECK(expr)
+#define FTA_DCHECK_MSG(expr, msg) FTA_CHECK_MSG(expr, msg)
+#define FTA_DCHECK_OK(expr) FTA_CHECK_OK(expr)
+
+#else
+
+/// Disabled contract: unevaluated, zero code, expression still
+/// type-checked. (sizeof's operand is never executed.)
+#define FTA_DCHECK(expr)                  \
+  do {                                    \
+    (void)sizeof((expr) ? 1 : 0);         \
+  } while (false)
+
+#define FTA_DCHECK_MSG(expr, msg)         \
+  do {                                    \
+    (void)sizeof((expr) ? 1 : 0);         \
+  } while (false)
+
+#define FTA_DCHECK_OK(expr)               \
+  do {                                    \
+    (void)sizeof((expr).ok() ? 1 : 0);    \
+  } while (false)
+
+#endif  // FTA_VALIDATE
+
+#endif  // FTA_UTIL_CHECK_H_

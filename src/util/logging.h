@@ -100,13 +100,7 @@ class LogMessage {
     }                                                                        \
   } while (false)
 
-/// Debug-only check (compiled out in NDEBUG builds).
-#ifdef NDEBUG
-#define FTA_DCHECK(expr) \
-  do {                   \
-  } while (false)
-#else
-#define FTA_DCHECK(expr) FTA_CHECK(expr)
-#endif
+// Validation contracts (FTA_DCHECK, FTA_DCHECK_MSG, FTA_DCHECK_OK) live in
+// util/check.h, gated on the FTA_VALIDATE build mode.
 
 #endif  // FTA_UTIL_LOGGING_H_

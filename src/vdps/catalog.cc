@@ -1,15 +1,18 @@
 #include "vdps/catalog.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "vdps/generators.h"
+#include "vdps/pareto.h"
 
 namespace fta {
 namespace {
@@ -192,6 +195,9 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
   }
 
   catalog.gen_.wall_ms = wall.ElapsedMillis();
+  // Phase-boundary contract: the catalog every solver will consume is
+  // deep-checked once, right after generation.
+  FTA_DCHECK_OK(catalog.ValidateInvariants(instance));
   PublishGeneration(catalog.gen_);
   FTA_LOG(kInfo) << "C-VDPS generation: entries=" << catalog.entries_.size()
                  << " strategies=" << catalog.gen_.strategies << " wall_ms="
@@ -199,6 +205,158 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
                  << " arena_bytes=" << catalog.gen_.arena_bytes
                  << " threads=" << (pool != nullptr ? pool->num_threads() : 1);
   return catalog;
+}
+
+namespace {
+
+/// Tolerance for cross-checking stored times/rewards against a fresh
+/// evaluation: the generators accumulate the same left-to-right sums the
+/// evaluator does, but multi-set rewards may fold in a different
+/// association, so allow a few ulps of headroom.
+constexpr double kValidateTol = 1e-9;
+
+bool NearlyEqual(double a, double b) {
+  // Exact equality first: slack is +inf for routes no deadline constrains,
+  // and inf - inf below would be NaN.
+  if (a == b) return true;
+  return std::abs(a - b) <=
+         kValidateTol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+Status ValidateCVdpsEntry(const Instance& instance, const CVdpsEntry& entry) {
+  if (entry.dps.empty()) {
+    return Status::Internal("C-VDPS entry with an empty delivery point set");
+  }
+  double reward = 0.0;
+  for (size_t i = 0; i < entry.dps.size(); ++i) {
+    if (entry.dps[i] >= instance.num_delivery_points()) {
+      return Status::Internal(
+          StrFormat("entry references delivery point %u out of range",
+                    entry.dps[i]));
+    }
+    if (i > 0 && entry.dps[i - 1] >= entry.dps[i]) {
+      return Status::Internal("entry.dps not strictly ascending");
+    }
+    reward += instance.delivery_point(entry.dps[i]).total_reward();
+  }
+  if (!NearlyEqual(reward, entry.total_reward)) {
+    return Status::Internal(
+        StrFormat("entry total_reward %.17g != recomputed %.17g",
+                  entry.total_reward, reward));
+  }
+  if (entry.options.empty()) {
+    return Status::Internal("C-VDPS entry without any retained sequence");
+  }
+  if (!ParetoFrontierInvariantHolds(entry.options)) {
+    return Status::Internal(
+        "frontier violates (center_time asc, slack asc) invariant");
+  }
+  std::vector<uint32_t> sorted;
+  for (const SequenceOption& opt : entry.options) {
+    sorted = opt.route;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted != entry.dps) {
+      return Status::Internal("option route is not a permutation of dps");
+    }
+    const RouteEvaluation eval =
+        EvaluateRouteFromCenter(instance, opt.route, 0.0);
+    if (!eval.feasible) {
+      return Status::Internal("retained sequence misses a deadline");
+    }
+    if (!NearlyEqual(eval.total_time, opt.center_time)) {
+      return Status::Internal(
+          StrFormat("option center_time %.17g != evaluated %.17g",
+                    opt.center_time, eval.total_time));
+    }
+    if (!NearlyEqual(eval.slack, opt.slack)) {
+      return Status::Internal(StrFormat(
+          "option slack %.17g != evaluated %.17g", opt.slack, eval.slack));
+    }
+  }
+  return Status::Ok();
+}
+
+Status VdpsCatalog::ValidateInvariants(const Instance& instance) const {
+  for (const CVdpsEntry& entry : entries_) {
+    if (Status s = ValidateCVdpsEntry(instance, entry); !s.ok()) return s;
+  }
+  if (strategies_.size() != instance.num_workers()) {
+    return Status::Internal(
+        StrFormat("catalog covers %zu workers, instance has %zu",
+                  strategies_.size(), instance.num_workers()));
+  }
+  for (size_t w = 0; w < strategies_.size(); ++w) {
+    const double offset = instance.WorkerToCenterTime(w);
+    const uint32_t max_dp = instance.worker(w).max_delivery_points;
+    const std::vector<WorkerStrategy>& sts = strategies_[w];
+    for (size_t i = 0; i < sts.size(); ++i) {
+      const WorkerStrategy& st = sts[i];
+      if (st.entry_id >= entries_.size()) {
+        return Status::Internal(StrFormat(
+            "worker %zu strategy %zu references missing entry %u", w, i,
+            st.entry_id));
+      }
+      const CVdpsEntry& entry = entries_[st.entry_id];
+      if (entry.dps.size() > max_dp) {
+        return Status::Internal(StrFormat(
+            "worker %zu strategy %zu exceeds maxDP (%zu > %u)", w, i,
+            entry.dps.size(), max_dp));
+      }
+      if (i > 0 && (sts[i - 1].payoff < st.payoff ||
+                    (sts[i - 1].payoff == st.payoff &&
+                     sts[i - 1].entry_id >= st.entry_id))) {
+        return Status::Internal(StrFormat(
+            "worker %zu strategies not sorted by (payoff desc, entry asc) "
+            "at %zu",
+            w, i));
+      }
+      const SequenceOption* opt = entry.BestOptionFor(offset);
+      if (opt == nullptr || opt->route != st.route) {
+        return Status::Internal(StrFormat(
+            "worker %zu strategy %zu route differs from BestOptionFor", w,
+            i));
+      }
+      if (st.total_time != offset + opt->center_time ||
+          st.total_reward != entry.total_reward ||
+          st.payoff !=
+              entry.total_reward / std::max(st.total_time, kMinTravelTime)) {
+        return Status::Internal(StrFormat(
+            "worker %zu strategy %zu carries stale time/reward/payoff", w,
+            i));
+      }
+    }
+  }
+  // Reconstruct the inverted index independently; the build order (worker
+  // asc, strategy asc) is part of the contract BestResponseEngine::Mark
+  // relies on.
+  if (touching_.size() != instance.num_delivery_points()) {
+    return Status::Internal("inverted index sized off the instance");
+  }
+  std::vector<std::vector<StrategyRef>> expected(touching_.size());
+  for (uint32_t w = 0; w < strategies_.size(); ++w) {
+    for (size_t i = 0; i < strategies_[w].size(); ++i) {
+      for (uint32_t dp : entries_[strategies_[w][i].entry_id].dps) {
+        expected[dp].push_back(StrategyRef{w, static_cast<int32_t>(i)});
+      }
+    }
+  }
+  for (size_t dp = 0; dp < touching_.size(); ++dp) {
+    if (touching_[dp].size() != expected[dp].size()) {
+      return Status::Internal(StrFormat(
+          "inverted index at dp %zu has %zu refs, expected %zu", dp,
+          touching_[dp].size(), expected[dp].size()));
+    }
+    for (size_t i = 0; i < expected[dp].size(); ++i) {
+      if (touching_[dp][i].worker != expected[dp][i].worker ||
+          touching_[dp][i].strategy != expected[dp][i].strategy) {
+        return Status::Internal(StrFormat(
+            "inverted index mismatch at dp %zu position %zu", dp, i));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 size_t VdpsCatalog::MaxStrategiesPerWorker() const {

@@ -9,6 +9,7 @@
 #include "model/instance.h"
 #include "model/route.h"
 #include "util/math_util.h"
+#include "util/status.h"
 
 namespace fta {
 
@@ -114,6 +115,14 @@ struct CVdpsEntry {
   }
 };
 
+/// Deep self-check of one catalog entry (FTA_VALIDATE contract): `dps`
+/// strictly ascending and in range, total_reward consistent with the
+/// instance, the Pareto frontier sorted by (center_time asc, slack asc),
+/// and every retained sequence a deadline-feasible permutation of `dps`
+/// whose recorded center_time/slack match a fresh center-origin
+/// evaluation.
+Status ValidateCVdpsEntry(const Instance& instance, const CVdpsEntry& entry);
+
 /// Tuning knobs for C-VDPS generation.
 struct VdpsConfig {
   /// Distance-constrained pruning threshold ε (Section IV): when extending
@@ -212,6 +221,14 @@ class VdpsCatalog {
 
   /// Counters of the generation run that built this catalog.
   const GenerationCounters& generation() const { return gen_; }
+
+  /// Deep self-check (FTA_VALIDATE contract, run once at the end of
+  /// Generate): every entry passes ValidateCVdpsEntry, per-worker
+  /// strategies are payoff-sorted, reference existing entries, respect
+  /// maxDP, carry the route/total_time/payoff that BestOptionFor would
+  /// materialize today, and the delivery-point → strategies inverted index
+  /// matches an independent reconstruction element-for-element.
+  Status ValidateInvariants(const Instance& instance) const;
 
   /// Summary line for logs: entry/strategy counts.
   std::string Summary() const;

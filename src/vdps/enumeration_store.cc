@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/check.h"
 #include "util/logging.h"
 #include "vdps/pareto.h"
 
@@ -56,6 +57,11 @@ void FinalizeShards(std::vector<EnumerationShard>& shards,
   SetStore& merged = shards[0].sets;
   for (size_t s = 1; s < shards.size(); ++s) {
     merged.merge(shards[s].sets);
+    // Order-invariant fold: each leftover key splices into its own merged
+    // record, and shards are processed in ascending (fixed) order, so no
+    // bucket-order dependence can reach the catalog — which additionally
+    // sorts entries before returning.
+    // NOLINTNEXTLINE(fta-det)
     for (auto& [key, rec] : shards[s].sets) {
       SetRecord& target = merged.find(key)->second;
       target.options.insert(target.options.end(), rec.options.begin(),

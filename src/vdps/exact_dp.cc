@@ -7,6 +7,7 @@
 #include "geo/distance_matrix.h"
 #include "geo/grid_index.h"
 #include "obs/trace.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/stopwatch.h"

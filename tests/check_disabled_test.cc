@@ -1,0 +1,56 @@
+// Contract-macro semantics with validation DISABLED. FTA_VALIDATE is
+// undefined below before any include so this TU exercises the zero-cost
+// path even when the build tree was configured with -DFTA_VALIDATE=ON.
+// Per-TU divergence is safe: kValidateEnabled has internal linkage by
+// design (see util/check.h).
+
+#ifdef FTA_VALIDATE
+#undef FTA_VALIDATE
+#endif
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace fta {
+namespace {
+
+static_assert(!kValidateEnabled,
+              "check_disabled_test must see FTA_VALIDATE undefined");
+
+TEST(CheckDisabledTest, DcheckNeverFiresOnFalse) {
+  FTA_DCHECK(false);
+  FTA_DCHECK_MSG(false, "never printed");
+}
+
+TEST(CheckDisabledTest, DcheckDoesNotEvaluateItsArgument) {
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return false;
+  };
+  FTA_DCHECK(expensive());
+  FTA_DCHECK_MSG(expensive(), "never printed");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CheckDisabledTest, DcheckOkDoesNotEvaluateItsArgument) {
+  int calls = 0;
+  auto expensive_status = [&calls] {
+    ++calls;
+    return Status::Internal("never materialized");
+  };
+  FTA_DCHECK_OK(expensive_status());
+  EXPECT_EQ(calls, 0);
+}
+
+// The always-on Status check must not be silenced by disabling validation.
+TEST(CheckDisabledDeathTest, CheckOkStillAbortsOnError) {
+  EXPECT_DEATH(FTA_CHECK_OK(Status::Internal("still fatal")),
+               "is OK.*INTERNAL: still fatal");
+}
+
+}  // namespace
+}  // namespace fta

@@ -1,0 +1,490 @@
+#!/usr/bin/env python3
+"""fta_lint: determinism lint for the FTA codebase.
+
+The reproduction's headline claim is that assignments and catalogs are
+bit-identical at any thread count. This lint statically rejects the
+hazard patterns that have historically threatened that claim:
+
+  banned-token
+      Nondeterminism/timing sources that must never appear in src/:
+      libc rand(), std::random_device, wall-clock seeding via
+      time(nullptr)/time(NULL)/time(0), and std::this_thread::sleep
+      (scheduling-dependent timing baked into library code).
+
+  unordered-iteration
+      A range-for over a std::unordered_map/std::unordered_set (or an
+      alias / struct field of such a type) whose body appends into another
+      container. Bucket order is implementation- and seed-defined, so the
+      fed container inherits nondeterministic order unless it is sorted
+      afterwards. The lint accepts the pattern when a sort(...) call
+      follows within SORT_LOOKAHEAD lines of the loop's closing brace
+      (the "enumerate then normalize" idiom), otherwise it reports.
+
+  parallel-float-reduce
+      A `+=` / `-=` on a float-typed lvalue inside a lambda passed to
+      ThreadPool::RunBatch / RunChunked / ParallelFor. Floating-point
+      addition is not associative, so scheduling order would leak into
+      the sum. Integer accumulators are exempt (associative +
+      commutative); the approved merge helpers (the best_response
+      deterministic reduce and the obs snapshot merge) are allowlisted
+      by file.
+
+Escapes, in order of preference:
+  1. Restructure the code (sort the result, fold in fixed shard order,
+     accumulate in integers).
+  2. `// NOLINT(fta-det)` on the offending line, or
+     `// NOLINTNEXTLINE(fta-det)` on the line above, with a reason in
+     the surrounding comment.
+  3. An entry in tools/fta_lint/allowlist.txt (rule:path-suffix:needle).
+     Unused allowlist entries are reported as errors so the file cannot
+     accumulate stale exemptions.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/configuration error.
+Diagnostics are `path:line: [rule] message`, one per line, sorted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+SORT_LOOKAHEAD = 15
+
+BANNED_TOKENS = [
+    (re.compile(r"(?<![\w:])rand\s*\("), "libc rand() is nondeterministic across runs; use fta::Rng"),
+    (re.compile(r"std::random_device"), "std::random_device is nondeterministic; seed fta::Rng explicitly"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "wall-clock seeding breaks reproducibility; thread timestamps in explicitly"),
+    (re.compile(r"this_thread::sleep"), "sleeps encode scheduling assumptions; use condition variables"),
+]
+
+PARALLEL_ENTRYPOINTS = re.compile(r"\b(?:RunBatch|RunChunked|ParallelFor)\s*\(")
+RANGE_FOR = re.compile(r"\bfor\s*\(([^;]*?):([^;]*?)\)\s*(\{?)\s*$")
+APPEND_CALL = re.compile(r"\.(?:push_back|emplace_back|emplace|insert)\s*\(")
+SORT_CALL = re.compile(r"\b(?:sort|stable_sort)\s*\(")
+COMPOUND_FLOAT = re.compile(r"([A-Za-z_][\w\.\->\[\]\(\)]*?)\s*[+\-]=(?!=)")
+
+NOLINT_HERE = re.compile(r"NOLINT\(fta-det\)")
+NOLINT_NEXT = re.compile(r"NOLINTNEXTLINE\(fta-det\)")
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def scrub(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure
+    and NOLINT markers (which live in comments but are re-read from the
+    raw text)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif ch == "R" and text[i : i + 2] == 'R"':
+            end = text.find(')"', i + 2)
+            stop = n if end == -1 else end + 2
+            out.extend("\n" for c in text[i:stop] if c == "\n")
+            i = stop
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def brace_match(lines: list[str], start_line: int, start_col: int):
+    """Returns the (line, col) just past the matching '}' for the '{' at
+    (start_line, start_col), or None if unbalanced. 0-based lines."""
+    depth = 0
+    for li in range(start_line, len(lines)):
+        line = lines[li]
+        ci = start_col if li == start_line else 0
+        while ci < len(line):
+            c = line[ci]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    return li, ci
+            ci += 1
+    return None
+
+
+class TypeTables:
+    """File-spanning name → type-class lookups, built from every scanned
+    file so struct fields resolve across headers."""
+
+    def __init__(self):
+        self.float_members: set[str] = set()
+        self.unordered_members: set[str] = set()
+        self.unordered_aliases: set[str] = set()
+
+    def collect(self, scrubbed_lines: list[str]) -> None:
+        for line in scrubbed_lines:
+            m = re.search(r"\busing\s+(\w+)\s*=\s*(?:std::)?unordered_", line)
+            if m:
+                self.unordered_aliases.add(m.group(1))
+        alias_pattern = (
+            "|".join(re.escape(a) for a in sorted(self.unordered_aliases))
+            or r"$^"
+        )
+        member_decl = re.compile(
+            r"^\s*(?:mutable\s+)?(?:std::)?(unordered_map|unordered_set|"
+            + alias_pattern
+            + r")\b[^;=()]*?\s(\w+)\s*(?:;|=|\{)"
+        )
+        float_decl = re.compile(
+            r"^\s*(?:mutable\s+|const\s+|constexpr\s+|static\s+)*"
+            r"(?:double|float)\s+(\w+)\s*(?:;|=|\{)"
+        )
+        for line in scrubbed_lines:
+            m = member_decl.search(line)
+            if m:
+                self.unordered_members.add(m.group(2))
+            m = float_decl.search(line)
+            if m:
+                self.float_members.add(m.group(1))
+
+
+class FileScan:
+    def __init__(self, path: str, display_path: str):
+        self.path = path
+        self.display = display_path
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.raw = f.read()
+        self.raw_lines = self.raw.split("\n")
+        self.scrubbed_lines = scrub(self.raw).split("\n")
+        self.suppressed = set()
+        for i, line in enumerate(self.raw_lines):
+            if NOLINT_NEXT.search(line):
+                self.suppressed.add(i + 1)
+            elif NOLINT_HERE.search(line):
+                self.suppressed.add(i)
+
+    def local_unordered_names(self) -> set[str]:
+        names = set()
+        for line in self.scrubbed_lines:
+            m = re.search(
+                r"\b(?:std::)?unordered_(?:map|set)\s*<[^;]*>[\s&*]+(\w+)\s*[;({=,)]",
+                line,
+            )
+            if m:
+                names.add(m.group(1))
+        return names
+
+    def local_float_names(self) -> set[str]:
+        names = set()
+        for line in self.scrubbed_lines:
+            m = re.search(
+                r"\b(?:double|float)\s+(\w+)\s*[;({=,]", line
+            )
+            if m:
+                names.add(m.group(1))
+        return names
+
+
+def lhs_terminal(expr: str) -> str:
+    """Final identifier component of an lvalue expression:
+    counters.wall_ms -> wall_ms, out[i] -> out, shard->total -> total."""
+    expr = expr.strip()
+    expr = re.sub(r"\[[^\]]*\]$", "", expr)
+    parts = re.split(r"\.|->", expr)
+    last = parts[-1] if parts else expr
+    m = re.search(r"([A-Za-z_]\w*)\s*$", last)
+    if m:
+        return m.group(1)
+    m2 = re.search(r"([A-Za-z_]\w*)", last)
+    return m2.group(1) if m2 else last
+
+
+def check_banned_tokens(scan: FileScan, out: list[Violation]) -> None:
+    for i, line in enumerate(scan.scrubbed_lines):
+        for pattern, why in BANNED_TOKENS:
+            m = pattern.search(line)
+            if m:
+                out.append(
+                    Violation(
+                        scan.display,
+                        i + 1,
+                        "banned-token",
+                        f"'{m.group(0).strip()}' — {why}",
+                    )
+                )
+
+
+def is_unordered_target(
+    expr: str, scan: FileScan, tables: TypeTables, local_unordered: set[str]
+) -> bool:
+    expr = expr.strip()
+    if "unordered_" in expr:
+        return True
+    terminal = lhs_terminal(expr)
+    if terminal in local_unordered or terminal in tables.unordered_members:
+        return True
+    # Bare names declared via an unordered alias (e.g. `SetStore sets;`
+    # where `using SetStore = std::unordered_map<...>`).
+    for alias in tables.unordered_aliases:
+        if re.search(
+            rf"\b{re.escape(alias)}\b[^;={{}}]*?[\s&*]{re.escape(terminal)}\s*[;({{=,)]",
+            "\n".join(scan.scrubbed_lines),
+        ):
+            return True
+    return False
+
+
+def check_unordered_iteration(
+    scan: FileScan, tables: TypeTables, out: list[Violation]
+) -> None:
+    local_unordered = scan.local_unordered_names()
+    lines = scan.scrubbed_lines
+    for i, line in enumerate(lines):
+        m = RANGE_FOR.search(line)
+        if not m:
+            continue
+        if not is_unordered_target(m.group(2), scan, tables, local_unordered):
+            continue
+        # Locate the loop body's opening brace (same line or a later one).
+        open_line, open_col = i, line.rfind("{")
+        if open_col == -1:
+            for j in range(i + 1, min(i + 3, len(lines))):
+                col = lines[j].find("{")
+                if col != -1:
+                    open_line, open_col = j, col
+                    break
+            else:
+                continue  # single-statement loop body: nothing to append into
+        end = brace_match(lines, open_line, open_col)
+        if end is None:
+            continue
+        end_line, _ = end
+        body = "\n".join(lines[open_line : end_line + 1])
+        feeds = APPEND_CALL.search(body) or re.search(r"[+\-]=(?!=)", body)
+        if not feeds:
+            continue
+        # Look for a normalizing sort between the loop and the end of the
+        # enclosing function (a column-0 '}'); a sort in a *different*
+        # function must not absolve this loop.
+        ahead = []
+        for j in range(end_line + 1, min(end_line + 1 + SORT_LOOKAHEAD,
+                                         len(lines))):
+            if lines[j].startswith("}"):
+                break
+            ahead.append(lines[j])
+        lookahead = "\n".join(ahead)
+        if SORT_CALL.search(lookahead) or SORT_CALL.search(body):
+            continue  # order normalized after (or during) the fold
+        if i in scan.suppressed:
+            continue
+        out.append(
+            Violation(
+                scan.display,
+                i + 1,
+                "unordered-iteration",
+                "range-for over an unordered container feeds a result "
+                "container without a subsequent sort or an order-invariant "
+                "fold; bucket order will leak into the output",
+            )
+        )
+
+
+def check_parallel_float_reduce(
+    scan: FileScan, tables: TypeTables, out: list[Violation]
+) -> None:
+    local_floats = scan.local_float_names()
+    lines = scan.scrubbed_lines
+    for i, line in enumerate(lines):
+        entry = PARALLEL_ENTRYPOINTS.search(line)
+        if not entry:
+            continue
+        # Only call sites that pass a lambda matter: find the lambda intro
+        # '[' after the call, then the lambda body's first '{' after it.
+        # Declarations and function-pointer call sites have no '[' and are
+        # skipped (nothing to accumulate into from here).
+        intro_line, intro_col = -1, -1
+        for j in range(i, min(i + 4, len(lines))):
+            col = lines[j].find("[", entry.end() if j == i else 0)
+            if col != -1:
+                intro_line, intro_col = j, col
+                break
+        if intro_line == -1:
+            continue
+        open_line, open_col = -1, -1
+        for j in range(intro_line, min(intro_line + 4, len(lines))):
+            col = lines[j].find("{", intro_col + 1 if j == intro_line else 0)
+            if col != -1:
+                open_line, open_col = j, col
+                break
+        if open_line == -1:
+            continue
+        end = brace_match(lines, open_line, open_col)
+        if end is None:
+            continue
+        end_line, _ = end
+        for k in range(open_line, end_line + 1):
+            for m in COMPOUND_FLOAT.finditer(lines[k]):
+                target = lhs_terminal(m.group(1))
+                if target in local_floats or target in tables.float_members:
+                    if k in scan.suppressed:
+                        continue
+                    out.append(
+                        Violation(
+                            scan.display,
+                            k + 1,
+                            "parallel-float-reduce",
+                            f"float accumulation '{m.group(0).strip()}' "
+                            "inside a ThreadPool fan-out lambda; "
+                            "scheduling order would change the sum — fold "
+                            "per-shard results in a fixed order instead",
+                        )
+                    )
+
+
+def load_allowlist(path: str):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split(":", 2)
+            if len(parts) != 3:
+                print(
+                    f"fta_lint: malformed allowlist entry at "
+                    f"{path}:{lineno}: {stripped!r}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            entries.append(
+                {"rule": parts[0], "path": parts[1], "needle": parts[2],
+                 "line": lineno, "used": False}
+            )
+    return entries
+
+
+def apply_allowlist(violations, entries, raw_lines_by_path):
+    kept = []
+    for v in violations:
+        suppressed = False
+        for e in entries:
+            if e["rule"] != v.rule:
+                continue
+            if not v.path.endswith(e["path"]):
+                continue
+            line_text = raw_lines_by_path[v.path][v.line - 1]
+            if e["needle"] in line_text:
+                e["used"] = True
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(v)
+    return kept
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root; scan dirs are relative to it")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default <root>/tools/fta_lint/allowlist.txt)")
+    parser.add_argument("dirs", nargs="*", default=None,
+                        help="directories under root to scan (default: src)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    scan_dirs = args.dirs or ["src"]
+    allowlist_path = args.allowlist or os.path.join(
+        root, "tools", "fta_lint", "allowlist.txt"
+    )
+
+    files = []
+    for d in scan_dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            print(f"fta_lint: no such directory: {base}", file=sys.stderr)
+            return 2
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    files.append((full, os.path.relpath(full, root)))
+    if not files:
+        print("fta_lint: nothing to scan", file=sys.stderr)
+        return 2
+
+    scans = [FileScan(full, rel) for full, rel in sorted(files)]
+    tables = TypeTables()
+    for scan in scans:
+        tables.collect(scan.scrubbed_lines)
+
+    violations: list[Violation] = []
+    for scan in scans:
+        before = len(violations)
+        check_banned_tokens(scan, violations)
+        # banned-token ignores NOLINT: there is no sanctioned use of those
+        # tokens in src/, so an escape hatch would only hide problems.
+        check_unordered_iteration(scan, tables, violations)
+        check_parallel_float_reduce(scan, tables, violations)
+        del before
+
+    entries = load_allowlist(allowlist_path)
+    raw_by_path = {scan.display: scan.raw_lines for scan in scans}
+    violations = apply_allowlist(violations, entries, raw_by_path)
+
+    for e in entries:
+        if not e["used"]:
+            violations.append(
+                Violation(
+                    os.path.relpath(allowlist_path, root),
+                    e["line"],
+                    "stale-allowlist",
+                    f"allowlist entry '{e['rule']}:{e['path']}:{e['needle']}' "
+                    "matched nothing; delete it",
+                )
+            )
+
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(
+            f"fta_lint: {len(violations)} violation(s). See "
+            "tools/fta_lint/fta_lint.py for the rules and escape policy.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"fta_lint: {len(scans)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Fixture tests for fta_lint: every rule fires with the exact diagnostic,
+escapes (NOLINT, allowlist) suppress, and stale allowlist entries fail."""
+
+import io
+import os
+import sys
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import fta_lint  # noqa: E402
+
+TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)), "testdata")
+
+
+def run_lint(root, extra_args=None):
+    argv = ["--root", os.path.join(TESTDATA, root)] + (extra_args or []) + ["src"]
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = fta_lint.main(argv)
+    return code, out.getvalue().splitlines(), err.getvalue()
+
+
+class ViolationFixtures(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.code, cls.lines, cls.err = run_lint("violations")
+
+    def test_exit_code_signals_violations(self):
+        self.assertEqual(self.code, 1)
+
+    def test_exact_diagnostics(self):
+        expected = [
+            "src/banned.cc:6: [banned-token] 'time(nullptr)' — wall-clock "
+            "seeding breaks reproducibility; thread timestamps in explicitly",
+            "src/banned.cc:9: [banned-token] 'time(NULL)' — wall-clock "
+            "seeding breaks reproducibility; thread timestamps in explicitly",
+            "src/banned.cc:11: [banned-token] 'rand(' — libc rand() is "
+            "nondeterministic across runs; use fta::Rng",
+            "src/banned.cc:14: [banned-token] 'std::random_device' — "
+            "std::random_device is nondeterministic; seed fta::Rng explicitly",
+            "src/banned.cc:19: [banned-token] 'this_thread::sleep' — sleeps "
+            "encode scheduling assumptions; use condition variables",
+            "src/parallel_reduce.cc:20: [parallel-float-reduce] float "
+            "accumulation 'total +=' inside a ThreadPool fan-out lambda; "
+            "scheduling order would change the sum — fold per-shard results "
+            "in a fixed order instead",
+            "src/parallel_reduce.cc:21: [parallel-float-reduce] float "
+            "accumulation 't.wall_ms +=' inside a ThreadPool fan-out lambda; "
+            "scheduling order would change the sum — fold per-shard results "
+            "in a fixed order instead",
+            "src/unordered_leak.cc:16: [unordered-iteration] range-for over "
+            "an unordered container feeds a result container without a "
+            "subsequent sort or an order-invariant fold; bucket order will "
+            "leak into the output",
+            "src/unordered_leak.cc:45: [unordered-iteration] range-for over "
+            "an unordered container feeds a result container without a "
+            "subsequent sort or an order-invariant fold; bucket order will "
+            "leak into the output",
+        ]
+        self.assertEqual(self.lines, expected)
+
+    def test_near_misses_stay_clean(self):
+        text = "\n".join(self.lines)
+        # srand(, operand(, string literals, comments: not reported.
+        for line in (24, 25, 27):
+            self.assertNotIn(f"src/banned.cc:{line}:", text)
+        # Integer accumulator, outside-lambda +=, NOLINT'd reduce: clean.
+        for line in (22, 25, 32):
+            self.assertNotIn(f"src/parallel_reduce.cc:{line}:", text)
+        # Sorted-after loop and NOLINTNEXTLINE'd loop: clean.
+        for line in (25, 36):
+            self.assertNotIn(f"src/unordered_leak.cc:{line}:", text)
+
+
+class CleanFixture(unittest.TestCase):
+    def test_clean_tree_passes(self):
+        code, lines, _ = run_lint("clean")
+        self.assertEqual(code, 0)
+        self.assertEqual(lines, ["fta_lint: 1 files clean"])
+
+
+class AllowlistFixtures(unittest.TestCase):
+    def test_allowlist_suppresses_matching_violation(self):
+        allow = os.path.join(TESTDATA, "allowlisted", "allow.txt")
+        code, lines, _ = run_lint("allowlisted", ["--allowlist", allow])
+        self.assertEqual(code, 0, msg=lines)
+
+    def test_without_allowlist_the_violation_fires(self):
+        code, lines, _ = run_lint("allowlisted")
+        self.assertEqual(code, 1)
+        self.assertTrue(
+            any("src/suppressed.cc:8: [unordered-iteration]" in l
+                for l in lines),
+            msg=lines)
+
+    def test_stale_entry_fails_the_lint(self):
+        allow = os.path.join(TESTDATA, "stale", "allow.txt")
+        code, lines, _ = run_lint("stale", ["--allowlist", allow])
+        self.assertEqual(code, 1)
+        self.assertTrue(
+            any("[stale-allowlist]" in l and "banned-token:src/ok.cc:rand("
+                in l for l in lines),
+            msg=lines)
+
+
+class RepoTree(unittest.TestCase):
+    def test_repo_src_is_clean(self):
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = fta_lint.main(["--root", repo_root, "src"])
+        self.assertEqual(code, 0, msg=out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,12 @@
+// Fixture: a genuine violation whose suppression lives in the allowlist
+// file rather than an inline NOLINT.
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> ApprovedLeak(const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  for (const auto& [k, v] : m) {
+    out.push_back(k + v);
+  }
+  return out;
+}

@@ -1,0 +1,11 @@
+// Fixture: a file with no determinism hazards at all.
+#include <map>
+#include <vector>
+
+std::vector<int> OrderedIteration(const std::map<int, int>& m) {
+  std::vector<int> out;
+  for (const auto& [k, v] : m) {  // std::map iterates in key order
+    out.push_back(k + v);
+  }
+  return out;
+}

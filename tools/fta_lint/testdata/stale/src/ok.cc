@@ -1,0 +1,3 @@
+// Fixture: clean file; the sibling allowlist entry matches nothing and
+// must itself be reported as stale.
+int Answer() { return 42; }

@@ -1,0 +1,30 @@
+// Fixture: every banned token fires exactly once; near-misses stay clean.
+#include <cstdlib>
+#include <ctime>
+
+int SeedFromClock() {
+  return static_cast<int>(time(nullptr));  // banned: wall-clock seeding
+}
+
+int SeedFromClockNull() { return static_cast<int>(time(NULL)); }
+
+int LibcRand() { return rand(); }
+
+unsigned HardwareEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+void NapBriefly() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+// Near-misses that must NOT be reported:
+// a comment mentioning time(nullptr) and rand() is fine.
+void Strand() {
+  srand(42);            // srand is a different token than rand(
+  int operand(3);       // identifier ending in "rand" + parenthesis
+  (void)operand;
+  const char* s = "call time(nullptr) and rand() please";  // string literal
+  (void)s;
+}

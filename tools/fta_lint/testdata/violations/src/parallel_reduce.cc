@@ -1,0 +1,33 @@
+// Fixture: parallel-float-reduce rule — an unapproved float accumulation
+// inside a ThreadPool fan-out, next to sanctioned integer and marked ones.
+#include <cstdint>
+#include <vector>
+
+struct Totals {
+  double wall_ms = 0.0;
+  uint64_t items = 0;
+};
+
+struct ThreadPool {
+  void RunBatch(size_t n, void (*fn)(size_t));
+  template <typename F>
+  void RunBatch(size_t n, F&& fn);
+};
+
+void Accumulate(ThreadPool& pool, const std::vector<double>& xs, Totals& t) {
+  double total = 0.0;
+  pool.RunBatch(xs.size(), [&](size_t i) {
+    total += xs[i];      // VIOLATION: scheduling-ordered float sum
+    t.wall_ms += xs[i];  // VIOLATION: float member accumulation
+    t.items += 1;        // clean: integer accumulator is order-invariant
+  });
+  // Clean: float += outside any fan-out lambda.
+  total += 1.0;
+  (void)total;
+}
+
+void MarkedReduce(ThreadPool& pool, const std::vector<double>& xs, Totals& t) {
+  pool.RunBatch(xs.size(), [&](size_t i) {
+    t.wall_ms += xs[i];  // NOLINT(fta-det) — fixture-approved merge helper
+  });
+}

@@ -1,0 +1,55 @@
+// Fixture: unordered-iteration rule — one leak, plus sanctioned shapes.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using IdSet = std::unordered_set<int>;
+
+struct Shard {
+  std::unordered_map<int, double> sums;
+};
+
+// VIOLATION: bucket order reaches `out` and is never normalized.
+std::vector<int> LeakBucketOrder(const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  for (const auto& [k, v] : m) {
+    out.push_back(k + v);
+  }
+  return out;
+}
+
+// Clean: the fed container is sorted right after the loop.
+std::vector<int> SortedAfter(const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  for (const auto& [k, v] : m) {
+    out.push_back(k + v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Clean: explicitly marked order-invariant (max is commutative).
+int MarkedInvariant(const IdSet& ids) {
+  int best = 0;
+  // NOLINTNEXTLINE(fta-det)
+  for (int id : ids) {
+    best += id > best ? id - best : 0;
+  }
+  return best;
+}
+
+// VIOLATION through an alias-typed struct member.
+std::vector<double> LeakThroughMember(const Shard& shard) {
+  std::vector<double> out;
+  for (const auto& [k, v] : shard.sums) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+// Clean: reading without feeding any container.
+double SumLookups(const std::unordered_map<int, double>& m, int key) {
+  const auto it = m.find(key);
+  return it == m.end() ? 0.0 : it->second;
+}
