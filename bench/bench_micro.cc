@@ -2,14 +2,55 @@
 // generation with and without pruning, IAU evaluation, best-response
 // rounds, the solvers end-to-end, k-means, tree-decomposition MWIS, and
 // grid-index radius queries.
+//
+// Two hard gates run before the suite (and can be run alone with
+// --bench=obs / --bench=game): the observability overhead gate
+// (BENCH_obs.json) and the payoff-ledger gate (BENCH_game.json), which
+// fails the binary unless the ledger Evaluate path does zero steady-state
+// heap allocations and beats the OthersView rebuild path by >= 5x.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <new>
+#include <string>
 
 #include "fta/fta.h"
+
+// Global allocation counter backing the game gate's zero-allocation claim:
+// every global operator new bumps it, so a steady-state delta of zero is
+// proof, not an estimate. Relaxed ordering is fine — the gate reads the
+// counter on the same thread that allocates (the engine under test is
+// serial), and the benchmark's own threads only add noise *between* reads.
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+// GCC cannot see that the replacement operator new below is malloc-backed
+// and flags every free() in the matching deletes as mismatched; the pair
+// is consistent by construction.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace fta {
 namespace {
@@ -362,10 +403,235 @@ int RunObsOverheadGate() {
   return 0;
 }
 
+// Payoff-ledger gate: proves the tentpole claims of the sorted payoff
+// ledger (game/payoff_ledger.h) on a purpose-built instance that isolates
+// Evaluate's view construction. Workers are strung out along a line away
+// from the distribution center with one delivery point each; since every
+// route starts with the worker-to-center leg, only the center-adjacent
+// worker can meet any deadline, so 255 of 256 workers have an empty
+// catalog and an empty candidate scan. An Evaluate over the 256-worker
+// state is then almost exactly one exclude-one view — the code the ledger
+// replaces. Two hard gates:
+//
+//   1. Zero steady-state heap allocations on the ledger path, counted by
+//      the global operator-new hook above (the rebuild path allocates two
+//      vectors per call).
+//   2. >= 5x Evaluate-path speedup over the OthersView rebuild at
+//      |W| >= 200 (best-of-reps on both sides to shed scheduler noise).
+//
+// On production GM-scale catalogs the candidate scan dilutes the win; the
+// JSON therefore also records a GM-default FGT run's ledger counters so
+// the report shows both the isolated and the end-to-end picture. Results
+// go to BENCH_game.json.
+namespace {
+
+Instance LedgerGateInstance(size_t num_workers) {
+  std::vector<DeliveryPoint> dps;
+  std::vector<Worker> workers;
+  dps.reserve(num_workers);
+  workers.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    const double x = static_cast<double>(i) * 1000.0;
+    const double dy = 1.0 + 0.001 * static_cast<double>(i);
+    dps.emplace_back(
+        Point{x, dy},
+        std::vector<SpatialTask>{SpatialTask{static_cast<uint32_t>(i), 5.0,
+                                             1.0}});
+    workers.push_back(Worker{{x, 0.0}, 2});
+  }
+  return Instance(Point{0.0, 0.0}, std::move(dps), std::move(workers),
+                  TravelModel(5.0));
+}
+
+/// Seconds for `sweeps` full Evaluate sweeps over all workers, best of
+/// `reps` (each rep re-times the same steady state).
+double TimeEvaluateSweeps(BestResponseEngine& engine, size_t num_workers,
+                          int sweeps, int reps) {
+  double best = kInfinity;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    for (int s = 0; s < sweeps; ++s) {
+      for (size_t w = 0; w < num_workers; ++w) {
+        benchmark::DoNotOptimize(engine.Evaluate(w));
+      }
+    }
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int RunGameLedgerGate(size_t num_workers) {
+  const Instance inst = LedgerGateInstance(num_workers);
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, VdpsConfig{});
+  const IauParams params;
+
+  // Serial engines: the zero-allocation claim is about the Evaluate path
+  // itself, not the (optional) thread-pool fan-out.
+  BestResponseConfig ledger_config;   // use_payoff_ledger = true (default)
+  BestResponseConfig rebuild_config;
+  rebuild_config.use_payoff_ledger = false;
+
+  JointState ledger_state(inst, catalog);
+  BestResponseEngine ledger_engine(ledger_state, params, ledger_config);
+  JointState rebuild_state(inst, catalog);
+  BestResponseEngine rebuild_engine(rebuild_state, params, rebuild_config);
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (!catalog.strategies(w).empty() && ledger_state.IsAvailable(w, 0)) {
+      ledger_engine.Apply(w, 0);
+      rebuild_engine.Apply(w, 0);
+    }
+  }
+
+  // Warm both paths (first-touch page faults, availability cache), then
+  // count heap allocations across a steady-state sweep of each.
+  constexpr int kSweeps = 20;
+  constexpr int kReps = 5;
+  TimeEvaluateSweeps(ledger_engine, num_workers, 1, 1);
+  TimeEvaluateSweeps(rebuild_engine, num_workers, 1, 1);
+  const uint64_t evaluate_calls =
+      static_cast<uint64_t>(kSweeps) * num_workers;
+
+  uint64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  TimeEvaluateSweeps(ledger_engine, num_workers, kSweeps, 1);
+  const uint64_t ledger_allocs =
+      g_heap_allocations.load(std::memory_order_relaxed) - before;
+  before = g_heap_allocations.load(std::memory_order_relaxed);
+  TimeEvaluateSweeps(rebuild_engine, num_workers, kSweeps, 1);
+  const uint64_t rebuild_allocs =
+      g_heap_allocations.load(std::memory_order_relaxed) - before;
+
+  const double ledger_seconds =
+      TimeEvaluateSweeps(ledger_engine, num_workers, kSweeps, kReps);
+  const double rebuild_seconds =
+      TimeEvaluateSweeps(rebuild_engine, num_workers, kSweeps, kReps);
+  const double speedup = rebuild_seconds / ledger_seconds;
+
+  constexpr double kSpeedupThreshold = 5.0;
+  const bool zero_alloc_pass = ledger_allocs == 0;
+  const bool speedup_pass = speedup >= kSpeedupThreshold;
+  const bool pass = zero_alloc_pass && speedup_pass;
+
+  // End-to-end context: what the ledger saves on a production-shaped
+  // GM-default FGT solve (candidate scans included).
+  const Instance gm = GmInstance();
+  const VdpsCatalog gm_catalog = VdpsCatalog::Generate(gm, PrunedVdps());
+  const GameResult gm_run = SolveFgt(gm, gm_catalog);
+  const LedgerCounters& gm_ledger = gm_run.engine.ledger;
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("game_ledger");
+  json.Key("workload");
+  json.String("chain_single_strategy");
+  json.Key("workers");
+  json.UInt(static_cast<uint64_t>(num_workers));
+  json.Key("evaluate_calls");
+  json.UInt(evaluate_calls);
+  json.Key("ledger");
+  json.BeginObject();
+  json.Key("steady_state_allocations");
+  json.UInt(ledger_allocs);
+  json.Key("seconds");
+  json.Double(ledger_seconds);
+  json.Key("ns_per_evaluate");
+  json.Double(ledger_seconds * 1e9 / static_cast<double>(evaluate_calls));
+  json.EndObject();
+  json.Key("rebuild");
+  json.BeginObject();
+  json.Key("steady_state_allocations");
+  json.UInt(rebuild_allocs);
+  json.Key("seconds");
+  json.Double(rebuild_seconds);
+  json.Key("ns_per_evaluate");
+  json.Double(rebuild_seconds * 1e9 / static_cast<double>(evaluate_calls));
+  json.EndObject();
+  json.Key("speedup");
+  json.Double(speedup);
+  json.Key("speedup_threshold");
+  json.Double(kSpeedupThreshold);
+  json.Key("zero_alloc_pass");
+  json.Bool(zero_alloc_pass);
+  json.Key("speedup_pass");
+  json.Bool(speedup_pass);
+  json.Key("gm_default_fgt_ledger");
+  json.BeginObject();
+  json.Key("sorts_eliminated");
+  json.UInt(gm_ledger.sorts_eliminated);
+  json.Key("bytes_not_allocated");
+  json.UInt(gm_ledger.bytes_not_allocated);
+  json.Key("memmove_elements");
+  json.UInt(gm_ledger.memmove_elements);
+  json.Key("scratch_reuses");
+  json.UInt(gm_ledger.scratch_reuses);
+  json.EndObject();
+  json.Key("pass");
+  json.Bool(pass);
+  json.EndObject();
+  const std::string path = "BENCH_game.json";
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  out.close();
+
+  std::printf(
+      "game ledger gate (|W|=%zu, %llu Evaluates): ledger %.1f ns/call "
+      "(%llu allocs), rebuild %.1f ns/call (%llu allocs) -> %.2fx "
+      "(>= %.1fx and 0 allocs: %s); wrote %s\n",
+      num_workers,
+      static_cast<unsigned long long>(evaluate_calls),
+      ledger_seconds * 1e9 / static_cast<double>(evaluate_calls),
+      static_cast<unsigned long long>(ledger_allocs),
+      rebuild_seconds * 1e9 / static_cast<double>(evaluate_calls),
+      static_cast<unsigned long long>(rebuild_allocs), speedup,
+      kSpeedupThreshold, pass ? "PASS" : "FAIL", path.c_str());
+  if (!pass) {
+    std::fprintf(stderr,
+                 "game ledger gate FAILED: allocations=%llu (need 0), "
+                 "speedup %.2fx (need >= %.1fx)\n",
+                 static_cast<unsigned long long>(ledger_allocs), speedup,
+                 kSpeedupThreshold);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace fta
 
 int main(int argc, char** argv) {
+  // --bench=obs / --bench=game run just that gate (the CI smoke mode);
+  // --gate-workers=N resizes the ledger gate's chain instance. Both are
+  // consumed here so google-benchmark never sees them.
+  bool obs_only = false;
+  bool game_only = false;
+  std::size_t gate_workers = 256;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench=obs") {
+      obs_only = true;
+    } else if (arg == "--bench=game") {
+      game_only = true;
+    } else if (arg.rfind("--gate-workers=", 0) == 0) {
+      gate_workers = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--gate-workers="),
+                        nullptr, 10));
+      if (gate_workers == 0) {
+        std::fprintf(stderr, "bad --gate-workers value: %s\n", arg.c_str());
+        return 1;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (obs_only) return fta::RunObsOverheadGate();
+  if (game_only) return fta::RunGameLedgerGate(gate_workers);
   if (const int rc = fta::RunObsOverheadGate(); rc != 0) return rc;
+  if (const int rc = fta::RunGameLedgerGate(gate_workers); rc != 0) {
+    return rc;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -16,6 +16,17 @@ void AppendEngine(obs::JsonWriter& w, const BestResponseCounters& e) {
   w.UInt(e.cache_skips);
   w.Key("parallel_batches");
   w.UInt(e.parallel_batches);
+  w.Key("ledger");
+  w.BeginObject();
+  w.Key("sorts_eliminated");
+  w.UInt(e.ledger.sorts_eliminated);
+  w.Key("bytes_not_allocated");
+  w.UInt(e.ledger.bytes_not_allocated);
+  w.Key("memmove_elements");
+  w.UInt(e.ledger.memmove_elements);
+  w.Key("scratch_reuses");
+  w.UInt(e.ledger.scratch_reuses);
+  w.EndObject();
   w.EndObject();
 }
 

@@ -182,9 +182,15 @@ SimulationResult RunDispatchSimulation(const SimulationConfig& config) {
   for (const CourierState& c : couriers) {
     result.worker_earnings.push_back(c.earnings);
   }
+  // Sort the earnings once; the pairwise-difference and Gini kernels both
+  // consume the sorted view (each used to copy and sort on its own).
+  // GiniSorted's mean runs over the sorted order, so the quotient may move
+  // by an ulp versus Gini(unsorted) — fine here, nothing pins these bits.
+  std::vector<double> sorted_earnings = result.worker_earnings;
+  std::sort(sorted_earnings.begin(), sorted_earnings.end());
   result.earnings_payoff_difference =
-      MeanAbsolutePairwiseDifference(result.worker_earnings);
-  result.earnings_gini = Gini(result.worker_earnings);
+      MeanAbsolutePairwiseDifferenceSorted(sorted_earnings);
+  result.earnings_gini = GiniSorted(sorted_earnings);
   result.earnings_jain = JainFairnessIndex(result.worker_earnings);
   return result;
 }

@@ -24,6 +24,12 @@ BestResponseEngine::BestResponseEngine(JointState& state,
       avail_[w].assign(catalog.strategies(w).size(), kUnknown);
     }
   }
+  // The ledger is maintained unconditionally (Apply keeps it coherent
+  // either way); use_payoff_ledger only selects which view Evaluate reads.
+  // Maintenance costs O(moved elements) per Apply — negligible next to the
+  // candidate scan — and keeps the solvers' sort-free round metrics
+  // (P_dif, Gini, Φ) available even in the A/B rebuild configuration.
+  ledger_.Reset(state_->payoffs());
 }
 
 BestResponseEngine::~BestResponseEngine() = default;
@@ -90,18 +96,32 @@ void BestResponseEngine::Apply(size_t w, int32_t idx) {
     }
   }
   state_->Apply(w, idx);
+  ledger_.Update(w, state_->payoff_of(w));
 }
 
 BestResponseOutcome BestResponseEngine::Evaluate(size_t w) {
   FTA_SPAN("game/best_response");
+  if (config_.use_payoff_ledger) {
+    // Sort-free, allocation-free path: the ledger copies its sorted array
+    // minus w's slot into reusable scratch and recomputes prefix sums —
+    // O(|W|) with zero heap traffic, versus the rebuild path's
+    // O(|W| log |W|) sort plus two allocations (DESIGN.md §9).
+    return EvaluateWithView(w, ledger_.Exclude(w));
+  }
+  // A/B rebuild path (bench_micro --bench=game, identity tests): gather
+  // the other workers' payoffs and sort them from scratch.
   const std::vector<double>& payoffs = state_->payoffs();
   std::vector<double> others;
   others.reserve(payoffs.empty() ? 0 : payoffs.size() - 1);
   for (size_t j = 0; j < payoffs.size(); ++j) {
     if (j != w) others.push_back(payoffs[j]);
   }
-  const OthersView view(std::move(others));
+  return EvaluateWithView(w, OthersView(std::move(others)));
+}
 
+template <typename View>
+BestResponseOutcome BestResponseEngine::EvaluateWithView(size_t w,
+                                                         const View& view) {
   const int32_t current = state_->strategy_of(w);
   const double incumbent_u = view.Iau(state_->payoff_of(w), params_);
 
@@ -207,6 +227,10 @@ Status BestResponseEngine::ValidateAvailabilityIndex() const {
     }
   }
   return Status::Ok();
+}
+
+Status BestResponseEngine::ValidateLedger() const {
+  return ledger_.Validate(state_->payoffs());
 }
 
 bool BestResponseEngine::IsNash() {

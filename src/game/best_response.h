@@ -7,6 +7,7 @@
 
 #include "game/iau.h"
 #include "game/joint_state.h"
+#include "game/payoff_ledger.h"
 #include "game/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -28,6 +29,13 @@ struct BestResponseConfig {
   /// Candidate count below which a scan stays serial even when a pool is
   /// available (fan-out overhead dominates tiny catalogs).
   size_t min_parallel_candidates = 64;
+  /// Serve Evaluate's exclude-one view from the incrementally sorted
+  /// payoff ledger (no sort, no allocation) instead of rebuilding an
+  /// OthersView per call. Results are bit-identical either way
+  /// (tests/game_ledger_identity_test.cc); `false` exists only for the
+  /// A/B benchmark (bench_micro --bench=game) and the identity tests —
+  /// production code has no reason to turn the ledger off.
+  bool use_payoff_ledger = true;
 };
 
 /// Outcome of one best-response scan.
@@ -106,7 +114,21 @@ class BestResponseEngine {
   /// JointState::IsAvailable scan. Trivially OK when the index is off.
   Status ValidateAvailabilityIndex() const;
 
-  const BestResponseCounters& counters() const { return counters_; }
+  /// Exactness contract of the payoff ledger (FTA_VALIDATE, called at
+  /// solver round boundaries): the ledger's sorted array and position maps
+  /// must be a bit-exact permutation of the live payoffs. Trivially OK
+  /// when the ledger is off.
+  Status ValidateLedger() const;
+
+  /// The incrementally sorted payoff ledger (always maintained; Evaluate
+  /// consults it only when config.use_payoff_ledger). Solvers use it for
+  /// sort-free per-round P_dif / Gini / potential.
+  const PayoffLedger& ledger() const { return ledger_; }
+
+  const BestResponseCounters& counters() const {
+    counters_.ledger = ledger_.counters();
+    return counters_;
+  }
   const JointState& state() const { return *state_; }
   const IauParams& params() const { return params_; }
 
@@ -137,13 +159,24 @@ class BestResponseEngine {
   /// except the mover's own entries (exempt through self-ownership).
   void Mark(uint32_t dp, size_t mover, uint8_t value);
 
+  /// Shared candidate-scan body of Evaluate(); `view` is either the
+  /// ledger's exclude-one view or a freshly built OthersView — both expose
+  /// Mp/Lp/Iau over the same sorted sequence, so the outcome is
+  /// bit-identical (DESIGN.md §9).
+  template <typename View>
+  BestResponseOutcome EvaluateWithView(size_t w, const View& view);
+
   JointState* state_;
   IauParams params_;
   BestResponseConfig config_;
   std::unique_ptr<ThreadPool> pool_;  // only when num_threads > 1
   /// avail_[w][i]: cached availability of strategy i for worker w.
   std::vector<std::vector<uint8_t>> avail_;
-  BestResponseCounters counters_;
+  /// Incrementally sorted payoffs; kept coherent by Apply().
+  PayoffLedger ledger_;
+  /// mutable: counters() is conceptually const but folds the ledger's own
+  /// counters in on read so round deltas include them.
+  mutable BestResponseCounters counters_;
 };
 
 }  // namespace fta

@@ -16,13 +16,17 @@ namespace fta {
 namespace {
 
 IterationStats Snapshot(const JointState& state, int iteration,
-                        size_t num_changes, double alpha,
+                        size_t num_changes, double alpha, double p_dif,
                         const BestResponseCounters& engine_delta) {
+  // `p_dif` is the round's payoff difference, served sort-free by the
+  // engine's payoff ledger and computed exactly once per round — the trace
+  // row, the potential, and the early-stop rule all share it (it used to be
+  // recomputed per consumer, each time with a fresh sort).
   IterationStats s;
   s.iteration = iteration;
-  s.payoff_difference = MeanAbsolutePairwiseDifference(state.payoffs());
+  s.payoff_difference = p_dif;
   s.average_payoff = Mean(state.payoffs());
-  s.potential = ExactPotential(state.payoffs(), alpha);
+  s.potential = ExactPotential(state.payoffs(), alpha, p_dif);
   s.num_changes = num_changes;
   s.engine = engine_delta;
   return s;
@@ -59,8 +63,9 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
 
   GameResult result;
   if (config.record_trace) {
-    result.trace.push_back(
-        Snapshot(state, 0, 0, config.iau.alpha, BestResponseCounters()));
+    result.trace.push_back(Snapshot(state, 0, 0, config.iau.alpha,
+                                    engine.ledger().PayoffDifference(),
+                                    BestResponseCounters()));
   }
 
   // Sequential asynchronous best responses (lines 18-24): one worker moves
@@ -90,19 +95,24 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
       if (engine.Step(w)) ++changes;
     }
     result.rounds = round;
-    // Round-boundary contracts: state bookkeeping and the incremental
-    // availability index must be exact after every full round of moves.
+    // Round-boundary contracts: state bookkeeping, the incremental
+    // availability index, and the payoff ledger must be exact after every
+    // full round of moves.
     FTA_DCHECK_OK(state.ValidateInvariants());
     FTA_DCHECK_OK(engine.ValidateAvailabilityIndex());
+    FTA_DCHECK_OK(engine.ValidateLedger());
+    // One sort-free P_dif per round, shared by the trace snapshot and the
+    // early-stop rule (each used to pay its own copy-and-sort).
+    const double p_dif = engine.ledger().PayoffDifference();
     if (config.record_trace) {
       result.trace.push_back(Snapshot(state, round, changes, config.iau.alpha,
-                                      engine.counters() - round_start));
+                                      p_dif, engine.counters() - round_start));
     }
     if (changes == 0) {
       result.converged = true;
       break;
     }
-    if (early.ShouldStop(MeanAbsolutePairwiseDifference(state.payoffs()))) {
+    if (early.ShouldStop(p_dif)) {
       result.early_stopped = true;
       break;
     }

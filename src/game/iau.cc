@@ -17,6 +17,30 @@ double Iau(double own, const std::vector<double>& others,
   return own - (params.alpha / m) * mp - (params.beta / m) * lp;
 }
 
+double SortedMp(const double* values, size_t n, const double* prefix,
+                double own) {
+  // Elements strictly above `own` (ties contribute 0 either way).
+  const double* it = std::lower_bound(values, values + n, own);
+  const size_t k = static_cast<size_t>(it - values);
+  const size_t above = n - k;
+  return (prefix[n] - prefix[k]) - static_cast<double>(above) * own;
+}
+
+double SortedLp(const double* values, size_t n, const double* prefix,
+                double own) {
+  const double* it = std::lower_bound(values, values + n, own);
+  const size_t k = static_cast<size_t>(it - values);
+  return static_cast<double>(k) * own - prefix[k];
+}
+
+double SortedIau(const double* values, size_t n, const double* prefix,
+                 double own, const IauParams& params) {
+  if (n == 0) return own;
+  const double m = static_cast<double>(n);
+  return own - (params.alpha / m) * SortedMp(values, n, prefix, own) -
+         (params.beta / m) * SortedLp(values, n, prefix, own);
+}
+
 OthersView::OthersView(std::vector<double> others)
     : sorted_(std::move(others)) {
   std::sort(sorted_.begin(), sorted_.end());
@@ -27,23 +51,16 @@ OthersView::OthersView(std::vector<double> others)
 }
 
 double OthersView::Mp(double own) const {
-  // Elements strictly above `own` (ties contribute 0 either way).
-  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), own);
-  const size_t k = static_cast<size_t>(it - sorted_.begin());
-  const size_t above = sorted_.size() - k;
-  return (prefix_.back() - prefix_[k]) - static_cast<double>(above) * own;
+  return SortedMp(sorted_.data(), sorted_.size(), prefix_.data(), own);
 }
 
 double OthersView::Lp(double own) const {
-  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), own);
-  const size_t k = static_cast<size_t>(it - sorted_.begin());
-  return static_cast<double>(k) * own - prefix_[k];
+  return SortedLp(sorted_.data(), sorted_.size(), prefix_.data(), own);
 }
 
 double OthersView::Iau(double own, const IauParams& params) const {
-  if (sorted_.empty()) return own;
-  const double m = static_cast<double>(sorted_.size());
-  return own - (params.alpha / m) * Mp(own) - (params.beta / m) * Lp(own);
+  return SortedIau(sorted_.data(), sorted_.size(), prefix_.data(), own,
+                   params);
 }
 
 }  // namespace fta

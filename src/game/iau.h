@@ -19,6 +19,19 @@ struct IauParams {
 double Iau(double own, const std::vector<double>& others,
            const IauParams& params);
 
+/// Shared evaluation kernels over an ascending payoff sequence with prefix
+/// sums (prefix[k] = sum of the first k values; prefix has n + 1 entries).
+/// Both OthersView and the PayoffLedger's exclude-one scratch view
+/// (game/payoff_ledger.h) evaluate through exactly these functions — one
+/// compiled instance — which is what makes the ledger fast path
+/// bit-identical to the rebuild path by construction.
+double SortedMp(const double* values, size_t n, const double* prefix,
+                double own);
+double SortedLp(const double* values, size_t n, const double* prefix,
+                double own);
+double SortedIau(const double* values, size_t n, const double* prefix,
+                 double own, const IauParams& params);
+
 /// Precomputed view over the *other* workers' payoffs that evaluates IAU of
 /// a candidate own-payoff in O(log |others|). Build once per best-response
 /// call, evaluate once per candidate strategy.

@@ -30,11 +30,13 @@ std::vector<double> ReplicatorDynamics(const JointState& state) {
 namespace {
 
 IterationStats Snapshot(const JointState& state, int iteration,
-                        size_t num_changes,
+                        size_t num_changes, double p_dif,
                         const BestResponseCounters& engine_delta) {
+  // `p_dif` comes from the engine's payoff ledger, computed once per round
+  // and shared with the early-stop rule (see SolveFgt).
   IterationStats s;
   s.iteration = iteration;
-  s.payoff_difference = MeanAbsolutePairwiseDifference(state.payoffs());
+  s.payoff_difference = p_dif;
   s.average_payoff = Mean(state.payoffs());
   s.num_changes = num_changes;
   s.engine = engine_delta;
@@ -53,7 +55,9 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
 
   GameResult result;
   if (config.record_trace) {
-    result.trace.push_back(Snapshot(state, 0, 0, BestResponseCounters()));
+    result.trace.push_back(Snapshot(state, 0, 0,
+                                    engine.ledger().PayoffDifference(),
+                                    BestResponseCounters()));
   }
 
   std::vector<int32_t> better;  // reused candidate buffer
@@ -80,20 +84,25 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
       }
     }
     result.rounds = round;
-    // Round-boundary contracts (see SolveFgt): bookkeeping and the
-    // availability index stay exact across evolution moves.
+    // Round-boundary contracts (see SolveFgt): bookkeeping, the
+    // availability index, and the payoff ledger stay exact across
+    // evolution moves.
     FTA_DCHECK_OK(state.ValidateInvariants());
     FTA_DCHECK_OK(engine.ValidateAvailabilityIndex());
+    FTA_DCHECK_OK(engine.ValidateLedger());
+    // One sort-free P_dif per round, shared by the trace snapshot and the
+    // early-stop rule.
+    const double p_dif = engine.ledger().PayoffDifference();
     if (config.record_trace) {
-      result.trace.push_back(
-          Snapshot(state, round, changes, engine.counters() - round_start));
+      result.trace.push_back(Snapshot(state, round, changes, p_dif,
+                                      engine.counters() - round_start));
     }
     if (changes == 0) {
       // Improved evolutionary equilibrium: σ̇_k(t) = 0 or st^t == st^{t-1}.
       result.converged = true;
       break;
     }
-    if (early.ShouldStop(MeanAbsolutePairwiseDifference(state.payoffs()))) {
+    if (early.ShouldStop(p_dif)) {
       result.early_stopped = true;
       break;
     }

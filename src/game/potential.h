@@ -25,6 +25,15 @@ namespace fta {
 /// is known; FGT then still runs but convergence is enforced by a round cap.
 double ExactPotential(const std::vector<double>& payoffs, double alpha);
 
+/// Same Φ computed from an already-known P_dif, which must equal
+/// MeanAbsolutePairwiseDifference(payoffs) — the callers that already
+/// paid for the per-round P_dif (FGT snapshots, the payoff ledger) reuse
+/// it here instead of re-sorting. Bit-identical to the two-argument
+/// overload by construction: both run the same expressions on the same
+/// values.
+double ExactPotential(const std::vector<double>& payoffs, double alpha,
+                      double payoff_difference);
+
 /// The paper's potential function Φ_paper(st) = Σ_i IAU(w_i) (Lemma 2),
 /// kept for comparison and for the convergence plots.
 double PaperPotential(const std::vector<double>& payoffs,

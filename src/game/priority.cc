@@ -1,5 +1,6 @@
 #include "game/priority.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "game/init.h"
@@ -62,12 +63,18 @@ GameResult SolvePriorityFgt(const Instance& instance,
   const auto snapshot = [&](int round, size_t changes) {
     IterationStats s;
     s.iteration = round;
-    s.payoff_difference =
-        PriorityPayoffDifference(state.payoffs(), config.priorities);
+    // Normalize and sort once per snapshot: P_dif and Φ both need the
+    // normalized payoffs' pairwise spread, so they share one sorted copy
+    // (this used to normalize twice and sort twice). Bit-identical to the
+    // old two-pass form — same sort, same kernels, same value sequences.
+    const std::vector<double> normalized =
+        Normalize(state.payoffs(), config.priorities);
+    std::vector<double> sorted = normalized;
+    std::sort(sorted.begin(), sorted.end());
+    const double p_dif = MeanAbsolutePairwiseDifferenceSorted(sorted);
+    s.payoff_difference = p_dif;
     s.average_payoff = Mean(state.payoffs());
-    s.potential = ExactPotential(Normalize(state.payoffs(),
-                                           config.priorities),
-                                 config.iau.alpha);
+    s.potential = ExactPotential(normalized, config.iau.alpha, p_dif);
     s.num_changes = changes;
     return s;
   };

@@ -31,6 +31,16 @@ void PublishGameRun(const char* solver, const GameResult& result) {
   reg.GetCounter("game/engine/cache_skips").Add(result.engine.cache_skips);
   reg.GetCounter("game/engine/parallel_batches")
       .Add(result.engine.parallel_batches);
+  // Payoff-ledger savings (game/payoff_ledger.h): what the OthersView
+  // rebuild path would have cost, measured rather than estimated.
+  reg.GetCounter("game/ledger/sorts_eliminated")
+      .Add(result.engine.ledger.sorts_eliminated);
+  reg.GetCounter("game/ledger/bytes_not_allocated")
+      .Add(result.engine.ledger.bytes_not_allocated);
+  reg.GetCounter("game/ledger/memmove_elements")
+      .Add(result.engine.ledger.memmove_elements);
+  reg.GetCounter("game/ledger/scratch_reuses")
+      .Add(result.engine.ledger.scratch_reuses);
 }
 
 }  // namespace fta

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "game/payoff_ledger.h"
 #include "model/assignment.h"
 
 namespace fta {
@@ -20,11 +21,15 @@ struct BestResponseCounters {
   uint64_t cache_skips = 0;
   /// Candidate fan-outs that ran on the thread pool.
   uint64_t parallel_batches = 0;
+  /// Sorted-payoff-ledger savings (sorts and allocations the rebuild path
+  /// would have paid; see game/payoff_ledger.h).
+  LedgerCounters ledger;
 
   BestResponseCounters& operator+=(const BestResponseCounters& o) {
     strategies_scanned += o.strategies_scanned;
     cache_skips += o.cache_skips;
     parallel_batches += o.parallel_batches;
+    ledger += o.ledger;
     return *this;
   }
   friend BestResponseCounters operator-(BestResponseCounters a,
@@ -32,6 +37,7 @@ struct BestResponseCounters {
     a.strategies_scanned -= b.strategies_scanned;
     a.cache_skips -= b.cache_skips;
     a.parallel_batches -= b.parallel_batches;
+    a.ledger = a.ledger - b.ledger;
     return a;
   }
 };

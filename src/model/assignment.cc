@@ -17,6 +17,10 @@ std::vector<double> Assignment::Payoffs(const Instance& instance) const {
 }
 
 double Assignment::PayoffDifference(const Instance& instance) const {
+  // No sorted view exists here (Payoffs() is computed fresh), so the
+  // copy-and-sort wrapper is the right call: it sorts exactly once. Code
+  // that already holds sorted payoffs uses the *Sorted overloads or the
+  // game engine's payoff ledger instead (DESIGN.md §9).
   return MeanAbsolutePairwiseDifference(Payoffs(instance));
 }
 

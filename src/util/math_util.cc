@@ -30,10 +30,16 @@ double Max(const std::vector<double>& v) {
 }
 
 double MeanAbsolutePairwiseDifference(const std::vector<double>& v) {
-  const size_t n = v.size();
-  if (n < 2) return 0.0;
+  if (v.size() < 2) return 0.0;
   std::vector<double> sorted = v;
   std::sort(sorted.begin(), sorted.end());
+  return MeanAbsolutePairwiseDifferenceSorted(sorted);
+}
+
+double MeanAbsolutePairwiseDifferenceSorted(
+    const std::vector<double>& sorted) {
+  const size_t n = sorted.size();
+  if (n < 2) return 0.0;
   // For sorted x: sum_{i<j} (x_j - x_i) = sum_j x_j * j - prefix_sum_j.
   double total = 0.0;
   double prefix = 0.0;
@@ -52,6 +58,14 @@ double Gini(const std::vector<double>& v) {
   const double m = Mean(v);
   if (m <= 0.0) return 0.0;
   return MeanAbsolutePairwiseDifference(v) / (2.0 * m);
+}
+
+double GiniSorted(const std::vector<double>& sorted) {
+  const size_t n = sorted.size();
+  if (n < 2) return 0.0;
+  const double m = Mean(sorted);
+  if (m <= 0.0) return 0.0;
+  return MeanAbsolutePairwiseDifferenceSorted(sorted) / (2.0 * m);
 }
 
 double JainFairnessIndex(const std::vector<double>& v) {

@@ -40,9 +40,22 @@ double Max(const std::vector<double>& v);
 /// Computed in O(n log n) via sorting. Returns 0 for n < 2.
 double MeanAbsolutePairwiseDifference(const std::vector<double>& v);
 
+/// Sorted-input variant: `sorted` must already be ascending. Performs
+/// exactly the left-to-right accumulation the sorting variant performs
+/// after its sort, so on the same multiset the result is bit-identical —
+/// this is what lets the game solvers serve per-round P_dif from the
+/// incrementally sorted payoff ledger without re-sorting (DESIGN.md §9).
+double MeanAbsolutePairwiseDifferenceSorted(const std::vector<double>& sorted);
+
 /// Gini coefficient of a non-negative vector (auxiliary fairness metric).
 /// Returns 0 for n < 2 or an all-zero vector.
 double Gini(const std::vector<double>& v);
+
+/// Sorted-input variant of Gini. The mean accumulates over the ascending
+/// sequence, so relative to Gini() on an unsorted vector the result can
+/// differ in the last ulp; it is bit-identical when the input was already
+/// ascending.
+double GiniSorted(const std::vector<double>& sorted);
 
 /// Jain's fairness index: (Σx)² / (n · Σx²), in (0, 1]; 1 means perfectly
 /// equal, 1/n means one participant takes everything. Returns 1 for empty

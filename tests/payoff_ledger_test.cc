@@ -1,0 +1,207 @@
+// Correctness battery for the incremental sorted payoff ledger: randomized
+// churn against the OthersView rebuild oracle with exact (bit-level)
+// comparisons, edge cases (empty, single worker, ties, signed zeros,
+// extreme moves), sort-free metric agreement, counter accounting, and the
+// Validate() contract.
+
+#include "game/payoff_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "game/iau.h"
+#include "game/potential.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace fta {
+namespace {
+
+std::vector<double> OthersOf(const std::vector<double>& payoffs, size_t w) {
+  std::vector<double> others;
+  others.reserve(payoffs.empty() ? 0 : payoffs.size() - 1);
+  for (size_t j = 0; j < payoffs.size(); ++j) {
+    if (j != w) others.push_back(payoffs[j]);
+  }
+  return others;
+}
+
+/// Every worker's exclude-one view must match a freshly built OthersView
+/// bit for bit — EXPECT_EQ on doubles, no tolerance. This is the whole
+/// point of the ledger: not approximately the same, the same.
+void ExpectMatchesOracle(PayoffLedger& ledger,
+                         const std::vector<double>& payoffs,
+                         const IauParams& params) {
+  ASSERT_TRUE(ledger.Validate(payoffs).ok());
+  for (size_t w = 0; w < payoffs.size(); ++w) {
+    const OthersView oracle(OthersOf(payoffs, w));
+    const LedgerView& view = ledger.Exclude(w);
+    ASSERT_EQ(view.size(), payoffs.size() - 1);
+    // Probe own-payoff values around and inside the others' range,
+    // including the worker's actual payoff and zero (the null strategy).
+    const std::vector<double> probes = {payoffs[w], 0.0,  -1.0, 0.5,
+                                        1.0,        3.25, 100.0};
+    for (double own : probes) {
+      EXPECT_EQ(view.Mp(own), oracle.Mp(own)) << "w=" << w << " own=" << own;
+      EXPECT_EQ(view.Lp(own), oracle.Lp(own)) << "w=" << w << " own=" << own;
+      EXPECT_EQ(view.Iau(own, params), oracle.Iau(own, params))
+          << "w=" << w << " own=" << own;
+    }
+  }
+}
+
+TEST(PayoffLedgerTest, RandomChurnMatchesOthersViewOracle) {
+  const IauParams params;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const size_t n = 2 + rng.Index(12);
+    std::vector<double> payoffs(n);
+    for (double& p : payoffs) p = rng.Uniform(0.0, 5.0);
+    PayoffLedger ledger(payoffs);
+    ExpectMatchesOracle(ledger, payoffs, params);
+    for (int step = 0; step < 100; ++step) {
+      const size_t w = rng.Index(n);
+      // Mix fresh values, exact duplicates of other workers (ties), zeros
+      // (null strategy), and no-op rewrites of the current payoff.
+      double next;
+      switch (rng.Index(4)) {
+        case 0:
+          next = rng.Uniform(0.0, 5.0);
+          break;
+        case 1:
+          next = payoffs[rng.Index(n)];
+          break;
+        case 2:
+          next = 0.0;
+          break;
+        default:
+          next = payoffs[w];
+          break;
+      }
+      payoffs[w] = next;
+      ledger.Update(w, next);
+      ExpectMatchesOracle(ledger, payoffs, params);
+    }
+  }
+}
+
+TEST(PayoffLedgerTest, ExtremeMovesSlideAcrossTheWholeArray) {
+  const IauParams params;
+  std::vector<double> payoffs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  PayoffLedger ledger(payoffs);
+  // Smallest worker jumps above everyone, then back below everyone.
+  payoffs[0] = 10.0;
+  ledger.Update(0, 10.0);
+  ExpectMatchesOracle(ledger, payoffs, params);
+  EXPECT_EQ(ledger.counters().memmove_elements, 4u);
+  payoffs[0] = -1.0;
+  ledger.Update(0, -1.0);
+  ExpectMatchesOracle(ledger, payoffs, params);
+  EXPECT_EQ(ledger.counters().memmove_elements, 8u);
+}
+
+TEST(PayoffLedgerTest, SignedZeroUpdateKeepsSumsExact) {
+  const IauParams params;
+  std::vector<double> payoffs = {0.0, 1.0, 0.0};
+  PayoffLedger ledger(payoffs);
+  // -0.0 == 0.0, so this is the equal-value branch: position holds, the
+  // stored bit pattern tracks the live payoff (Validate compares bits).
+  payoffs[2] = -0.0;
+  ledger.Update(2, -0.0);
+  ExpectMatchesOracle(ledger, payoffs, params);
+  EXPECT_EQ(ledger.PayoffDifference(),
+            MeanAbsolutePairwiseDifference(payoffs));
+}
+
+TEST(PayoffLedgerTest, EmptyAndSingleWorkerEdgeCases) {
+  const IauParams params;
+  PayoffLedger empty(std::vector<double>{});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.PayoffDifference(), 0.0);
+  EXPECT_EQ(empty.Gini(), 0.0);
+  EXPECT_TRUE(empty.Validate({}).ok());
+
+  std::vector<double> one = {2.5};
+  PayoffLedger ledger(one);
+  const LedgerView& view = ledger.Exclude(0);
+  EXPECT_EQ(view.size(), 0u);
+  // No others: IAU degenerates to the own payoff (Equation 7 with m = 0).
+  EXPECT_EQ(view.Iau(2.5, params), 2.5);
+  EXPECT_EQ(ledger.PayoffDifference(), 0.0);
+  one[0] = 7.0;
+  ledger.Update(0, 7.0);
+  EXPECT_TRUE(ledger.Validate(one).ok());
+  EXPECT_EQ(ledger.value_of(0), 7.0);
+}
+
+TEST(PayoffLedgerTest, SortFreeMetricsMatchSortingKernels) {
+  Rng rng(42);
+  std::vector<double> payoffs(31);
+  for (double& p : payoffs) p = rng.Uniform(0.0, 9.0);
+  PayoffLedger ledger(payoffs);
+  // P_dif is bit-identical to the copy-and-sort wrapper (same kernel, same
+  // ascending sequence). Gini matches GiniSorted exactly; against the
+  // unsorted Gini only up to the mean's accumulation order.
+  EXPECT_EQ(ledger.PayoffDifference(),
+            MeanAbsolutePairwiseDifference(payoffs));
+  std::vector<double> sorted = payoffs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(ledger.Gini(), GiniSorted(sorted));
+  EXPECT_NEAR(ledger.Gini(), Gini(payoffs), 1e-12);
+  EXPECT_EQ(ledger.ExactPotential(payoffs, 0.3),
+            ExactPotential(payoffs, 0.3));
+  EXPECT_EQ(ledger.sorted(), sorted);
+}
+
+TEST(PayoffLedgerTest, CountersAccountForEliminatedWork) {
+  std::vector<double> payoffs = {3.0, 1.0, 2.0, 4.0};
+  PayoffLedger ledger(payoffs);
+  EXPECT_EQ(ledger.counters().sorts_eliminated, 0u);
+  ledger.Exclude(0);
+  ledger.Exclude(1);
+  const LedgerCounters& c = ledger.counters();
+  EXPECT_EQ(c.sorts_eliminated, 2u);
+  EXPECT_EQ(c.scratch_reuses, 2u);
+  // Each rebuild would have allocated a 3-element others vector plus a
+  // 4-element prefix array.
+  EXPECT_EQ(c.bytes_not_allocated, 2u * 7u * sizeof(double));
+  ledger.PayoffDifference();
+  EXPECT_EQ(ledger.counters().sorts_eliminated, 3u);
+}
+
+TEST(PayoffLedgerTest, ValidateCatchesStaleAndMissizedState) {
+  std::vector<double> payoffs = {1.0, 2.0, 3.0};
+  PayoffLedger ledger(payoffs);
+  EXPECT_TRUE(ledger.Validate(payoffs).ok());
+  // Stale: the live payoff moved but the ledger was not told.
+  std::vector<double> moved = payoffs;
+  moved[1] = 9.0;
+  EXPECT_FALSE(ledger.Validate(moved).ok());
+  // Bit-level staleness: -0.0 vs 0.0 compare equal as doubles but are
+  // different bit patterns, and Validate compares bits.
+  std::vector<double> zeros = {0.0, 0.0};
+  PayoffLedger zled(zeros);
+  std::vector<double> signed_zeros = {0.0, -0.0};
+  EXPECT_FALSE(zled.Validate(signed_zeros).ok());
+  // Missized.
+  EXPECT_FALSE(ledger.Validate({1.0, 2.0}).ok());
+}
+
+TEST(PayoffLedgerTest, ResetResizesScratchAndKeepsCounters) {
+  std::vector<double> payoffs = {5.0, 1.0};
+  PayoffLedger ledger(payoffs);
+  ledger.Exclude(0);
+  const uint64_t before = ledger.counters().sorts_eliminated;
+  std::vector<double> bigger = {4.0, 2.0, 6.0, 1.0, 3.0};
+  ledger.Reset(bigger);
+  EXPECT_TRUE(ledger.Validate(bigger).ok());
+  EXPECT_EQ(ledger.counters().sorts_eliminated, before);
+  const IauParams params;
+  ExpectMatchesOracle(ledger, bigger, params);
+}
+
+}  // namespace
+}  // namespace fta

@@ -29,6 +29,17 @@ hazard patterns that have historically threatened that claim:
       deterministic reduce and the obs snapshot merge) are allowlisted
       by file.
 
+  sorted-metric-rebuild
+      A call to the copy-and-sort metric wrappers
+      MeanAbsolutePairwiseDifference(...) / Gini(...) from src/game/,
+      where the engine's payoff ledger (game/payoff_ledger.h) already
+      maintains the sorted payoffs those wrappers would re-sort. Game
+      code should read PayoffLedger::PayoffDifference()/Gini() or pass
+      an existing sorted view to a *Sorted overload (DESIGN.md §9).
+      Declarations (`double Gini() const;`) and qualified definitions
+      (`PayoffLedger::Gini`) are not calls and are skipped; code outside
+      src/game/ has no ledger in scope and is out of this rule's reach.
+
 Escapes, in order of preference:
   1. Restructure the code (sort the result, fold in fixed shard order,
      accumulate in integers).
@@ -65,6 +76,10 @@ RANGE_FOR = re.compile(r"\bfor\s*\(([^;]*?):([^;]*?)\)\s*(\{?)\s*$")
 APPEND_CALL = re.compile(r"\.(?:push_back|emplace_back|emplace|insert)\s*\(")
 SORT_CALL = re.compile(r"\b(?:sort|stable_sort)\s*\(")
 COMPOUND_FLOAT = re.compile(r"([A-Za-z_][\w\.\->\[\]\(\)]*?)\s*[+\-]=(?!=)")
+
+SORTED_METRIC = re.compile(
+    r"(?<![\w:.>])(MeanAbsolutePairwiseDifference|Gini)(?=\s*\()"
+)
 
 NOLINT_HERE = re.compile(r"NOLINT\(fta-det\)")
 NOLINT_NEXT = re.compile(r"NOLINTNEXTLINE\(fta-det\)")
@@ -367,6 +382,31 @@ def check_parallel_float_reduce(
                     )
 
 
+def check_sorted_metric_rebuild(scan: FileScan, out: list[Violation]) -> None:
+    if "src/game/" not in scan.display.replace(os.sep, "/"):
+        return
+    for i, line in enumerate(scan.scrubbed_lines):
+        for m in SORTED_METRIC.finditer(line):
+            # `double Gini() const;` and friends declare the wrapper, they
+            # do not call it. (Qualified definitions like PayoffLedger::Gini
+            # are already excluded by the lookbehind.)
+            if re.search(r"\b(?:double|float|auto)\s+$", line[: m.start()]):
+                continue
+            if i in scan.suppressed:
+                continue
+            out.append(
+                Violation(
+                    scan.display,
+                    i + 1,
+                    "sorted-metric-rebuild",
+                    f"'{m.group(1)}(' copies and re-sorts payoffs the "
+                    "engine's ledger already keeps sorted; read "
+                    "PayoffLedger::PayoffDifference()/Gini() or pass a "
+                    "sorted view to a *Sorted overload (DESIGN.md §9)",
+                )
+            )
+
+
 def load_allowlist(path: str):
     entries = []
     if not os.path.exists(path):
@@ -454,6 +494,7 @@ def main(argv=None) -> int:
         # tokens in src/, so an escape hatch would only hide problems.
         check_unordered_iteration(scan, tables, violations)
         check_parallel_float_reduce(scan, tables, violations)
+        check_sorted_metric_rebuild(scan, violations)
         del before
 
     entries = load_allowlist(allowlist_path)

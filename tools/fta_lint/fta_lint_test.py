@@ -42,6 +42,16 @@ class ViolationFixtures(unittest.TestCase):
             "std::random_device is nondeterministic; seed fta::Rng explicitly",
             "src/banned.cc:19: [banned-token] 'this_thread::sleep' — sleeps "
             "encode scheduling assumptions; use condition variables",
+            "src/game/metric_rebuild.cc:12: [sorted-metric-rebuild] "
+            "'MeanAbsolutePairwiseDifference(' copies and re-sorts payoffs "
+            "the engine's ledger already keeps sorted; read "
+            "PayoffLedger::PayoffDifference()/Gini() or pass a sorted view "
+            "to a *Sorted overload (DESIGN.md §9)",
+            "src/game/metric_rebuild.cc:16: [sorted-metric-rebuild] "
+            "'Gini(' copies and re-sorts payoffs "
+            "the engine's ledger already keeps sorted; read "
+            "PayoffLedger::PayoffDifference()/Gini() or pass a sorted view "
+            "to a *Sorted overload (DESIGN.md §9)",
             "src/parallel_reduce.cc:20: [parallel-float-reduce] float "
             "accumulation 'total +=' inside a ThreadPool fan-out lambda; "
             "scheduling order would change the sum — fold per-shard results "
@@ -72,6 +82,10 @@ class ViolationFixtures(unittest.TestCase):
         # Sorted-after loop and NOLINTNEXTLINE'd loop: clean.
         for line in (25, 36):
             self.assertNotIn(f"src/unordered_leak.cc:{line}:", text)
+        # Wrapper declarations, the *Sorted overload, and the
+        # NOLINTNEXTLINE'd sanctioned rebuild: clean.
+        for line in (7, 8, 9, 21, 27):
+            self.assertNotIn(f"src/game/metric_rebuild.cc:{line}:", text)
 
 
 class CleanFixture(unittest.TestCase):

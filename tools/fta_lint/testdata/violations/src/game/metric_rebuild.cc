@@ -1,0 +1,28 @@
+// Fixture for sorted-metric-rebuild: copy-and-sort metric wrappers
+// called from game code, where the payoff ledger already holds the
+// sorted array those wrappers would rebuild.
+#include <vector>
+
+// Wrapper declarations are not calls: skipped by the `double ` prefix.
+double MeanAbsolutePairwiseDifference(const std::vector<double>& values);
+double Gini(const std::vector<double>& values);
+double GiniSorted(const std::vector<double>& sorted);
+
+double RoundPdif(const std::vector<double>& payoffs) {
+  return MeanAbsolutePairwiseDifference(payoffs);  // fires
+}
+
+double RoundGini(const std::vector<double>& payoffs) {
+  const double g = Gini(payoffs);  // fires
+  return g;
+}
+
+double SortedOverloadIsTheFix(const std::vector<double>& sorted) {
+  return GiniSorted(sorted);  // *Sorted overload: clean
+}
+
+double SanctionedRebuild(const std::vector<double>& payoffs) {
+  // The one sanctioned copy-and-sort site in this fixture:
+  // NOLINTNEXTLINE(fta-det)
+  return Gini(payoffs);
+}
