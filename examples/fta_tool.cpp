@@ -13,6 +13,9 @@
 //   simulate   multi-wave day simulation
 //     ./fta_tool simulate --algorithm=iegt --waves=12
 //
+//   stream     online streaming dispatch over a Poisson churn workload
+//     ./fta_tool stream --policy=warm --solver=fgt --ticks=40
+//
 // Every knob has a sane default; run a subcommand with --help for flags.
 
 #include <cstdio>
@@ -278,14 +281,140 @@ int CmdSimulate(int argc, const char* const* argv) {
   return 0;
 }
 
+int CmdStream(int argc, const char* const* argv) {
+  std::string policy_name = "warm";
+  std::string solver_name = "fgt";
+  std::string metrics_json;
+  int64_t ticks = 40;
+  double tick_period = 0.05;
+  double epsilon = 2.5;
+  size_t max_set = 3;
+  size_t threads = 1;
+  double task_rate = 120.0;
+  double worker_rate = 30.0;
+  double dwell = 1.0;
+  double patience = 1.0;
+  int64_t seed = 42;
+  bool help = false;
+  FlagParser flags;
+  flags.AddString("policy", &policy_name,
+                  "per-tick re-solve policy: cold | cold-seeded | warm");
+  flags.AddString("solver", &solver_name, "fgt | iegt");
+  flags.AddInt("ticks", &ticks, "ticks to run");
+  flags.AddDouble("tick-period", &tick_period, "hours per tick");
+  flags.AddDouble("epsilon", &epsilon, "pruning threshold (km; 0 = off)");
+  flags.AddSizeT("max_set", &max_set, "max delivery points per VDPS");
+  flags.AddSizeT("threads", &threads, "catalog/best-response threads");
+  flags.AddDouble("task-rate", &task_rate, "mean order arrivals per hour");
+  flags.AddDouble("worker-rate", &worker_rate,
+                  "mean worker arrivals per hour");
+  flags.AddDouble("dwell", &dwell, "mean worker dwell (hours)");
+  flags.AddDouble("patience", &patience,
+                  "mean undispatched-order patience (hours)");
+  flags.AddInt("seed", &seed, "stream seed (events and solver)");
+  flags.AddString("metrics-json", &metrics_json,
+                  "write the structured run report (fta-run-report-v1) here");
+  flags.AddBool("help", &help, "show flags");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  if (help) {
+    std::printf("stream flags:\n%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  StreamConfig config;
+  if (policy_name == "cold") {
+    config.policy = ResolvePolicy::kColdRestart;
+  } else if (policy_name == "cold-seeded") {
+    config.policy = ResolvePolicy::kColdSeeded;
+  } else if (policy_name == "warm") {
+    config.policy = ResolvePolicy::kWarm;
+  } else {
+    return Fail(Status::InvalidArgument(
+        "--policy must be cold, cold-seeded, or warm"));
+  }
+  if (solver_name == "fgt") {
+    config.solver = StreamSolver::kFgt;
+  } else if (solver_name == "iegt") {
+    config.solver = StreamSolver::kIegt;
+  } else {
+    return Fail(Status::InvalidArgument("--solver must be fgt or iegt"));
+  }
+  ChurnWorkloadConfig churn;
+  churn.horizon_hours = tick_period * static_cast<double>(ticks);
+  churn.tasks.base_rate_per_hour = task_rate;
+  churn.tasks.peak_hours = {churn.horizon_hours / 2.0};
+  churn.worker_rate_per_hour = worker_rate;
+  churn.mean_worker_dwell_hours = dwell;
+  churn.mean_task_patience_hours = patience;
+  config.center = Point{churn.area_size / 2.0, churn.area_size / 2.0};
+  config.tick_period = tick_period;
+  config.max_ticks = static_cast<size_t>(ticks);
+  config.vdps.epsilon = epsilon > 0 ? epsilon : kInfinity;
+  config.vdps.max_set_size = static_cast<uint32_t>(max_set);
+  config.vdps.num_threads = threads;
+  config.fgt.engine.num_threads = threads;
+  config.iegt.engine.num_threads = threads;
+  config.seed = static_cast<uint64_t>(seed);
+
+  StreamDispatcher dispatcher(
+      config, GenerateChurnEvents(churn, static_cast<uint64_t>(seed)));
+  StatusOr<StreamResult> result = dispatcher.Run();
+  if (!result.ok()) return Fail(result.status());
+  const StreamCounters& c = result->counters;
+  std::printf(
+      "%s/%s over %llu ticks: events %llu | tasks %llu in / %llu expired | "
+      "workers %llu in / %llu out | regens %llu, deltas %llu | rounds %llu "
+      "(converged %llu) | catalog %.1fms, solve %.1fms | digest %016llx\n",
+      ResolvePolicyName(config.policy), StreamSolverName(config.solver),
+      static_cast<unsigned long long>(c.ticks),
+      static_cast<unsigned long long>(c.events_ingested),
+      static_cast<unsigned long long>(c.tasks_arrived),
+      static_cast<unsigned long long>(c.tasks_expired),
+      static_cast<unsigned long long>(c.workers_arrived),
+      static_cast<unsigned long long>(c.workers_departed),
+      static_cast<unsigned long long>(c.regens),
+      static_cast<unsigned long long>(c.deltas),
+      static_cast<unsigned long long>(c.solver_rounds),
+      static_cast<unsigned long long>(c.converged_ticks), c.catalog_ms,
+      c.solve_ms, static_cast<unsigned long long>(result->digest));
+  if (!result->ticks.empty()) {
+    const TickStats& last = result->ticks.back();
+    std::printf(
+        "last tick: %zu workers, %zu dps, %zu assigned, %zu covered | "
+        "P_dif %.4f | avg payoff %.4f\n",
+        last.num_workers, last.num_dps, last.assigned_workers,
+        last.covered_dps, last.payoff_difference, last.average_payoff);
+  }
+  if (!metrics_json.empty()) {
+    RunMetrics m;
+    m.num_workers = result->ticks.empty() ? 0 : result->ticks.back().num_workers;
+    m.payoff_difference =
+        result->ticks.empty() ? 0.0 : result->ticks.back().payoff_difference;
+    m.average_payoff =
+        result->ticks.empty() ? 0.0 : result->ticks.back().average_payoff;
+    m.assigned_workers =
+        result->ticks.empty() ? 0 : result->ticks.back().assigned_workers;
+    m.cpu_seconds = (c.catalog_ms + c.solve_ms) / 1e3;
+    const RunReport report = BuildRunReport(
+        "fta_tool", StrFormat("stream-%s-%s", policy_name.c_str(),
+                              solver_name.c_str()),
+        "churn-workload", m);
+    if (Status s = report.WriteJson(metrics_json); !s.ok()) return Fail(s);
+    std::printf("wrote %s (%zu registry metrics)\n", metrics_json.c_str(),
+                report.registry.metrics.size());
+  }
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
   const std::string command = argc > 1 ? argv[1] : "";
   if (command == "generate") return CmdGenerate(argc, argv);
   if (command == "solve") return CmdSolve(argc, argv);
   if (command == "repeat") return CmdRepeat(argc, argv);
   if (command == "simulate") return CmdSimulate(argc, argv);
+  if (command == "stream") return CmdStream(argc, argv);
   std::printf(
-      "usage: fta_tool <generate|solve|repeat|simulate> [flags]\n"
+      "usage: fta_tool <generate|solve|repeat|simulate|stream> [flags]\n"
       "run a subcommand with --help for its flags\n");
   return command.empty() ? 1 : (command == "--help" ? 0 : 1);
 }

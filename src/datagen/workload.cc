@@ -42,4 +42,67 @@ size_t DrawArrivals(const WorkloadConfig& config, double t, double dt,
   return PoissonSample(lambda, rng);
 }
 
+namespace {
+
+/// Exponential variate with the given mean; strictly positive.
+double DrawExponential(double mean, Rng& rng) {
+  return -mean * std::log1p(-rng.NextDouble());
+}
+
+}  // namespace
+
+std::vector<StreamEvent> GenerateChurnEvents(const ChurnWorkloadConfig& config,
+                                             uint64_t seed) {
+  FTA_CHECK(config.horizon_hours > 0.0);
+  FTA_CHECK(config.mean_worker_dwell_hours > 0.0);
+  FTA_CHECK(config.mean_task_patience_hours > 0.0);
+  FTA_CHECK(config.min_service_window > 0.0);
+  FTA_CHECK(config.min_service_window <= config.max_service_window);
+  FTA_CHECK(config.min_reward <= config.max_reward);
+  FTA_CHECK(config.min_max_dp >= 1);
+  FTA_CHECK(config.min_max_dp <= config.max_max_dp);
+  Rng rng(seed);
+  std::vector<StreamEvent> events;
+  // Slice-wise Poisson thinning of both arrival processes; one-minute
+  // slices resolve the rush-hour modulation well below its sigma.
+  constexpr double kSlice = 1.0 / 60.0;
+  const WorkloadConfig worker_rate{config.worker_rate_per_hour, {}, 0.0, 1.0};
+  for (double t = 0.0; t < config.horizon_hours; t += kSlice) {
+    const double dt = std::min(kSlice, config.horizon_hours - t);
+    const size_t n_tasks = DrawArrivals(config.tasks, t, dt, rng);
+    for (size_t i = 0; i < n_tasks; ++i) {
+      StreamEvent ev;
+      ev.time = t + dt * rng.NextDouble();
+      ev.kind = StreamEventKind::kTaskArrival;
+      ev.location = Point{rng.Uniform(0.0, config.area_size),
+                          rng.Uniform(0.0, config.area_size)};
+      ev.reward = rng.Uniform(config.min_reward, config.max_reward);
+      ev.queue_expiry =
+          ev.time + DrawExponential(config.mean_task_patience_hours, rng);
+      ev.service_window =
+          rng.Uniform(config.min_service_window, config.max_service_window);
+      events.push_back(ev);
+    }
+    const size_t n_workers = DrawArrivals(worker_rate, t, dt, rng);
+    for (size_t i = 0; i < n_workers; ++i) {
+      StreamEvent ev;
+      ev.time = t + dt * rng.NextDouble();
+      ev.kind = StreamEventKind::kWorkerArrival;
+      ev.worker.location = Point{rng.Uniform(0.0, config.area_size),
+                                 rng.Uniform(0.0, config.area_size)};
+      ev.worker.max_delivery_points = static_cast<uint32_t>(rng.UniformInt(
+          config.min_max_dp, config.max_max_dp));
+      ev.departure =
+          ev.time + DrawExponential(config.mean_worker_dwell_hours, rng);
+      events.push_back(ev);
+    }
+  }
+  // Stable sort: events generated in deterministic order, ties keep it.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const StreamEvent& a, const StreamEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
 }  // namespace fta

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stream/events.h"
 #include "util/rng.h"
 
 namespace fta {
@@ -35,6 +36,41 @@ size_t DrawArrivals(const WorkloadConfig& config, double t, double dt,
 /// Draws a single Poisson variate with mean `lambda` (Knuth for small
 /// lambda, normal approximation above 64). Exposed for testing.
 size_t PoissonSample(double lambda, Rng& rng);
+
+/// Churn workload for the streaming dispatcher: Poisson order arrivals
+/// (rush-hour modulated via `tasks`), homogeneous Poisson worker arrivals,
+/// uniform locations over a square, and exponential lifetimes. Per-tick
+/// churn fraction ≈ tick_period / mean lifetime: a 5%-per-tick stream uses
+/// mean lifetimes of 20 ticks.
+struct ChurnWorkloadConfig {
+  /// Horizon (hours); events are generated on [0, horizon_hours).
+  double horizon_hours = 2.0;
+  /// Order-arrival model (time-varying Poisson).
+  WorkloadConfig tasks;
+  /// Mean worker arrivals per hour (homogeneous Poisson).
+  double worker_rate_per_hour = 20.0;
+  /// Side length of the square [0, area_size)^2 locations are drawn from.
+  double area_size = 10.0;
+  /// Mean hours a worker stays in the pool (exponential dwell).
+  double mean_worker_dwell_hours = 1.0;
+  /// Mean hours an undispatched order waits before canceling (exponential
+  /// patience).
+  double mean_task_patience_hours = 1.0;
+  /// Relative delivery window once dispatched, drawn uniformly.
+  double min_service_window = 0.5;
+  double max_service_window = 2.0;
+  /// Order reward, drawn uniformly.
+  double min_reward = 1.0;
+  double max_reward = 5.0;
+  /// Worker capacity w.maxDP, drawn uniformly inclusive.
+  uint32_t min_max_dp = 2;
+  uint32_t max_max_dp = 4;
+};
+
+/// Generates the full event sequence of a churn workload, sorted by
+/// non-decreasing arrival time. Deterministic in `seed`.
+std::vector<StreamEvent> GenerateChurnEvents(const ChurnWorkloadConfig& config,
+                                             uint64_t seed);
 
 }  // namespace fta
 

@@ -98,9 +98,14 @@ SimulationResult RunDispatchSimulation(const SimulationConfig& config) {
     WaveStats stats;
     stats.wave = wave;
     const size_t before = backlog.size();
+    // Half-open live interval [arrival, expires_at): a task is gone at the
+    // wave starting exactly on its deadline — no epsilon slop, which used
+    // to expire tasks a hair early and (with task_lifetime an exact
+    // multiple of wave_interval) made the boundary wave's backlog depend on
+    // floating-point noise. Pinned by SimulationTest.BoundaryExpiry.
     backlog.erase(std::remove_if(backlog.begin(), backlog.end(),
                                  [&](const PendingTask& t) {
-                                   return t.expires_at <= now + kEps;
+                                   return t.expires_at <= now;
                                  }),
                   backlog.end());
     stats.expired_tasks = before - backlog.size();

@@ -60,6 +60,9 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stream/dispatcher.h"
+#include "stream/digest.h"
+#include "stream/events.h"
 #include "treedec/graph.h"
 #include "treedec/mwis.h"
 #include "treedec/tree_decomposition.h"

@@ -58,7 +58,13 @@ GameResult SolveFgt(const Instance& instance, const VdpsCatalog& catalog,
   FTA_SPAN("game/fgt/solve");
   JointState state(instance, catalog);
   Rng rng(config.seed);
-  RandomSingletonInit(state, rng);
+  if (config.warm_start != nullptr) {
+    // The dispatcher projects the previous equilibrium through the catalog
+    // delta, so an invalid seed is a programming error, not bad input.
+    FTA_CHECK_OK(SeedInit(state, *config.warm_start));
+  } else {
+    RandomSingletonInit(state, rng);
+  }
   BestResponseEngine engine(state, config.iau, config.engine);
 
   GameResult result;

@@ -1,6 +1,8 @@
 #ifndef FTA_GAME_FGT_H_
 #define FTA_GAME_FGT_H_
 
+#include <vector>
+
 #include "game/best_response.h"
 #include "game/iau.h"
 #include "game/joint_state.h"
@@ -41,6 +43,13 @@ struct FgtConfig {
   /// Best-response engine tuning (threads, incremental availability index).
   /// Assignments are bit-identical across all engine settings.
   BestResponseConfig engine;
+  /// Warm-start joint strategy (one index into the catalog's per-worker
+  /// strategy lists, kNullStrategy for idle; must be Definition-8 valid).
+  /// When set it replaces the random singleton initialization — the
+  /// streaming dispatcher seeds each tick's solve from the previous
+  /// equilibrium projected through the catalog delta. Not owned; must
+  /// outlive the solve call.
+  const std::vector<int32_t>* warm_start = nullptr;
 };
 
 /// Fairness-aware Game-Theoretic approach (Algorithm 2): random singleton

@@ -50,7 +50,13 @@ GameResult SolveIegt(const Instance& instance, const VdpsCatalog& catalog,
   FTA_SPAN("game/iegt/solve");
   JointState state(instance, catalog);
   Rng rng(config.seed);
-  RandomSingletonInit(state, rng);
+  if (config.warm_start != nullptr) {
+    // See SolveFgt: the seed comes from the dispatcher's delta projection,
+    // so invalidity is a programming error.
+    FTA_CHECK_OK(SeedInit(state, *config.warm_start));
+  } else {
+    RandomSingletonInit(state, rng);
+  }
   BestResponseEngine engine(state, IauParams(), config.engine);
 
   GameResult result;

@@ -25,6 +25,10 @@ struct IegtConfig {
   /// Shared engine tuning (the incremental availability index accelerates
   /// the evolution scan; the candidate set is unchanged by it).
   BestResponseConfig engine;
+  /// Warm-start joint strategy (see FgtConfig::warm_start): replaces the
+  /// random singleton initialization when set. Not owned; must outlive the
+  /// solve call.
+  const std::vector<int32_t>* warm_start = nullptr;
 };
 
 /// Per-worker replicator dynamics σ̇_km(t) (Equation 11) of the current

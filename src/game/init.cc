@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "util/string_util.h"
+
 namespace fta {
 
 void RandomSingletonInit(JointState& state, Rng& rng) {
@@ -20,6 +22,32 @@ void RandomSingletonInit(JointState& state, Rng& rng) {
       state.Apply(w, singles[rng.Index(singles.size())]);
     }
   }
+}
+
+Status SeedInit(JointState& state, const std::vector<int32_t>& strategy) {
+  const VdpsCatalog& catalog = state.catalog();
+  if (strategy.size() != catalog.num_workers()) {
+    return Status::InvalidArgument(
+        StrFormat("seed strategy covers %zu workers, catalog has %zu",
+                  strategy.size(), catalog.num_workers()));
+  }
+  for (size_t w = 0; w < strategy.size(); ++w) {
+    const int32_t idx = strategy[w];
+    if (idx == kNullStrategy) continue;
+    if (idx < 0 ||
+        static_cast<size_t>(idx) >= catalog.strategies(w).size()) {
+      return Status::InvalidArgument(StrFormat(
+          "seed strategy %d of worker %zu out of range", idx, w));
+    }
+    if (!state.IsAvailable(w, idx)) {
+      return Status::InvalidArgument(StrFormat(
+          "seed strategy %d of worker %zu claims an owned delivery point "
+          "(joint strategy not Definition-8 disjoint)",
+          idx, w));
+    }
+    state.Apply(w, idx);
+  }
+  return Status::Ok();
 }
 
 }  // namespace fta

@@ -1,8 +1,12 @@
 #ifndef FTA_GAME_INIT_H_
 #define FTA_GAME_INIT_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "game/joint_state.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace fta {
 
@@ -11,6 +15,15 @@ namespace fta {
 /// singleton VDPS (|VDPS| = 1) and claims it; workers with no available
 /// singleton start on the null strategy.
 void RandomSingletonInit(JointState& state, Rng& rng);
+
+/// Warm-start initial assignment for the streaming dispatcher: applies a
+/// given joint strategy vector (one index into the catalog's strategy list
+/// per worker, kNullStrategy for idle) in worker order. The vector must be
+/// Definition-8 valid against the state's catalog — every index in range
+/// and the chosen delivery point sets pairwise disjoint; an invalid vector
+/// returns an error with the state left partially seeded (callers treat
+/// that as a programming error and abort via FTA_CHECK_OK).
+Status SeedInit(JointState& state, const std::vector<int32_t>& strategy);
 
 }  // namespace fta
 

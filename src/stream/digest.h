@@ -1,0 +1,29 @@
+#ifndef FTA_STREAM_DIGEST_H_
+#define FTA_STREAM_DIGEST_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace fta {
+
+/// FNV-1a fold over 64-bit words; doubles fold by bit pattern, so two
+/// digests agree only on bit-identical float content. The streaming
+/// dispatcher folds every tick's assignment (and optionally the whole
+/// catalog) into one run digest — the cold≡warm differential tests compare
+/// nothing but this value.
+class StreamDigest {
+ public:
+  void Fold(uint64_t word) {
+    hash_ ^= word;
+    hash_ *= 1099511628211ull;
+  }
+  void Fold(double value) { Fold(std::bit_cast<uint64_t>(value)); }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+}  // namespace fta
+
+#endif  // FTA_STREAM_DIGEST_H_

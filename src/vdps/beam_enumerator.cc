@@ -215,6 +215,7 @@ GenerationResult GenerateCVdpsBeam(const Instance& instance,
   }
   result.counters.finalize_ms = fin_sw.ElapsedMillis();
   result.truncated = result.truncated || shrink_truncated;
+  result.adjacency = std::move(adj);
   return result;
 }
 

@@ -11,15 +11,14 @@
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "vdps/catalog_internal.h"
 #include "vdps/generators.h"
 #include "vdps/pareto.h"
 
 namespace fta {
 namespace {
 
-/// Denominator floor guarding against degenerate zero travel times (worker
-/// standing at the center with a delivery point there too).
-constexpr double kMinTravelTime = 1e-12;
+using vdps_internal::kMinTravelTime;
 
 /// Workers per inverted-index scan chunk (fixed partition, so the spliced
 /// output never depends on the thread count).
@@ -104,6 +103,8 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
   catalog.entries_ = std::move(gen.entries);
   catalog.truncated_ = gen.truncated;
   catalog.gen_ = gen.counters;
+  catalog.config_ = config;
+  catalog.adjacency_ = std::move(gen.adjacency);
 
   // Materialize per-worker strategies: a C-VDPS is valid for worker w iff
   // some retained sequence tolerates the worker's center offset, and the
@@ -118,25 +119,14 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
       const double offset = instance.WorkerToCenterTime(w);
       const uint32_t max_dp = instance.worker(w).max_delivery_points;
       std::vector<WorkerStrategy>& out = catalog.strategies_[w];
+      WorkerStrategy st;
       for (uint32_t e = 0; e < catalog.entries_.size(); ++e) {
-        const CVdpsEntry& entry = catalog.entries_[e];
-        if (entry.dps.size() > max_dp) continue;
-        const SequenceOption* opt = entry.BestOptionFor(offset);
-        if (opt == nullptr) continue;
-        WorkerStrategy st;
-        st.entry_id = e;
-        st.route = opt->route;
-        st.total_time = offset + opt->center_time;
-        st.total_reward = entry.total_reward;
-        st.payoff =
-            entry.total_reward / std::max(st.total_time, kMinTravelTime);
-        out.push_back(std::move(st));
+        if (vdps_internal::MakeStrategy(catalog.entries_[e], e, offset,
+                                        max_dp, &st)) {
+          out.push_back(std::move(st));
+        }
       }
-      std::sort(out.begin(), out.end(),
-                [](const WorkerStrategy& a, const WorkerStrategy& b) {
-                  if (a.payoff != b.payoff) return a.payoff > b.payoff;
-                  return a.entry_id < b.entry_id;
-                });
+      std::sort(out.begin(), out.end(), vdps_internal::StrategyOrder{});
     };
     if (pool != nullptr && num_workers > 1) {
       pool->RunBatch(num_workers, build_worker);
@@ -357,6 +347,29 @@ Status VdpsCatalog::ValidateInvariants(const Instance& instance) const {
     }
   }
   return Status::Ok();
+}
+
+int32_t VdpsCatalog::FindEntry(std::span<const uint32_t> dps) const {
+  const auto less = [](const CVdpsEntry& e, std::span<const uint32_t> key) {
+    if (e.dps.size() != key.size()) return e.dps.size() < key.size();
+    return std::lexicographical_compare(e.dps.begin(), e.dps.end(),
+                                        key.begin(), key.end());
+  };
+  const auto it =
+      std::lower_bound(entries_.begin(), entries_.end(), dps, less);
+  if (it == entries_.end() || it->dps.size() != dps.size() ||
+      !std::equal(it->dps.begin(), it->dps.end(), dps.begin())) {
+    return -1;
+  }
+  return static_cast<int32_t>(it - entries_.begin());
+}
+
+int32_t VdpsCatalog::FindStrategy(size_t worker, uint32_t entry_id) const {
+  const std::vector<WorkerStrategy>& sts = strategies_[worker];
+  for (size_t i = 0; i < sts.size(); ++i) {
+    if (sts[i].entry_id == entry_id) return static_cast<int32_t>(i);
+  }
+  return -1;
 }
 
 size_t VdpsCatalog::MaxStrategiesPerWorker() const {

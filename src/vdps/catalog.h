@@ -3,9 +3,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "geo/grid_index.h"
 #include "model/instance.h"
 #include "model/route.h"
 #include "util/math_util.h"
@@ -157,6 +159,62 @@ struct VdpsConfig {
   size_t num_threads = 1;
 };
 
+/// One tick of instance churn, described against the catalog's OLD
+/// indexing: the removed old indices, with every added worker / delivery
+/// point appended at the TAIL of the new instance (so new-index order is
+/// "old survivors first, in old relative order, then the additions in
+/// new-instance order"). This is exactly the dense-compaction layout the
+/// streaming dispatcher maintains, and it is what keeps the incremental
+/// patch order-preserving: survivor ids stay monotone, so every sorted
+/// structure in the catalog can be remapped without re-sorting.
+struct CatalogDeltaPlan {
+  /// Old worker indices removed, strictly ascending.
+  std::vector<uint32_t> removed_workers;
+  /// Old delivery point indices removed, strictly ascending.
+  std::vector<uint32_t> removed_dps;
+  /// Workers appended at the tail of the new instance.
+  size_t added_workers = 0;
+  /// Delivery points appended at the tail of the new instance.
+  size_t added_dps = 0;
+
+  bool empty() const {
+    return removed_workers.empty() && removed_dps.empty() &&
+           added_workers == 0 && added_dps == 0;
+  }
+};
+
+/// Observability counters of catalog delta application — the incremental
+/// counterpart of GenerationCounters, reported per ApplyDelta call and
+/// summed over a stream run so benches can compare delta-apply cost against
+/// full regeneration directly.
+struct DeltaCounters {
+  uint64_t deltas_applied = 0;
+  uint64_t workers_removed = 0;
+  uint64_t workers_added = 0;
+  uint64_t dps_removed = 0;
+  uint64_t dps_added = 0;
+  uint64_t entries_removed = 0;
+  uint64_t entries_added = 0;
+  uint64_t strategies_removed = 0;
+  uint64_t strategies_added = 0;
+  /// Delivery points in the ε-ball neighborhood sub-instance enumerated
+  /// for the added points (0 when a delta adds no delivery point) — the
+  /// incremental work set, versus |DP| for a full regeneration.
+  uint64_t neighborhood_dps = 0;
+  /// DFS states expanded by the neighborhood sub-enumeration.
+  uint64_t subenum_states = 0;
+
+  double adjacency_ms = 0.0;
+  double enumerate_ms = 0.0;
+  double strategies_ms = 0.0;
+  double index_ms = 0.0;
+  /// End-to-end ApplyDelta wall time.
+  double wall_ms = 0.0;
+
+  /// Accumulates another delta's counters (stream aggregation).
+  void Merge(const DeltaCounters& o);
+};
+
 /// One strategy of a worker in the FTA game: a VDPS (catalog entry) plus
 /// the concrete sequence and payoff for that worker. The null strategy is
 /// represented implicitly (see StrategySpace).
@@ -190,6 +248,33 @@ class VdpsCatalog {
   static VdpsCatalog Generate(const Instance& instance,
                               const VdpsConfig& config);
 
+  /// Incrementally patches this catalog from the instance it was generated
+  /// against to `new_instance`, described by `plan` (removals by old index,
+  /// additions appended at the tail — see CatalogDeltaPlan). The result is
+  /// bit-identical to `Generate(new_instance, config())`, entry for entry,
+  /// strategy for strategy, index slot for index slot (pinned by
+  /// tests/stream_identity_test.cc), at a fraction of the cost:
+  ///
+  ///   - removals are pure filters + monotone renumbering (no enumeration,
+  ///     no route evaluation);
+  ///   - added delivery points enumerate only their ε-ball neighborhood
+  ///     (every C-VDPS containing an added point is a path in the
+  ///     ε-adjacency graph, so its members lie within max_set_size - 1
+  ///     hops), with the ε-adjacency CSR patched in place;
+  ///   - added workers materialize only their own strategies; existing
+  ///     workers evaluate only the new entries.
+  ///
+  /// Unsupported configurations return an error and leave the catalog
+  /// untouched: beam-search catalogs (the beam's global top-k selection is
+  /// not locally patchable) and truncated/max_entries catalogs (the
+  /// truncation point is path-dependent). With ε = ∞ the "neighborhood" is
+  /// every delivery point — correct, but with no enumeration savings.
+  ///
+  /// `counters`, when non-null, receives this call's DeltaCounters.
+  Status ApplyDelta(const Instance& new_instance,
+                    const CatalogDeltaPlan& plan,
+                    DeltaCounters* counters = nullptr);
+
   const std::vector<CVdpsEntry>& entries() const { return entries_; }
   const CVdpsEntry& entry(size_t i) const { return entries_[i]; }
   size_t num_entries() const { return entries_.size(); }
@@ -219,6 +304,26 @@ class VdpsCatalog {
   /// True if generation hit the max_entries cap (results may be partial).
   bool truncated() const { return truncated_; }
 
+  /// The configuration this catalog was generated with. ApplyDelta reuses
+  /// it so the patched catalog answers for Generate(new_instance, config()).
+  const VdpsConfig& config() const { return config_; }
+
+  /// The ε-adjacency CSR the generation engine enumerated with, patched in
+  /// place by ApplyDelta. Empty when ε = ∞ disabled pruning (check
+  /// has_adjacency()).
+  const RadiusAdjacency& adjacency() const { return adjacency_; }
+  bool has_adjacency() const { return adjacency_.num_points() > 0; }
+
+  /// Index of the entry whose delivery point set equals `dps` (sorted
+  /// ascending), or -1. Binary search over the canonical (size asc, lex
+  /// asc) entry order.
+  int32_t FindEntry(std::span<const uint32_t> dps) const;
+
+  /// Index into strategies(worker) of the strategy referencing `entry_id`,
+  /// or -1. Linear scan of the worker's payoff-sorted list (a worker holds
+  /// at most one strategy per entry).
+  int32_t FindStrategy(size_t worker, uint32_t entry_id) const;
+
   /// Counters of the generation run that built this catalog.
   const GenerationCounters& generation() const { return gen_; }
 
@@ -238,6 +343,8 @@ class VdpsCatalog {
   std::vector<std::vector<WorkerStrategy>> strategies_;
   std::vector<std::vector<StrategyRef>> touching_;  // per delivery point
   GenerationCounters gen_;
+  VdpsConfig config_;
+  RadiusAdjacency adjacency_;
   bool truncated_ = false;
 };
 

@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/logging.h"
+#include "vdps/catalog_internal.h"
 #include "vdps/pareto.h"
 
 namespace fta {
@@ -97,12 +98,7 @@ void FinalizeShards(std::vector<EnumerationShard>& shards,
     FTA_DCHECK(ParetoFrontierInvariantHolds(entry.options));
     result.entries.push_back(std::move(entry));
   }
-  std::sort(result.entries.begin(), result.entries.end(),
-            [](const CVdpsEntry& a, const CVdpsEntry& b) {
-              if (a.dps.size() != b.dps.size())
-                return a.dps.size() < b.dps.size();
-              return a.dps < b.dps;
-            });
+  std::sort(result.entries.begin(), result.entries.end(), EntryOrder{});
   c.pareto_inserts += stats.inserts;
   c.pareto_evictions += stats.evictions;
   c.entries += result.entries.size();

@@ -11,6 +11,7 @@
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/stopwatch.h"
+#include "vdps/catalog_internal.h"
 #include "vdps/generators.h"
 #include "vdps/pareto.h"
 
@@ -165,11 +166,7 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
   }
   // Deterministic order: by set size, then lexicographic dps.
   std::sort(result.entries.begin(), result.entries.end(),
-            [](const CVdpsEntry& a, const CVdpsEntry& b) {
-              if (a.dps.size() != b.dps.size())
-                return a.dps.size() < b.dps.size();
-              return a.dps < b.dps;
-            });
+            vdps_internal::EntryOrder{});
   if (config.max_entries > 0 && result.entries.size() > config.max_entries) {
     result.entries.resize(config.max_entries);
     result.truncated = true;
@@ -184,6 +181,7 @@ GenerationResult GenerateCVdpsExact(const Instance& instance,
   c.legacy_route_allocs = c.route_allocs;
   c.shards = 1;
   c.max_shard_states = c.states_expanded;
+  result.adjacency = std::move(adj);
   return result;
 }
 

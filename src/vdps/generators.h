@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "geo/grid_index.h"
 #include "model/instance.h"
 #include "vdps/catalog.h"
 
@@ -16,6 +17,10 @@ struct GenerationResult {
   std::vector<CVdpsEntry> entries;
   /// True if the max_entries cap stopped the search early.
   bool truncated = false;
+  /// The ε-adjacency CSR the engine enumerated with (empty when ε = ∞
+  /// disables pruning). Handed to the catalog so ApplyDelta can patch it
+  /// in place instead of re-running every radius query.
+  RadiusAdjacency adjacency;
   /// Generation observability (states, Pareto traffic, arena footprint,
   /// shard balance, phase timings).
   GenerationCounters counters;

@@ -196,6 +196,7 @@ GenerationResult GenerateCVdpsSequences(const Instance& instance,
     vdps_internal::FinalizeShards(shards, config, result);
   }
   result.counters.finalize_ms = fin_sw.ElapsedMillis();
+  result.adjacency = std::move(adj);
   if (result.truncated) {
     FTA_LOG(kWarning) << "C-VDPS generation truncated at "
                       << result.entries.size() << " entries";

@@ -106,6 +106,46 @@ TEST(SimulationTest, BusyCouriersSitOutFollowingWaves) {
   }
 }
 
+TEST(SimulationTest, BoundaryExpiry) {
+  // Half-open live interval [arrival, expires_at): a task whose lifetime is
+  // exactly two wave intervals is gone AT the wave landing on its deadline,
+  // not one wave later. 0.5 is an exact double, so wave*0.5 + 1.0 ==
+  // (wave+2)*0.5 with no rounding — the comparison is exact equality.
+  SimulationConfig config;
+  config.num_waves = 4;
+  config.wave_interval = 0.5;
+  config.task_lifetime = 1.0;
+  config.num_zones = 4;
+  config.num_workers = 0;  // nothing is ever served
+  config.tasks_per_wave = 5;
+  const SimulationResult r = RunDispatchSimulation(config);
+  ASSERT_EQ(r.waves.size(), 4u);
+  EXPECT_EQ(r.waves[0].expired_tasks, 0u);
+  EXPECT_EQ(r.waves[1].expired_tasks, 0u);
+  EXPECT_EQ(r.waves[2].expired_tasks, 5u);  // wave-0 arrivals, on deadline
+  EXPECT_EQ(r.waves[3].expired_tasks, 5u);
+  EXPECT_EQ(r.tasks_served, 0u);
+}
+
+TEST(SimulationTest, DeadlineEpsilonPastWaveBoundarySurvives) {
+  // Regression: the expiry predicate used `expires_at <= now + kEps`, which
+  // expired a task whose deadline lands a hair AFTER the wave boundary one
+  // full wave early. A deadline strictly greater than `now` must survive
+  // that wave, however small the margin.
+  SimulationConfig config;
+  config.num_waves = 4;
+  config.wave_interval = 0.5;
+  config.task_lifetime = 1.0 + 5e-10;  // within the old kEps slop
+  config.num_zones = 4;
+  config.num_workers = 0;
+  config.tasks_per_wave = 5;
+  const SimulationResult r = RunDispatchSimulation(config);
+  ASSERT_EQ(r.waves.size(), 4u);
+  EXPECT_EQ(r.waves[2].expired_tasks, 0u);  // still alive at the boundary
+  EXPECT_EQ(r.waves[2].pending_tasks, 15u);
+  EXPECT_EQ(r.waves[3].expired_tasks, 5u);  // gone one wave later
+}
+
 TEST(SimulationTest, ZeroTasksPerWave) {
   SimulationConfig config = SmallSim();
   config.tasks_per_wave = 0;

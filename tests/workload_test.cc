@@ -102,5 +102,62 @@ TEST(WorkloadTest, SimulatorIntegration) {
   EXPECT_EQ(r.tasks_arrived, again.tasks_arrived);  // deterministic
 }
 
+TEST(ChurnWorkloadTest, EventsAreSortedAndDeterministic) {
+  ChurnWorkloadConfig config;
+  config.horizon_hours = 1.5;
+  const std::vector<StreamEvent> a = GenerateChurnEvents(config, 42);
+  const std::vector<StreamEvent> b = GenerateChurnEvents(config, 42);
+  ASSERT_GT(a.size(), 0u);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].queue_expiry, b[i].queue_expiry);
+    EXPECT_EQ(a[i].departure, b[i].departure);
+    if (i > 0) {
+      EXPECT_LE(a[i - 1].time, a[i].time);
+    }
+  }
+  const std::vector<StreamEvent> c = GenerateChurnEvents(config, 43);
+  EXPECT_NE(a.size(), 0u);
+  EXPECT_TRUE(c.size() != a.size() || c[0].time != a[0].time);
+}
+
+TEST(ChurnWorkloadTest, EventFieldsRespectConfigBounds) {
+  ChurnWorkloadConfig config;
+  config.horizon_hours = 1.0;
+  config.area_size = 4.0;
+  config.min_service_window = 0.25;
+  config.max_service_window = 0.75;
+  config.min_reward = 2.0;
+  config.max_reward = 3.0;
+  config.min_max_dp = 2;
+  config.max_max_dp = 5;
+  size_t workers = 0;
+  size_t tasks = 0;
+  for (const StreamEvent& ev : GenerateChurnEvents(config, 11)) {
+    EXPECT_GE(ev.time, 0.0);
+    EXPECT_LT(ev.time, config.horizon_hours);
+    if (ev.kind == StreamEventKind::kWorkerArrival) {
+      ++workers;
+      EXPECT_GE(ev.worker.max_delivery_points, 2u);
+      EXPECT_LE(ev.worker.max_delivery_points, 5u);
+      EXPECT_GT(ev.departure, ev.time);  // exponential dwell is positive
+      EXPECT_LT(ev.worker.location.x, config.area_size);
+      EXPECT_LT(ev.worker.location.y, config.area_size);
+    } else {
+      ++tasks;
+      EXPECT_GE(ev.reward, 2.0);
+      EXPECT_LE(ev.reward, 3.0);
+      EXPECT_GE(ev.service_window, 0.25);
+      EXPECT_LE(ev.service_window, 0.75);
+      EXPECT_GT(ev.queue_expiry, ev.time);
+      EXPECT_LT(ev.location.x, config.area_size);
+    }
+  }
+  EXPECT_GT(workers, 0u);
+  EXPECT_GT(tasks, 0u);
+}
+
 }  // namespace
 }  // namespace fta
