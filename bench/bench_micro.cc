@@ -3,11 +3,14 @@
 // rounds, the solvers end-to-end, k-means, tree-decomposition MWIS, and
 // grid-index radius queries.
 //
-// Two hard gates run before the suite (and can be run alone with
-// --bench=obs / --bench=game): the observability overhead gate
-// (BENCH_obs.json) and the payoff-ledger gate (BENCH_game.json), which
+// Three hard gates run before the suite (and can be run alone with
+// --bench=obs / --bench=game / --bench=simd): the observability overhead
+// gate (BENCH_obs.json), the payoff-ledger gate (BENCH_game.json) — which
 // fails the binary unless the ledger Evaluate path does zero steady-state
-// heap allocations and beats the OthersView rebuild path by >= 5x.
+// heap allocations and beats the OthersView rebuild path by >= 5x — and
+// the SIMD kernel gate (BENCH_simd.json), which requires the batched
+// AVX2 candidate scan to beat the legacy per-candidate ledger path by
+// >= 2x per Evaluate at |W| >= 256 (report-only on hosts without AVX2).
 
 #include <benchmark/benchmark.h>
 
@@ -597,14 +600,315 @@ int RunGameLedgerGate(size_t num_workers) {
   return 0;
 }
 
+// SIMD kernel gate: proves the tentpole claims of the batched payoff
+// kernels (game/iau_kernels.h, util/simd.h) on a purpose-built instance
+// that exercises the candidate scan the ledger gate's chain instance
+// deliberately empties out. Three hard gates on AVX2 hosts:
+//
+//   1. Zero steady-state heap allocations on the batched Evaluate path
+//      (the gather scratch and rank chunks are sized once).
+//   2. >= 2x per-Evaluate speedup over the legacy per-candidate ledger
+//      path (exclude-one view + one view.Iau per candidate through the
+//      AoS strategy records — the engine's code before the kernel layer,
+//      replicated below so production stays single-path).
+//   3. The replica and the engine choose the same best response for every
+//      worker (the baseline must be semantically the old path, not a
+//      strawman).
+//
+// Without AVX2 the same numbers are measured and written but the speedup
+// is report-only (the scalar batch is the same rank algorithm the legacy
+// path runs, just batched). Results go to BENCH_simd.json.
+namespace {
+
+/// |W| workers and 2|W| single-task delivery points scattered near the
+/// distribution center with a deadline no route can miss: every worker's
+/// catalog holds one strategy per point (maxDP = 1), and after the greedy
+/// seeding assignment roughly half the candidates of every Evaluate
+/// survive the availability filter — hundreds of kernel lanes per call
+/// against an exclude-one view of |W| - 1 payoffs, the shape the batched
+/// kernels target.
+Instance SimdGateInstance(size_t num_workers) {
+  Rng rng(21);
+  const size_t num_dps = num_workers * 2;
+  std::vector<DeliveryPoint> dps;
+  dps.reserve(num_dps);
+  for (size_t i = 0; i < num_dps; ++i) {
+    const Point at{rng.Uniform(-10.0, 10.0), rng.Uniform(-10.0, 10.0)};
+    // Distinct rewards give the ledger |W| distinct payoffs.
+    dps.emplace_back(at, std::vector<SpatialTask>{SpatialTask{
+                             static_cast<uint32_t>(i), 1000.0,
+                             1.0 + 0.001 * static_cast<double>(i)}});
+  }
+  std::vector<Worker> workers;
+  workers.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers.push_back(
+        Worker{{rng.Uniform(-10.0, 10.0), rng.Uniform(-10.0, 10.0)}, 1});
+  }
+  return Instance(Point{0.0, 0.0}, std::move(dps), std::move(workers),
+                  TravelModel(5.0));
+}
+
+/// Replica of the engine's pre-batching Evaluate inner loop: one
+/// exclude-one view per call, then a view.Iau (lower_bound + the sorted
+/// expression tree) per available candidate, payoffs read through the AoS
+/// strategy records. `avail` stands in for the engine's incremental
+/// availability index (the legacy path ran with it too — both sides pay
+/// one cached byte per candidate, so the timing difference is the kernel
+/// work, not availability checking). Semantically the engine's old path —
+/// Better()'s (utility desc, index asc) fold over the same null-first
+/// candidate order — kept in the bench so the library stays single-path.
+int32_t LegacyBestResponse(const JointState& state, PayoffLedger& ledger,
+                           const std::vector<uint8_t>& avail, size_t w,
+                           const IauParams& params) {
+  const LedgerView& view = ledger.Exclude(w);
+  const std::vector<WorkerStrategy>& strategies =
+      state.catalog().strategies(w);
+  const int32_t current = state.strategy_of(w);
+  const double incumbent_u = view.Iau(state.payoff_of(w), params);
+  bool valid = false;
+  double best_u = 0.0;
+  int32_t best_idx = 0;
+  if (current != kNullStrategy) {
+    best_u = view.Iau(0.0, params);
+    best_idx = kNullStrategy;
+    valid = true;
+  }
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    const int32_t idx = static_cast<int32_t>(i);
+    if (idx == current) continue;
+    if (avail[i] == 0) continue;
+    const double u = view.Iau(strategies[i].payoff, params);
+    // In an ascending-index scan only a strictly greater utility may
+    // replace the running winner (ties keep the lower index / null).
+    if (!valid || u > best_u) {
+      best_u = u;
+      best_idx = idx;
+      valid = true;
+    }
+  }
+  if (valid && DefinitelyGreater(best_u, incumbent_u)) return best_idx;
+  return current;
+}
+
+/// Seconds for `sweeps` legacy-replica sweeps over all workers, best of
+/// `reps` — the counterpart of TimeEvaluateSweeps for the baseline.
+double TimeLegacySweeps(const JointState& state, PayoffLedger& ledger,
+                        const std::vector<std::vector<uint8_t>>& avail,
+                        const IauParams& params, size_t num_workers,
+                        int sweeps, int reps) {
+  double best = kInfinity;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    for (int s = 0; s < sweeps; ++s) {
+      for (size_t w = 0; w < num_workers; ++w) {
+        benchmark::DoNotOptimize(
+            LegacyBestResponse(state, ledger, avail[w], w, params));
+      }
+    }
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int RunSimdKernelGate(size_t num_workers) {
+  const simd::SimdMode entry_mode = simd::ActiveSimdMode();
+  const bool avx2 = simd::CpuSupportsAvx2();
+
+  const Instance inst = SimdGateInstance(num_workers);
+  VdpsConfig vdps;
+  vdps.max_set_size = 1;
+  const VdpsCatalog catalog = VdpsCatalog::Generate(inst, vdps);
+
+  const IauParams params;
+  // Serial engine in the production configuration (incremental
+  // availability index on); the legacy replica gets a precomputed bitmap
+  // of the same availability answers, so both sides pay one cached byte
+  // per candidate — raw IsAvailable chases the AoS strategy record plus
+  // the entry's point list, cache misses that would drown the kernel
+  // signal on both sides equally.
+  BestResponseConfig config;
+  JointState state(inst, catalog);
+  BestResponseEngine engine(state, params, config);
+  for (size_t w = 0; w < num_workers; ++w) {
+    const size_t n = catalog.strategies(w).size();
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t idx = static_cast<int32_t>(i);
+      if (state.IsAvailable(w, idx)) {
+        engine.Apply(w, idx);
+        break;
+      }
+    }
+  }
+  PayoffLedger legacy_ledger(state.payoffs());
+  std::vector<std::vector<uint8_t>> avail(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    const size_t n = catalog.strategies(w).size();
+    avail[w].resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      avail[w][i] =
+          state.IsAvailable(w, static_cast<int32_t>(i)) ? 1 : 0;
+    }
+  }
+
+  // Gate 3 first: the baseline's choices must match the engine's before
+  // its timing means anything.
+  bool replica_agrees = true;
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (engine.Evaluate(w).strategy !=
+        LegacyBestResponse(state, legacy_ledger, avail[w], w, params)) {
+      replica_agrees = false;
+    }
+  }
+
+  // Lanes per Evaluate, from the engine's own batch counters.
+  const BestResponseCounters sweep_before = engine.counters();
+  for (size_t w = 0; w < num_workers; ++w) {
+    benchmark::DoNotOptimize(engine.Evaluate(w));
+  }
+  const BestResponseCounters sweep_after = engine.counters();
+  const double lanes_per_evaluate =
+      static_cast<double>(sweep_after.simd_lanes - sweep_before.simd_lanes) /
+      static_cast<double>(num_workers);
+
+  constexpr int kSweeps = 10;
+  constexpr int kReps = 5;
+  const uint64_t evaluate_calls =
+      static_cast<uint64_t>(kSweeps) * num_workers;
+
+  // Steady-state allocation count on the dispatch mode the speedup claim
+  // is about (AVX2 where available), after a warm-up sweep of each side.
+  if (avx2) simd::SetSimdMode(simd::SimdMode::kAvx2);
+  TimeEvaluateSweeps(engine, num_workers, 1, 1);
+  TimeLegacySweeps(state, legacy_ledger, avail, params, num_workers, 1,
+                  1);
+  const uint64_t before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  TimeEvaluateSweeps(engine, num_workers, kSweeps, 1);
+  const uint64_t engine_allocs =
+      g_heap_allocations.load(std::memory_order_relaxed) - before;
+
+  double avx2_seconds = 0.0;
+  if (avx2) {
+    avx2_seconds = TimeEvaluateSweeps(engine, num_workers, kSweeps, kReps);
+  }
+  simd::SetSimdMode(simd::SimdMode::kScalar);
+  const double scalar_seconds =
+      TimeEvaluateSweeps(engine, num_workers, kSweeps, kReps);
+  simd::SetSimdMode(entry_mode);
+  const double legacy_seconds = TimeLegacySweeps(
+      state, legacy_ledger, avail, params, num_workers, kSweeps, kReps);
+
+  const double active_seconds = avx2 ? avx2_seconds : scalar_seconds;
+  const double speedup = legacy_seconds / active_seconds;
+  const double speedup_scalar = legacy_seconds / scalar_seconds;
+
+  constexpr double kSpeedupThreshold = 2.0;
+  const bool zero_alloc_pass = engine_allocs == 0;
+  const bool report_only = !avx2;
+  const bool speedup_pass = report_only || speedup >= kSpeedupThreshold;
+  const bool pass = zero_alloc_pass && replica_agrees && speedup_pass;
+
+  const double per_call = 1e9 / static_cast<double>(evaluate_calls);
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("simd_kernels");
+  json.Key("workload");
+  json.String("uniform_single_point_catalogs");
+  json.Key("workers");
+  json.UInt(static_cast<uint64_t>(num_workers));
+  json.Key("strategies_per_worker");
+  json.UInt(static_cast<uint64_t>(catalog.MaxStrategiesPerWorker()));
+  json.Key("lanes_per_evaluate");
+  json.Double(lanes_per_evaluate);
+  json.Key("evaluate_calls");
+  json.UInt(evaluate_calls);
+  json.Key("avx2_supported");
+  json.Bool(avx2);
+  json.Key("dispatch");
+  json.String(simd::SimdModeName(avx2 ? simd::SimdMode::kAvx2
+                                      : simd::SimdMode::kScalar));
+  json.Key("legacy");
+  json.BeginObject();
+  json.Key("seconds");
+  json.Double(legacy_seconds);
+  json.Key("ns_per_evaluate");
+  json.Double(legacy_seconds * per_call);
+  json.EndObject();
+  json.Key("scalar_batch");
+  json.BeginObject();
+  json.Key("seconds");
+  json.Double(scalar_seconds);
+  json.Key("ns_per_evaluate");
+  json.Double(scalar_seconds * per_call);
+  json.EndObject();
+  if (avx2) {
+    json.Key("avx2_batch");
+    json.BeginObject();
+    json.Key("seconds");
+    json.Double(avx2_seconds);
+    json.Key("ns_per_evaluate");
+    json.Double(avx2_seconds * per_call);
+    json.EndObject();
+  }
+  json.Key("steady_state_allocations");
+  json.UInt(engine_allocs);
+  json.Key("speedup");
+  json.Double(speedup);
+  json.Key("speedup_scalar_batch");
+  json.Double(speedup_scalar);
+  json.Key("speedup_threshold");
+  json.Double(kSpeedupThreshold);
+  json.Key("zero_alloc_pass");
+  json.Bool(zero_alloc_pass);
+  json.Key("replica_agrees");
+  json.Bool(replica_agrees);
+  json.Key("speedup_pass");
+  json.Bool(speedup_pass);
+  json.Key("report_only");
+  json.Bool(report_only);
+  json.Key("pass");
+  json.Bool(pass);
+  json.EndObject();
+  const std::string path = "BENCH_simd.json";
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  out.close();
+
+  std::printf(
+      "simd kernel gate (|W|=%zu, %.0f lanes/Evaluate): legacy %.1f "
+      "ns/call, scalar batch %.1f ns/call, %s %.1f ns/call (%llu allocs) "
+      "-> %.2fx (>= %.1fx%s, 0 allocs, replica %s: %s); wrote %s\n",
+      num_workers, lanes_per_evaluate,
+      legacy_seconds * per_call, scalar_seconds * per_call,
+      avx2 ? "avx2 batch" : "no avx2; scalar", active_seconds * per_call,
+      static_cast<unsigned long long>(engine_allocs), speedup,
+      kSpeedupThreshold, report_only ? " report-only" : "",
+      replica_agrees ? "agrees" : "DISAGREES",
+      pass ? "PASS" : "FAIL", path.c_str());
+  if (!pass) {
+    std::fprintf(stderr,
+                 "simd kernel gate FAILED: allocations=%llu (need 0), "
+                 "replica_agrees=%d, speedup %.2fx (need >= %.1fx)\n",
+                 static_cast<unsigned long long>(engine_allocs),
+                 replica_agrees ? 1 : 0, speedup, kSpeedupThreshold);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace fta
 
 int main(int argc, char** argv) {
-  // --bench=obs / --bench=game run just that gate (the CI smoke mode);
-  // --gate-workers=N resizes the ledger gate's chain instance. Both are
-  // consumed here so google-benchmark never sees them.
+  // --bench=obs / --bench=game / --bench=simd run just that gate (the CI
+  // smoke mode); --gate-workers=N resizes the ledger and SIMD gates'
+  // instances. All are consumed here so google-benchmark never sees them.
   bool obs_only = false;
   bool game_only = false;
+  bool simd_only = false;
   std::size_t gate_workers = 256;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
@@ -613,6 +917,8 @@ int main(int argc, char** argv) {
       obs_only = true;
     } else if (arg == "--bench=game") {
       game_only = true;
+    } else if (arg == "--bench=simd") {
+      simd_only = true;
     } else if (arg.rfind("--gate-workers=", 0) == 0) {
       gate_workers = static_cast<std::size_t>(
           std::strtoull(arg.c_str() + std::strlen("--gate-workers="),
@@ -628,8 +934,12 @@ int main(int argc, char** argv) {
   argc = kept;
   if (obs_only) return fta::RunObsOverheadGate();
   if (game_only) return fta::RunGameLedgerGate(gate_workers);
+  if (simd_only) return fta::RunSimdKernelGate(gate_workers);
   if (const int rc = fta::RunObsOverheadGate(); rc != 0) return rc;
   if (const int rc = fta::RunGameLedgerGate(gate_workers); rc != 0) {
+    return rc;
+  }
+  if (const int rc = fta::RunSimdKernelGate(gate_workers); rc != 0) {
     return rc;
   }
   benchmark::Initialize(&argc, argv);

@@ -70,6 +70,7 @@
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "game/iau_kernels.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 #include "vdps/catalog.h"
 
@@ -30,6 +32,17 @@ BestResponseEngine::BestResponseEngine(JointState& state,
   // candidate scan — and keeps the solvers' sort-free round metrics
   // (P_dif, Gini, Φ) available even in the A/B rebuild configuration.
   ledger_.Reset(state_->payoffs());
+  // Batch scratch, sized once so the candidate scan never allocates: one
+  // slot per potential shard (the Evaluate fan-out uses at most
+  // num_threads * 4 shards), each able to hold a full worker's catalog.
+  const size_t max_strategies = state_->catalog().MaxStrategiesPerWorker();
+  const size_t shard_slots =
+      pool_ != nullptr ? pool_->num_threads() * 4 : size_t{1};
+  scratch_.resize(std::max<size_t>(size_t{1}, shard_slots));
+  for (KernelScratch& s : scratch_) {
+    s.owns.assign(max_strategies, 0.0);
+    s.indices.assign(max_strategies, 0);
+  }
 }
 
 BestResponseEngine::~BestResponseEngine() = default;
@@ -133,17 +146,38 @@ BestResponseOutcome BestResponseEngine::EvaluateWithView(size_t w,
     challenger = Candidate{view.Iau(0.0, params_), kNullStrategy, true};
   }
 
-  const auto& strategies = state_->catalog().strategies(w);
-  const size_t n = strategies.size();
-  auto scan = [&](size_t lo, size_t hi, Candidate& cand,
-                  BestResponseCounters& counters) {
+  // Candidate payoffs stream from the catalog's SoA array (contiguous
+  // doubles, no striding through WorkerStrategy structs), and each shard
+  // issues ONE fused SortedIauBatchArgmax over its gathered availability
+  // survivors instead of a view.Iau per candidate. Bit-identity: the
+  // kernel's per-lane expression tree is exactly SortedIau's
+  // (game/iau_kernels.h) and its earliest-max reduce is exactly the
+  // Better() fold over ascending indices, so Better(cand, winner) equals
+  // the per-candidate fold the old loop produced — the max is a total
+  // order, so folding a batch's own maximum first cannot change it.
+  const size_t n = state_->catalog().strategies(w).size();
+  const double* payoffs = state_->catalog().strategy_payoffs(w).data();
+  const bool avx2 = simd::ActiveSimdMode() == simd::SimdMode::kAvx2;
+  auto scan = [&](size_t lo, size_t hi, KernelScratch& scratch,
+                  Candidate& cand, BestResponseCounters& counters) {
+    size_t cnt = 0;
     for (size_t i = lo; i < hi; ++i) {
       const int32_t idx = static_cast<int32_t>(i);
       if (idx == current) continue;  // evaluated as the incumbent
       if (!Available(w, idx, counters)) continue;
-      cand = Better(
-          cand, Candidate{view.Iau(strategies[i].payoff, params_), idx, true});
+      scratch.owns[cnt] = payoffs[i];
+      scratch.indices[cnt] = idx;
+      ++cnt;
     }
+    if (cnt == 0) return;
+    double best_u = 0.0;
+    const size_t pos = SortedIauBatchArgmax(
+        view.sorted_values(), view.size(), view.prefix_sums(), params_,
+        scratch.owns.data(), cnt, &best_u);
+    ++counters.simd_batches;
+    counters.simd_lanes += cnt;
+    if (avx2) ++counters.simd_avx2_batches;
+    cand = Better(cand, Candidate{best_u, scratch.indices[pos], true});
   };
 
   if (pool_ != nullptr && n >= config_.min_parallel_candidates) {
@@ -160,7 +194,7 @@ BestResponseOutcome BestResponseEngine::EvaluateWithView(size_t w,
       FTA_SPAN("game/br_shard");
       const size_t lo = s * chunk;
       const size_t hi = std::min(n, lo + chunk);
-      if (lo < hi) scan(lo, hi, winners[s], shard_counters[s]);
+      if (lo < hi) scan(lo, hi, scratch_[s], winners[s], shard_counters[s]);
     });
     ++counters_.parallel_batches;
     for (size_t s = 0; s < shards; ++s) {
@@ -168,7 +202,7 @@ BestResponseOutcome BestResponseEngine::EvaluateWithView(size_t w,
       counters_ += shard_counters[s];
     }
   } else {
-    scan(0, n, challenger, counters_);
+    scan(0, n, scratch_[0], challenger, counters_);
   }
 
   BestResponseOutcome out;
@@ -202,11 +236,11 @@ void BestResponseEngine::AvailableAbovePayoff(size_t w,
                                               std::vector<int32_t>& out) {
   out.clear();
   const int32_t current = state_->strategy_of(w);
-  const auto& strategies = state_->catalog().strategies(w);
-  for (size_t i = 0; i < strategies.size(); ++i) {
+  const std::vector<double>& payoffs = state_->catalog().strategy_payoffs(w);
+  for (size_t i = 0; i < payoffs.size(); ++i) {
     const int32_t idx = static_cast<int32_t>(i);
     if (idx == current) continue;
-    if (strategies[i].payoff <= payoff_threshold + kEps) break;  // sorted desc
+    if (payoffs[i] <= payoff_threshold + kEps) break;  // sorted desc
     if (Available(w, idx, counters_)) out.push_back(idx);
   }
 }

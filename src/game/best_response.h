@@ -151,6 +151,17 @@ class BestResponseEngine {
     return a.index <= b.index ? a : b;
   }
 
+  /// Reusable gather scratch of the batched candidate scan (one slot per
+  /// potential shard, sized once in the constructor to the catalog's max
+  /// strategies per worker — Evaluate never allocates in steady state):
+  /// available candidates' payoffs stream from the catalog's SoA array into
+  /// `owns`, one fused SortedIauBatchArgmax call reduces them, and
+  /// `indices` maps the winning position back to its strategy index.
+  struct KernelScratch {
+    std::vector<double> owns;
+    std::vector<int32_t> indices;
+  };
+
   /// Availability with counter accounting into `counters` (per-shard
   /// accumulators during a parallel scan; counters_ otherwise).
   bool Available(size_t w, int32_t idx, BestResponseCounters& counters);
@@ -172,6 +183,8 @@ class BestResponseEngine {
   std::unique_ptr<ThreadPool> pool_;  // only when num_threads > 1
   /// avail_[w][i]: cached availability of strategy i for worker w.
   std::vector<std::vector<uint8_t>> avail_;
+  /// Per-shard batch scratch; scratch_[0] serves the serial path.
+  std::vector<KernelScratch> scratch_;
   /// Incrementally sorted payoffs; kept coherent by Apply().
   PayoffLedger ledger_;
   /// mutable: counters() is conceptually const but folds the ledger's own

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
+
 namespace fta {
 
 double Iau(double own, const std::vector<double>& others,
@@ -45,9 +47,10 @@ OthersView::OthersView(std::vector<double> others)
     : sorted_(std::move(others)) {
   std::sort(sorted_.begin(), sorted_.end());
   prefix_.resize(sorted_.size() + 1, 0.0);
-  for (size_t i = 0; i < sorted_.size(); ++i) {
-    prefix_[i + 1] = prefix_[i] + sorted_[i];
-  }
+  // Canonical blocked accumulation (util/simd.h) — the same order
+  // PayoffLedger::Exclude uses, so ledger and rebuild views stay
+  // bit-identical, and the same order on scalar and AVX2 dispatch.
+  simd::BlockedPrefixSum(sorted_.data(), sorted_.size(), prefix_.data());
 }
 
 double OthersView::Mp(double own) const {

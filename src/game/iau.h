@@ -16,6 +16,14 @@ struct IauParams {
 
 /// IAU of a worker with payoff `own` among `others` (the remaining |W|-1
 /// workers' payoffs), directly from Equations 5-7. O(|others|).
+///
+/// TEST ORACLE ONLY. Production code evaluates through SortedIau /
+/// SortedIauBatch (one shared kernel instance, bit-identical across the
+/// ledger, rebuild, scalar, and AVX2 paths); this naive transliteration of
+/// the paper's equations survives as the independent cross-check in
+/// game_test / payoff_ledger_test / property_test and the BM_IauNaive
+/// baseline. Its accumulation order differs from the sorted kernels', so
+/// results agree only to tolerance, never bit for bit.
 double Iau(double own, const std::vector<double>& others,
            const IauParams& params);
 
@@ -48,6 +56,12 @@ class OthersView {
   double Lp(double own) const;
   /// IAU (Equation 5) for a candidate own payoff.
   double Iau(double own, const IauParams& params) const;
+
+  /// Raw ascending values / prefix sums (size() and size() + 1 elements) —
+  /// the inputs SortedIauBatch streams for the engine's batched candidate
+  /// scan.
+  const double* sorted_values() const { return sorted_.data(); }
+  const double* prefix_sums() const { return prefix_.data(); }
 
  private:
   std::vector<double> sorted_;  // ascending

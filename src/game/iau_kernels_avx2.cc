@@ -1,0 +1,199 @@
+// AVX2 batched rank kernel (game/iau_kernels.h). The only TU in src/game/
+// compiled with -mavx2 (and -ffp-contract=off); fta_lint's
+// raw-simd-intrinsics rule sanctions exactly this file and util/simd_avx2.cc.
+//
+// No floating-point arithmetic happens here — only ordered-quiet `<`
+// compares whose mask bits are counted in 64-bit integer lanes. The count
+// is therefore the exact lower_bound rank the scalar path computes: ties
+// (own == value) produce a false compare on both paths, -0.0 < +0.0 is
+// false on both paths, denormals compare exactly (no FTZ/DAZ is enabled),
+// and NaN compares false under _CMP_LT_OQ just as under scalar `<`.
+
+#ifdef FTA_SIMD_AVX2
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "game/iau_kernels.h"
+
+namespace fta {
+namespace iau_internal {
+namespace {
+
+/// Sum of the four 64-bit lanes.
+inline uint64_t HorizontalSum(__m256i x) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), x);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace
+
+void CountLessBatchAvx2(const double* values, size_t n, const double* owns,
+                        size_t count, uint32_t* out_counts) {
+  size_t j = 0;
+  // 4 own lanes per pass: one stream over `values` feeds four rank counts.
+  for (; j + 4 <= count; j += 4) {
+    const __m256d o0 = _mm256_broadcast_sd(owns + j);
+    const __m256d o1 = _mm256_broadcast_sd(owns + j + 1);
+    const __m256d o2 = _mm256_broadcast_sd(owns + j + 2);
+    const __m256d o3 = _mm256_broadcast_sd(owns + j + 3);
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(values + i);
+      // A true compare is an all-ones lane (-1 as int64); subtracting the
+      // mask adds exactly 1 per matching element.
+      acc0 = _mm256_sub_epi64(
+          acc0, _mm256_castpd_si256(_mm256_cmp_pd(v, o0, _CMP_LT_OQ)));
+      acc1 = _mm256_sub_epi64(
+          acc1, _mm256_castpd_si256(_mm256_cmp_pd(v, o1, _CMP_LT_OQ)));
+      acc2 = _mm256_sub_epi64(
+          acc2, _mm256_castpd_si256(_mm256_cmp_pd(v, o2, _CMP_LT_OQ)));
+      acc3 = _mm256_sub_epi64(
+          acc3, _mm256_castpd_si256(_mm256_cmp_pd(v, o3, _CMP_LT_OQ)));
+    }
+    uint64_t c0 = HorizontalSum(acc0);
+    uint64_t c1 = HorizontalSum(acc1);
+    uint64_t c2 = HorizontalSum(acc2);
+    uint64_t c3 = HorizontalSum(acc3);
+    for (; i < n; ++i) {
+      const double v = values[i];
+      c0 += v < owns[j] ? 1u : 0u;
+      c1 += v < owns[j + 1] ? 1u : 0u;
+      c2 += v < owns[j + 2] ? 1u : 0u;
+      c3 += v < owns[j + 3] ? 1u : 0u;
+    }
+    out_counts[j] = static_cast<uint32_t>(c0);
+    out_counts[j + 1] = static_cast<uint32_t>(c1);
+    out_counts[j + 2] = static_cast<uint32_t>(c2);
+    out_counts[j + 3] = static_cast<uint32_t>(c3);
+  }
+  // Remainder owns: the count is unique whatever computes it, so the scalar
+  // lower_bound path serves the tail.
+  if (j < count) {
+    CountLessBatchScalar(values, n, owns + j, count - j, out_counts + j);
+  }
+}
+
+void CountLessBatchSortedDescAvx2(const double* values, size_t n,
+                                  const double* owns, size_t count,
+                                  uint32_t* out_counts) {
+  // The scalar merge's shared pointer, advanced four values per compare:
+  // `values` is ascending, so the _CMP_LT_OQ mask's set bits form a prefix
+  // and countr_one() is exactly how far this own still reaches. A partial
+  // prefix means the halting value is inside the block — every later value
+  // is >= own too, so the tail loop below terminates immediately.
+  size_t p = 0;
+  for (size_t j = count; j-- > 0;) {
+    const double own = owns[j];
+    const __m256d o = _mm256_broadcast_sd(owns + j);
+    while (p + 4 <= n) {
+      const __m256d v = _mm256_loadu_pd(values + p);
+      const unsigned mask = static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_cmp_pd(v, o, _CMP_LT_OQ)));
+      const unsigned adv = static_cast<unsigned>(std::countr_one(mask));
+      p += adv;
+      if (adv != 4) break;
+    }
+    while (p < n && values[p] < own) ++p;
+    out_counts[j] = static_cast<uint32_t>(p);
+  }
+}
+
+size_t SortedIauChunkArgmaxAvx2(const double* prefix, double total,
+                                double m, double alpha_m, double beta_m,
+                                const double* owns, const uint32_t* counts,
+                                size_t c, double* best_utility) {
+  double best_u = 0.0;
+  size_t best_pos = 0;
+  bool have = false;
+  size_t j = 0;
+  if (c >= 4) {
+    const __m256d totalv = _mm256_set1_pd(total);
+    const __m256d mv = _mm256_set1_pd(m);
+    const __m256d av = _mm256_set1_pd(alpha_m);
+    const __m256d bv = _mm256_set1_pd(beta_m);
+    // Per-lane utilities: the scalar expression tree, four independent
+    // lanes per step. kd and (mv - kd) are exact (counts are small
+    // integers, and int -> double conversion and integer-valued
+    // subtraction are exact), so every lane computes bit for bit what the
+    // scalar kernel computes for that position.
+    auto utilities = [&](size_t at) {
+      const __m128i ki = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(counts + at));
+      const __m256d kd = _mm256_cvtepi32_pd(ki);
+      // Four scalar loads beat vgatherdpd for this access pattern (and
+      // sidestep GCC's -Wmaybe-uninitialized on the maskless gather).
+      const __m256d pk =
+          _mm256_setr_pd(prefix[counts[at]], prefix[counts[at + 1]],
+                         prefix[counts[at + 2]], prefix[counts[at + 3]]);
+      const __m256d own = _mm256_loadu_pd(owns + at);
+      const __m256d above = _mm256_sub_pd(mv, kd);
+      const __m256d mp = _mm256_sub_pd(_mm256_sub_pd(totalv, pk),
+                                       _mm256_mul_pd(above, own));
+      const __m256d lp = _mm256_sub_pd(_mm256_mul_pd(kd, own), pk);
+      return _mm256_sub_pd(_mm256_sub_pd(own, _mm256_mul_pd(av, mp)),
+                           _mm256_mul_pd(bv, lp));
+    };
+    // Seed with the first block (no sentinel values can leak into the
+    // result), then blend strictly-greater lanes: within a lane, positions
+    // ascend by 4 per step, so each lane holds its own earliest maximum.
+    __m256d bestv = utilities(0);
+    __m256i posv = _mm256_setr_epi64x(0, 1, 2, 3);
+    __m256i curv = posv;
+    const __m256i four = _mm256_set1_epi64x(4);
+    for (j = 4; j + 4 <= c; j += 4) {
+      curv = _mm256_add_epi64(curv, four);
+      const __m256d u = utilities(j);
+      const __m256d gt = _mm256_cmp_pd(u, bestv, _CMP_GT_OQ);
+      bestv = _mm256_blendv_pd(bestv, u, gt);
+      posv = _mm256_blendv_epi8(posv, curv, _mm256_castpd_si256(gt));
+    }
+    // Cross-lane resolve by (utility desc, position asc): lane-strided
+    // subsequences interleave, so the tie-break must use the tracked
+    // positions, not the lane order.
+    alignas(32) double us[4];
+    alignas(32) int64_t ps[4];
+    _mm256_store_pd(us, bestv);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ps), posv);
+    best_u = us[0];
+    best_pos = static_cast<size_t>(ps[0]);
+    for (int lane = 1; lane < 4; ++lane) {
+      const size_t pos = static_cast<size_t>(ps[lane]);
+      if (us[lane] > best_u || (us[lane] == best_u && pos < best_pos)) {
+        best_u = us[lane];
+        best_pos = pos;
+      }
+    }
+    have = true;
+  }
+  // Tail lanes (positions after every vector position): the scalar tree,
+  // strictly-greater replacement only.
+  for (; j < c; ++j) {
+    const double own = owns[j];
+    const size_t k = counts[j];
+    const double above = m - static_cast<double>(k);
+    const double mp = (total - prefix[k]) - above * own;
+    const double lp = static_cast<double>(k) * own - prefix[k];
+    const double u = own - alpha_m * mp - beta_m * lp;
+    if (!have || u > best_u) {
+      best_u = u;
+      best_pos = j;
+      have = true;
+    }
+  }
+  *best_utility = best_u;
+  return best_pos;
+}
+
+}  // namespace iau_internal
+}  // namespace fta
+
+#endif  // FTA_SIMD_AVX2

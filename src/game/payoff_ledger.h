@@ -64,6 +64,12 @@ class LedgerView {
                      params);
   }
 
+  /// Raw ascending values / prefix sums (size() and size() + 1 elements) —
+  /// the inputs SortedIauBatch streams for the engine's batched candidate
+  /// scan.
+  const double* sorted_values() const { return values_.data(); }
+  const double* prefix_sums() const { return prefix_.data(); }
+
  private:
   friend class PayoffLedger;
   std::vector<double> values_;  // ascending, |W|-1 once sized
@@ -82,9 +88,10 @@ class LedgerView {
 ///
 /// Bit-identity: Exclude(w) materializes *the same ascending value
 /// sequence* std::sort produces from the other workers' payoffs, and the
-/// prefix sums accumulate left-to-right over that sequence exactly as
-/// OthersView does, so every Mp/Lp/IAU result — and therefore every chosen
-/// strategy — matches the rebuild path bit for bit
+/// prefix sums follow the canonical blocked accumulation order over that
+/// sequence exactly as OthersView does (util/simd.h — identical on scalar
+/// and AVX2 dispatch), so every Mp/Lp/IAU result — and therefore every
+/// chosen strategy — matches the rebuild path bit for bit
 /// (tests/game_ledger_identity_test.cc pins this across seeds and thread
 /// counts). The sorted array also serves the round metrics sort-free:
 /// PayoffDifference() and the potential overload reuse the same

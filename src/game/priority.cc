@@ -46,9 +46,11 @@ double PriorityIau(double own_payoff, double own_priority,
                    const IauParams& params) {
   FTA_CHECK(other_payoffs.size() == other_priorities.size());
   FTA_CHECK(own_priority > 0.0);
-  return own_priority * Iau(own_payoff / own_priority,
-                            Normalize(other_payoffs, other_priorities),
-                            params);
+  // OthersView sorts the normalized payoffs and serves the O(log n)
+  // rank-based kernels — the legacy O(n) Iau survives only as the test
+  // oracle (game/iau.h).
+  const OthersView view(Normalize(other_payoffs, other_priorities));
+  return own_priority * view.Iau(own_payoff / own_priority, params);
 }
 
 GameResult SolvePriorityFgt(const Instance& instance,

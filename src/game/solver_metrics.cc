@@ -3,6 +3,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "util/simd.h"
 
 namespace fta {
 
@@ -31,6 +32,18 @@ void PublishGameRun(const char* solver, const GameResult& result) {
   reg.GetCounter("game/engine/cache_skips").Add(result.engine.cache_skips);
   reg.GetCounter("game/engine/parallel_batches")
       .Add(result.engine.parallel_batches);
+  // Batched-kernel traffic (game/iau_kernels.h): how many SortedIauBatch
+  // calls the candidate scans issued, how many candidate utilities they
+  // produced, and which dispatch path served them — avx2_batches is 0 on a
+  // scalar host or forced-scalar run, so dashboards can tell at a glance
+  // which kernels produced a run's numbers.
+  reg.GetCounter("game/simd/batches").Add(result.engine.simd_batches);
+  reg.GetCounter("game/simd/lanes").Add(result.engine.simd_lanes);
+  reg.GetCounter("game/simd/avx2_batches")
+      .Add(result.engine.simd_avx2_batches);
+  reg.GetCounter(std::string("game/simd/dispatch_") +
+                 simd::SimdModeName(simd::ActiveSimdMode()))
+      .Increment();
   // Payoff-ledger savings (game/payoff_ledger.h): what the OthersView
   // rebuild path would have cost, measured rather than estimated.
   reg.GetCounter("game/ledger/sorts_eliminated")

@@ -21,6 +21,15 @@ struct BestResponseCounters {
   uint64_t cache_skips = 0;
   /// Candidate fan-outs that ran on the thread pool.
   uint64_t parallel_batches = 0;
+  /// SortedIauBatch calls issued by the candidate scan (one per gathered
+  /// availability batch; see game/iau_kernels.h).
+  uint64_t simd_batches = 0;
+  /// Candidate utilities produced by those batches (lanes).
+  uint64_t simd_lanes = 0;
+  /// Subset of simd_batches dispatched to the AVX2 kernels — 0 on a scalar
+  /// host / forced-scalar run, == simd_batches under AVX2 dispatch, so
+  /// benches record which path produced their numbers.
+  uint64_t simd_avx2_batches = 0;
   /// Sorted-payoff-ledger savings (sorts and allocations the rebuild path
   /// would have paid; see game/payoff_ledger.h).
   LedgerCounters ledger;
@@ -29,6 +38,9 @@ struct BestResponseCounters {
     strategies_scanned += o.strategies_scanned;
     cache_skips += o.cache_skips;
     parallel_batches += o.parallel_batches;
+    simd_batches += o.simd_batches;
+    simd_lanes += o.simd_lanes;
+    simd_avx2_batches += o.simd_avx2_batches;
     ledger += o.ledger;
     return *this;
   }
@@ -37,6 +49,9 @@ struct BestResponseCounters {
     a.strategies_scanned -= b.strategies_scanned;
     a.cache_skips -= b.cache_skips;
     a.parallel_batches -= b.parallel_batches;
+    a.simd_batches -= b.simd_batches;
+    a.simd_lanes -= b.simd_lanes;
+    a.simd_avx2_batches -= b.simd_avx2_batches;
     a.ledger = a.ledger - b.ledger;
     return a;
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/simd.h"
+
 namespace fta {
 
 double Mean(const std::vector<double>& v) {
@@ -40,13 +42,10 @@ double MeanAbsolutePairwiseDifferenceSorted(
     const std::vector<double>& sorted) {
   const size_t n = sorted.size();
   if (n < 2) return 0.0;
-  // For sorted x: sum_{i<j} (x_j - x_i) = sum_j x_j * j - prefix_sum_j.
-  double total = 0.0;
-  double prefix = 0.0;
-  for (size_t j = 0; j < n; ++j) {
-    total += sorted[j] * static_cast<double>(j) - prefix;
-    prefix += sorted[j];
-  }
+  // For sorted x: sum_{i<j} (x_j - x_i) = sum_j x_j * j - prefix_sum_j,
+  // accumulated under the library's canonical blocked order (util/simd.h) —
+  // identical bits from the scalar and AVX2 kernels.
+  const double total = simd::PairwiseDiffTotalSorted(sorted.data(), n);
   // Equation 2 sums over ordered pairs (i, j), i != j — i.e. each unordered
   // pair twice — and divides by n(n-1).
   return 2.0 * total / (static_cast<double>(n) * static_cast<double>(n - 1));

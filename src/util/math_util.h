@@ -41,10 +41,11 @@ double Max(const std::vector<double>& v);
 double MeanAbsolutePairwiseDifference(const std::vector<double>& v);
 
 /// Sorted-input variant: `sorted` must already be ascending. Performs
-/// exactly the left-to-right accumulation the sorting variant performs
-/// after its sort, so on the same multiset the result is bit-identical —
-/// this is what lets the game solvers serve per-round P_dif from the
-/// incrementally sorted payoff ledger without re-sorting (DESIGN.md §9).
+/// exactly the canonical blocked accumulation the sorting variant performs
+/// after its sort (util/simd.h; scalar and AVX2 dispatch are bit-identical),
+/// so on the same multiset the result is bit-identical — this is what lets
+/// the game solvers serve per-round P_dif from the incrementally sorted
+/// payoff ledger without re-sorting (DESIGN.md §9, §11).
 double MeanAbsolutePairwiseDifferenceSorted(const std::vector<double>& sorted);
 
 /// Gini coefficient of a non-negative vector (auxiliary fairness metric).

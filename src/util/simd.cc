@@ -1,0 +1,165 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace fta {
+namespace simd {
+namespace {
+
+/// -1 = unresolved; otherwise a SimdMode. Resolution is racy-but-idempotent:
+/// every thread that loses the CAS re-reads the winner's value.
+std::atomic<int> g_mode{-1};
+
+bool Avx2CompiledIn() {
+#ifdef FTA_SIMD_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+SimdMode ResolveFromEnvironment() {
+  // Reading the environment is deterministic for a fixed environment; the
+  // two modes it selects between are bit-identical anyway.
+  const char* env = std::getenv("FTA_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return SimdMode::kScalar;
+  }
+  if (env != nullptr && std::strcmp(env, "avx2") == 0) {
+    if (CpuSupportsAvx2()) return SimdMode::kAvx2;
+    FTA_LOG(kWarning) << "FTA_SIMD=avx2 requested but AVX2 is "
+                      << (Avx2CompiledIn() ? "not supported by this CPU"
+                                           : "not compiled in (FTA_SIMD=OFF)")
+                      << "; falling back to scalar kernels";
+    return SimdMode::kScalar;
+  }
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "auto") != 0) {
+    FTA_LOG(kWarning) << "unrecognized FTA_SIMD value '" << env
+                      << "' (want scalar|avx2|auto); using auto";
+  }
+  return CpuSupportsAvx2() ? SimdMode::kAvx2 : SimdMode::kScalar;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(FTA_SIMD_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdMode ActiveSimdMode() {
+  int mode = g_mode.load(std::memory_order_acquire);
+  if (mode < 0) {
+    const int resolved = static_cast<int>(ResolveFromEnvironment());
+    int expected = -1;
+    if (!g_mode.compare_exchange_strong(expected, resolved,
+                                        std::memory_order_acq_rel)) {
+      return static_cast<SimdMode>(expected);
+    }
+    return static_cast<SimdMode>(resolved);
+  }
+  return static_cast<SimdMode>(mode);
+}
+
+bool SetSimdMode(SimdMode mode) {
+  if (mode == SimdMode::kAvx2 && !CpuSupportsAvx2()) return false;
+  g_mode.store(static_cast<int>(mode), std::memory_order_release);
+  return true;
+}
+
+const char* SimdModeName(SimdMode mode) {
+  return mode == SimdMode::kAvx2 ? "avx2" : "scalar";
+}
+
+namespace internal {
+
+void BlockedPrefixSumScalar(const double* values, size_t n, double* prefix) {
+  prefix[0] = 0.0;
+  double carry = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double a = values[i];
+    const double b = values[i + 1];
+    const double c = values[i + 2];
+    const double d = values[i + 3];
+    const double ab = a + b;
+    const double bc = b + c;
+    const double cd = c + d;
+    prefix[i + 1] = carry + a;
+    prefix[i + 2] = carry + ab;
+    prefix[i + 3] = carry + (bc + a);
+    prefix[i + 4] = carry + (cd + ab);
+    carry = prefix[i + 4];
+  }
+  for (; i < n; ++i) {
+    carry = carry + values[i];
+    prefix[i + 1] = carry;
+  }
+}
+
+double PairwiseDiffTotalSortedScalar(const double* values, size_t n) {
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double acc3 = 0.0;
+  double carry = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double a = values[i];
+    const double b = values[i + 1];
+    const double c = values[i + 2];
+    const double d = values[i + 3];
+    const double ab = a + b;
+    const double bc = b + c;
+    const double cd = c + d;
+    // Exclusive blocked prefixes. Lane 0 adds +0.0 because the vector path
+    // computes every lane as vcarry + shifted_scan — for a -0.0 carry that
+    // add rounds to +0.0, and both paths must agree bit for bit.
+    const double p0 = carry + 0.0;
+    const double p1 = carry + a;
+    const double p2 = carry + ab;
+    const double p3 = carry + (bc + a);
+    acc0 = acc0 + (a * static_cast<double>(i) - p0);
+    acc1 = acc1 + (b * static_cast<double>(i + 1) - p1);
+    acc2 = acc2 + (c * static_cast<double>(i + 2) - p2);
+    acc3 = acc3 + (d * static_cast<double>(i + 3) - p3);
+    carry = carry + (cd + ab);
+  }
+  double total = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) {
+    total = total + (values[i] * static_cast<double>(i) - carry);
+    carry = carry + values[i];
+  }
+  return total;
+}
+
+}  // namespace internal
+
+void BlockedPrefixSum(const double* values, size_t n, double* prefix) {
+#ifdef FTA_SIMD_AVX2
+  if (ActiveSimdMode() == SimdMode::kAvx2) {
+    internal::BlockedPrefixSumAvx2(values, n, prefix);
+    return;
+  }
+#endif
+  internal::BlockedPrefixSumScalar(values, n, prefix);
+}
+
+double PairwiseDiffTotalSorted(const double* values, size_t n) {
+#ifdef FTA_SIMD_AVX2
+  if (ActiveSimdMode() == SimdMode::kAvx2) {
+    return internal::PairwiseDiffTotalSortedAvx2(values, n);
+  }
+#endif
+  return internal::PairwiseDiffTotalSortedScalar(values, n);
+}
+
+}  // namespace simd
+}  // namespace fta

@@ -1,0 +1,77 @@
+#ifndef FTA_UTIL_SIMD_H_
+#define FTA_UTIL_SIMD_H_
+
+#include <cstddef>
+
+namespace fta {
+namespace simd {
+
+/// Which instruction set the SIMD kernel layer executes with. The two paths
+/// are bit-identical by construction (see DESIGN.md §11): integer rank
+/// counts are exact, and every float reduction follows the same fixed
+/// blocked accumulation order in both implementations — so the mode is a
+/// pure performance choice that never shows up in a digest.
+enum class SimdMode {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// True iff the AVX2 kernel TUs were compiled in (-DFTA_SIMD=ON on x86-64)
+/// AND the running CPU reports AVX2 support.
+bool CpuSupportsAvx2();
+
+/// The mode the kernel entry points dispatch to. Resolved once, on first
+/// use, from the FTA_SIMD environment variable ("scalar" | "avx2" |
+/// "auto"/unset; "avx2" on an unsupported host logs a warning and falls
+/// back to scalar) and CPUID, then cached. Thread-safe.
+SimdMode ActiveSimdMode();
+
+/// Overrides the dispatch mode (tests force scalar-vs-AVX2 A/B runs with
+/// this). Returns false — and leaves the mode unchanged — when kAvx2 is
+/// requested but unavailable (not compiled in, or no CPU support).
+bool SetSimdMode(SimdMode mode);
+
+/// "scalar" / "avx2", for reports and logs.
+const char* SimdModeName(SimdMode mode);
+
+/// Blocked-canonical prefix sums: writes prefix[0] = 0 and prefix[i + 1] =
+/// sum of values[0..i] under the library's canonical accumulation order —
+/// full blocks of 4 fold as
+///
+///   prefix[i+1] = carry + a            ab = a + b
+///   prefix[i+2] = carry + ab           bc = b + c
+///   prefix[i+3] = carry + (bc + a)     cd = c + d
+///   prefix[i+4] = carry + (cd + ab)    carry' = prefix[i+4]
+///
+/// and the (n mod 4) tail continues serially. This is exactly the
+/// association an in-register AVX2 Hillis-Steele scan produces, so the
+/// scalar and AVX2 implementations agree bit for bit; for n < 4 it
+/// degenerates to the plain serial left-to-right pass. `prefix` must have
+/// n + 1 slots. Dispatches on ActiveSimdMode().
+void BlockedPrefixSum(const double* values, size_t n, double* prefix);
+
+/// Σ_{i<j} (values[j] - values[i]) over an ascending sequence — the raw
+/// total MeanAbsolutePairwiseDifferenceSorted scales into P_dif — under the
+/// canonical order: four block-striped lane accumulators fed by the same
+/// blocked exclusive prefixes as BlockedPrefixSum, folded as
+/// (acc0 + acc1) + (acc2 + acc3), then the serial tail. Dispatches on
+/// ActiveSimdMode(); both paths are bit-identical.
+double PairwiseDiffTotalSorted(const double* values, size_t n);
+
+namespace internal {
+
+/// Scalar reference implementations — the canonical semantics, spelled out.
+void BlockedPrefixSumScalar(const double* values, size_t n, double* prefix);
+double PairwiseDiffTotalSortedScalar(const double* values, size_t n);
+
+#ifdef FTA_SIMD_AVX2
+/// AVX2 twins, compiled only in the sanctioned -mavx2 TU (simd_avx2.cc).
+void BlockedPrefixSumAvx2(const double* values, size_t n, double* prefix);
+double PairwiseDiffTotalSortedAvx2(const double* values, size_t n);
+#endif
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace fta
+
+#endif  // FTA_UTIL_SIMD_H_

@@ -1,0 +1,106 @@
+// AVX2 implementations of the order-canonical reductions (util/simd.h).
+// This TU — and only this TU in src/util/ — is compiled with -mavx2 (plus
+// -ffp-contract=off so no a*b+c ever fuses into an FMA; a fused multiply-add
+// rounds once where the scalar path rounds twice, which would break the
+// bit-identity contract). fta_lint's raw-simd-intrinsics rule sanctions
+// exactly the kernel TUs; every other file must stay intrinsic-free.
+//
+// The in-register Hillis-Steele scan below realizes the blocked-canonical
+// association documented on BlockedPrefixSum:
+//
+//   s1 = x + shift1(x)   = [a, a+b, b+c, c+d]
+//   s2 = s1 + shift2(s1) = [a, a+b, (b+c)+a, (c+d)+(a+b)]
+//
+// Lane 2 computes (b+c)+a where the scalar kernel writes carry + (bc + a);
+// float addition is commutative bitwise, so vcarry + s2 matches the scalar
+// carry + (...) lane for lane.
+
+#ifdef FTA_SIMD_AVX2
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "util/simd.h"
+
+namespace fta {
+namespace simd {
+namespace internal {
+namespace {
+
+/// [x0, x1, x2, x3] -> [0, x0, x1, x2]: shift one lane up, zero-fill.
+inline __m256d ShiftUpOne(__m256d x) {
+  // 0x90 = lanes [src0, src0, src1, src2]; blend lane 0 from zero.
+  const __m256d rotated = _mm256_permute4x64_pd(x, 0x90);
+  return _mm256_blend_pd(rotated, _mm256_setzero_pd(), 0x1);
+}
+
+/// [x0, x1, x2, x3] -> [0, 0, x0, x1].
+inline __m256d ShiftUpTwo(__m256d x) {
+  // Selector 0x08: low 128 zeroed, high 128 = source's low 128.
+  return _mm256_permute2f128_pd(x, x, 0x08);
+}
+
+/// Inclusive in-register scan: [a, a+b, (b+c)+a, (c+d)+(a+b)].
+inline __m256d InclusiveScan(__m256d x) {
+  const __m256d s1 = _mm256_add_pd(x, ShiftUpOne(x));
+  return _mm256_add_pd(s1, ShiftUpTwo(s1));
+}
+
+/// Broadcast of lane 3.
+inline __m256d BroadcastLane3(__m256d x) {
+  return _mm256_permute4x64_pd(x, 0xFF);
+}
+
+}  // namespace
+
+void BlockedPrefixSumAvx2(const double* values, size_t n, double* prefix) {
+  prefix[0] = 0.0;
+  __m256d vcarry = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(values + i);
+    const __m256d out = _mm256_add_pd(vcarry, InclusiveScan(x));
+    _mm256_storeu_pd(prefix + i + 1, out);
+    vcarry = BroadcastLane3(out);
+  }
+  double carry = prefix[i];
+  for (; i < n; ++i) {
+    carry = carry + values[i];
+    prefix[i + 1] = carry;
+  }
+}
+
+double PairwiseDiffTotalSortedAvx2(const double* values, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  __m256d vcarry = _mm256_setzero_pd();
+  __m256d idx = _mm256_set_pd(3.0, 2.0, 1.0, 0.0);
+  const __m256d four = _mm256_set1_pd(4.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(values + i);
+    const __m256d scan = InclusiveScan(x);
+    // Exclusive prefixes: [carry+0, carry+a, carry+ab, carry+(bc+a)].
+    const __m256d excl = _mm256_add_pd(vcarry, ShiftUpOne(scan));
+    acc = _mm256_add_pd(acc, _mm256_sub_pd(_mm256_mul_pd(x, idx), excl));
+    vcarry = _mm256_add_pd(vcarry, BroadcastLane3(scan));
+    idx = _mm256_add_pd(idx, four);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  double carries[4];
+  _mm256_storeu_pd(carries, vcarry);
+  double carry = carries[0];
+  for (; i < n; ++i) {
+    total = total + (values[i] * static_cast<double>(i) - carry);
+    carry = carry + values[i];
+  }
+  return total;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace fta
+
+#endif  // FTA_SIMD_AVX2

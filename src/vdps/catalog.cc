@@ -1,6 +1,7 @@
 #include "vdps/catalog.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <memory>
 
@@ -183,6 +184,7 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
   for (const auto& s : catalog.strategies_) {
     catalog.gen_.strategies += s.size();
   }
+  catalog.RebuildStrategyPayoffs();
 
   catalog.gen_.wall_ms = wall.ElapsedMillis();
   // Phase-boundary contract: the catalog every solver will consume is
@@ -318,6 +320,28 @@ Status VdpsCatalog::ValidateInvariants(const Instance& instance) const {
       }
     }
   }
+  // The SoA payoff mirror must track strategies_ bit for bit — the
+  // BestResponseEngine's candidate scan reads only the mirror.
+  if (strategy_payoffs_.size() != strategies_.size()) {
+    return Status::Internal(
+        StrFormat("strategy payoff mirror covers %zu workers, expected %zu",
+                  strategy_payoffs_.size(), strategies_.size()));
+  }
+  for (size_t w = 0; w < strategies_.size(); ++w) {
+    if (strategy_payoffs_[w].size() != strategies_[w].size()) {
+      return Status::Internal(StrFormat(
+          "strategy payoff mirror for worker %zu has %zu rows, expected %zu",
+          w, strategy_payoffs_[w].size(), strategies_[w].size()));
+    }
+    for (size_t i = 0; i < strategies_[w].size(); ++i) {
+      if (std::bit_cast<uint64_t>(strategy_payoffs_[w][i]) !=
+          std::bit_cast<uint64_t>(strategies_[w][i].payoff)) {
+        return Status::Internal(StrFormat(
+            "strategy payoff mirror stale for worker %zu strategy %zu", w,
+            i));
+      }
+    }
+  }
   // Reconstruct the inverted index independently; the build order (worker
   // asc, strategy asc) is part of the contract BestResponseEngine::Mark
   // relies on.
@@ -376,6 +400,17 @@ size_t VdpsCatalog::MaxStrategiesPerWorker() const {
   size_t m = 0;
   for (const auto& s : strategies_) m = std::max(m, s.size());
   return m;
+}
+
+void VdpsCatalog::RebuildStrategyPayoffs() {
+  strategy_payoffs_.resize(strategies_.size());
+  for (size_t w = 0; w < strategies_.size(); ++w) {
+    const std::vector<WorkerStrategy>& sts = strategies_[w];
+    strategy_payoffs_[w].resize(sts.size());
+    for (size_t i = 0; i < sts.size(); ++i) {
+      strategy_payoffs_[w][i] = sts[i].payoff;
+    }
+  }
 }
 
 std::string VdpsCatalog::Summary() const {

@@ -287,6 +287,15 @@ class VdpsCatalog {
   }
   size_t num_workers() const { return strategies_.size(); }
 
+  /// Contiguous copy of strategies(worker_id)[i].payoff (same order, same
+  /// bits) — the SoA array the BestResponseEngine's candidate scan streams
+  /// instead of striding through WorkerStrategy structs. Rebuilt whenever
+  /// strategies change (Generate, ApplyDelta); ValidateInvariants pins the
+  /// bitwise agreement.
+  const std::vector<double>& strategy_payoffs(size_t worker_id) const {
+    return strategy_payoffs_[worker_id];
+  }
+
   /// max_w |VDPS(w)| — the |maxVDPS| factor in the paper's complexity
   /// bounds.
   size_t MaxStrategiesPerWorker() const;
@@ -339,8 +348,14 @@ class VdpsCatalog {
   std::string Summary() const;
 
  private:
+  /// Recomputes strategy_payoffs_ from strategies_ (O(total strategies));
+  /// called by Generate and ApplyDelta after strategies settle.
+  void RebuildStrategyPayoffs();
+
   std::vector<CVdpsEntry> entries_;
   std::vector<std::vector<WorkerStrategy>> strategies_;
+  /// strategy_payoffs_[w][i] == strategies_[w][i].payoff, bit for bit.
+  std::vector<std::vector<double>> strategy_payoffs_;
   std::vector<std::vector<StrategyRef>> touching_;  // per delivery point
   GenerationCounters gen_;
   VdpsConfig config_;

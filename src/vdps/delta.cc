@@ -489,6 +489,8 @@ Status VdpsCatalog::ApplyDelta(const Instance& new_instance,
   }
   d.index_ms = index_sw.ElapsedMillis();
 
+  RebuildStrategyPayoffs();
+
   // Phase-boundary contract, same as Generate: the patched catalog is
   // deep-checked before any solver sees it.
   FTA_DCHECK_OK(ValidateInvariants(new_instance));

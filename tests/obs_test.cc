@@ -304,14 +304,16 @@ TEST(RunReportTest, JsonRoundTrip) {
 
 // ----------------------------------------------------------- determinism --
 
-/// Counter-kind registry readings, minus parallel_batches (the one counter
-/// that legitimately depends on the thread count: it counts fan-outs, not
-/// algorithmic work).
+/// Counter-kind registry readings, minus the batch-shaped counters
+/// (parallel_batches, simd/batches, simd/avx2_batches) — the ones that
+/// legitimately depend on the thread count: they count fan-outs and
+/// per-shard kernel calls, not algorithmic work. game/simd/lanes stays:
+/// the total candidate count is partition-invariant.
 std::vector<obs::MetricReading> DeterministicCounters(
     const obs::MetricsSnapshot& snap) {
   std::vector<obs::MetricReading> out;
   for (const obs::MetricReading& m : snap.Counters()) {
-    if (m.name.find("parallel_batches") != std::string::npos) continue;
+    if (m.name.find("batches") != std::string::npos) continue;
     out.push_back(m);
   }
   return out;

@@ -40,6 +40,16 @@ hazard patterns that have historically threatened that claim:
       (`PayoffLedger::Gini`) are not calls and are skipped; code outside
       src/game/ has no ledger in scope and is out of this rule's reach.
 
+  raw-simd-intrinsics
+      A raw vector intrinsic (`_mm256_*` and friends) or an intrinsic
+      header include (`<immintrin.h>`) outside the sanctioned kernel TUs
+      (src/util/simd_avx2.cc, src/game/iau_kernels_avx2.cc). Only those
+      TUs are compiled with -mavx2 and -ffp-contract=off; an intrinsic
+      anywhere else either fails to compile in the portable default build
+      or — worse — compiles into a TU whose contraction settings break the
+      scalar/AVX2 bit-identity contract (DESIGN.md §11). Route new vector
+      code through util/simd.h / game/iau_kernels.h dispatch instead.
+
 Escapes, in order of preference:
   1. Restructure the code (sort the result, fold in fixed shard order,
      accumulate in integers).
@@ -79,6 +89,16 @@ COMPOUND_FLOAT = re.compile(r"([A-Za-z_][\w\.\->\[\]\(\)]*?)\s*[+\-]=(?!=)")
 
 SORTED_METRIC = re.compile(
     r"(?<![\w:.>])(MeanAbsolutePairwiseDifference|Gini)(?=\s*\()"
+)
+
+# Intrinsic calls (`_mm_`, `_mm256_`, `_mm512_`, ...) and intrinsic-header
+# includes. Type names like __m256d do not match (no `_mm<digits>_` run).
+SIMD_INTRINSIC = re.compile(r"#\s*include\s*<\w*intrin\.h>|\b_mm\d*_\w+")
+# The only TUs allowed to hold raw intrinsics: the per-TU -mavx2 kernels
+# behind the util/simd.h dispatch layer.
+SIMD_SANCTIONED = (
+    "src/util/simd_avx2.cc",
+    "src/game/iau_kernels_avx2.cc",
 )
 
 NOLINT_HERE = re.compile(r"NOLINT\(fta-det\)")
@@ -407,6 +427,27 @@ def check_sorted_metric_rebuild(scan: FileScan, out: list[Violation]) -> None:
             )
 
 
+def check_raw_simd_intrinsics(scan: FileScan, out: list[Violation]) -> None:
+    display = scan.display.replace(os.sep, "/")
+    if display.endswith(SIMD_SANCTIONED):
+        return
+    for i, line in enumerate(scan.scrubbed_lines):
+        for m in SIMD_INTRINSIC.finditer(line):
+            if i in scan.suppressed:
+                continue
+            out.append(
+                Violation(
+                    scan.display,
+                    i + 1,
+                    "raw-simd-intrinsics",
+                    f"'{m.group(0).strip()}' outside a sanctioned kernel TU; "
+                    "raw SIMD belongs in src/util/simd_avx2.cc / "
+                    "src/game/iau_kernels_avx2.cc behind the util/simd.h "
+                    "dispatch layer (DESIGN.md §11)",
+                )
+            )
+
+
 def load_allowlist(path: str):
     entries = []
     if not os.path.exists(path):
@@ -495,6 +536,7 @@ def main(argv=None) -> int:
         check_unordered_iteration(scan, tables, violations)
         check_parallel_float_reduce(scan, tables, violations)
         check_sorted_metric_rebuild(scan, violations)
+        check_raw_simd_intrinsics(scan, violations)
         del before
 
     entries = load_allowlist(allowlist_path)

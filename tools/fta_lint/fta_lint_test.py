@@ -60,6 +60,19 @@ class ViolationFixtures(unittest.TestCase):
             "accumulation 't.wall_ms +=' inside a ThreadPool fan-out lambda; "
             "scheduling order would change the sum — fold per-shard results "
             "in a fixed order instead",
+            "src/simd_leak.cc:2: [raw-simd-intrinsics] "
+            "'#include <immintrin.h>' outside a sanctioned kernel TU; raw "
+            "SIMD belongs in src/util/simd_avx2.cc / "
+            "src/game/iau_kernels_avx2.cc behind the util/simd.h dispatch "
+            "layer (DESIGN.md §11)",
+            "src/simd_leak.cc:7: [raw-simd-intrinsics] '_mm256_loadu_pd' "
+            "outside a sanctioned kernel TU; raw SIMD belongs in "
+            "src/util/simd_avx2.cc / src/game/iau_kernels_avx2.cc behind "
+            "the util/simd.h dispatch layer (DESIGN.md §11)",
+            "src/simd_leak.cc:9: [raw-simd-intrinsics] '_mm256_storeu_pd' "
+            "outside a sanctioned kernel TU; raw SIMD belongs in "
+            "src/util/simd_avx2.cc / src/game/iau_kernels_avx2.cc behind "
+            "the util/simd.h dispatch layer (DESIGN.md §11)",
             "src/unordered_leak.cc:16: [unordered-iteration] range-for over "
             "an unordered container feeds a result container without a "
             "subsequent sort or an order-invariant fold; bucket order will "
@@ -86,6 +99,12 @@ class ViolationFixtures(unittest.TestCase):
         # NOLINTNEXTLINE'd sanctioned rebuild: clean.
         for line in (7, 8, 9, 21, 27):
             self.assertNotIn(f"src/game/metric_rebuild.cc:{line}:", text)
+        # NOLINT'd intrinsics, commented/string-literal intrinsic names:
+        # clean; the sanctioned kernel-TU path produces no diagnostics at
+        # all.
+        for line in (15, 17, 24):
+            self.assertNotIn(f"src/simd_leak.cc:{line}:", text)
+        self.assertNotIn("src/util/simd_avx2.cc:", text)
 
 
 class CleanFixture(unittest.TestCase):

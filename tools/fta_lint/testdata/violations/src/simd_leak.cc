@@ -1,0 +1,26 @@
+// Fixture: raw SIMD intrinsics outside the sanctioned kernel TUs.
+#include <immintrin.h>
+
+namespace fta {
+
+double SumLanes(const double* v) {
+  const __m256d x = _mm256_loadu_pd(v);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, x);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+double Suppressed(const double* v) {
+  // NOLINTNEXTLINE(fta-det)
+  const __m256d x = _mm256_loadu_pd(v);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, x);  // NOLINT(fta-det)
+  return lanes[0];
+}
+
+// Near misses: an intrinsic named in a comment (_mm256_add_pd) and in a
+// string literal are scrubbed before matching; the __m256d type name alone
+// carries no _mm<digits>_ run.
+const char* kDoc = "_mm256_add_pd";
+
+}  // namespace fta

@@ -1,0 +1,9 @@
+// Fixture: a sanctioned kernel TU (path suffix src/util/simd_avx2.cc) —
+// intrinsics and the intrinsic header are allowed here, no diagnostics.
+#include <immintrin.h>
+
+namespace fta {
+
+__m256d DoubleLanes(__m256d x) { return _mm256_add_pd(x, x); }
+
+}  // namespace fta
