@@ -22,8 +22,11 @@
 #include <fstream>
 #include <new>
 #include <string>
+#include <vector>
 
+#include "bench/common.h"
 #include "fta/fta.h"
+#include "util/check.h"
 
 // Global allocation counter backing the game gate's zero-allocation claim:
 // every global operator new bumps it, so a steady-state delta of zero is
@@ -364,12 +367,96 @@ int RunObsOverheadGate() {
       static_cast<double>(spans_per_run) * disabled_span_ns * 1e-9 /
       run_seconds;
   constexpr double kThreshold = 0.02;
-  const bool pass = overhead_fraction < kThreshold;
+  const bool span_pass = overhead_fraction < kThreshold;
+
+  // ---- Stream-telemetry section. Two hard gates on the per-tick
+  // telemetry layer (stream/telemetry.h):
+  //   1. identity — a full-telemetry GM-churn warm run's digest (with
+  //      digest_catalog on) is bit-identical to the telemetry-off run's;
+  //   2. overhead — the telemetry cost per tick, measured directly on
+  //      OnTick (the only code telemetry adds to the tick path; wall-time
+  //      differencing of whole runs would drown in scheduler noise, same
+  //      rationale as the span model above), is < 2% of the telemetry-off
+  //      per-tick wall time. ----
+  constexpr size_t kStreamTicks = 16;
+  ChurnWorkloadConfig churn;
+  churn.horizon_hours = 0.05 * static_cast<double>(kStreamTicks);
+  churn.tasks.base_rate_per_hour = 240.0;
+  churn.tasks.peak_hours = {};
+  churn.worker_rate_per_hour = 40.0;
+  churn.area_size = 10.0;
+  churn.mean_worker_dwell_hours = 1.0;
+  churn.mean_task_patience_hours = 1.0;
+  const std::vector<StreamEvent> events = GenerateChurnEvents(churn, 7);
+  StreamConfig stream_config;
+  stream_config.center = Point{5.0, 5.0};
+  stream_config.tick_period = 0.05;
+  stream_config.max_ticks = kStreamTicks;
+  stream_config.policy = ResolvePolicy::kWarm;
+  stream_config.vdps.epsilon = 0.6;
+  stream_config.vdps.max_set_size = 3;
+  stream_config.seed = 7;
+  stream_config.digest_catalog = true;
+
+  uint64_t digest_off = 0;
+  double off_ms_per_tick = kInfinity;
+  for (int rep = 0; rep < 3; ++rep) {
+    StreamConfig c = stream_config;
+    c.telemetry.enabled = false;
+    StreamDispatcher dispatcher(c, events);
+    StatusOr<StreamResult> result = dispatcher.Run();
+    FTA_CHECK_OK(result.status());
+    digest_off = result->digest;
+    double tick_ms = 0.0;
+    for (const TickStats& ts : result->ticks) tick_ms += ts.tick_ms;
+    off_ms_per_tick = std::min(
+        off_ms_per_tick, tick_ms / static_cast<double>(kStreamTicks));
+  }
+  uint64_t digest_on = 0;
+  {
+    StreamDispatcher dispatcher(stream_config, events);
+    StatusOr<StreamResult> result = dispatcher.Run();
+    FTA_CHECK_OK(result.status());
+    digest_on = result->digest;
+  }
+  const bool digest_match = digest_on == digest_off;
+
+  // Direct OnTick cost over a representative synthetic tick.
+  StreamTelemetry telemetry(StreamTelemetryConfig{});
+  TickStats probe_ts;
+  probe_ts.num_workers = 40;
+  probe_ts.num_dps = 240;
+  probe_ts.workers_in = 2;
+  probe_ts.tasks_in = 12;
+  probe_ts.tasks_out = 12;
+  probe_ts.used_delta = true;
+  probe_ts.catalog_ms = 0.4;
+  probe_ts.solve_ms = 0.2;
+  probe_ts.project_ms = 0.01;
+  probe_ts.tick_ms = 0.7;
+  probe_ts.rounds = 2;
+  probe_ts.converged = true;
+  constexpr int kOnTickReps = 200000;
+  Stopwatch ontick_sw;
+  for (int i = 0; i < kOnTickReps; ++i) {
+    probe_ts.tick = static_cast<uint64_t>(i);
+    telemetry.OnTick(probe_ts);
+  }
+  const double ontick_ns =
+      ontick_sw.ElapsedSeconds() * 1e9 / kOnTickReps;
+  const double stream_overhead_fraction =
+      ontick_ns * 1e-6 / off_ms_per_tick;
+  const bool stream_pass =
+      digest_match && stream_overhead_fraction < kThreshold;
+
+  const bool pass = span_pass && stream_pass;
 
   obs::JsonWriter json;
   json.BeginObject();
   json.Key("bench");
   json.String("obs_overhead");
+  json.Key("meta");
+  bench::AppendBenchMeta(json);
   json.Key("workload");
   json.String("gm_default_fgt");
   json.Key("disabled_span_ns");
@@ -382,6 +469,23 @@ int RunObsOverheadGate() {
   json.Double(overhead_fraction);
   json.Key("threshold");
   json.Double(kThreshold);
+  json.Key("stream_telemetry");
+  json.BeginObject();
+  json.Key("workload");
+  json.String("gm_churn_warm_fgt");
+  json.Key("ticks");
+  json.UInt(kStreamTicks);
+  json.Key("off_ms_per_tick");
+  json.Double(off_ms_per_tick);
+  json.Key("ontick_ns");
+  json.Double(ontick_ns);
+  json.Key("overhead_fraction");
+  json.Double(stream_overhead_fraction);
+  json.Key("threshold");
+  json.Double(kThreshold);
+  json.Key("digest_match");
+  json.Bool(digest_match);
+  json.EndObject();
   json.Key("pass");
   json.Bool(pass);
   json.EndObject();
@@ -395,12 +499,26 @@ int RunObsOverheadGate() {
       "%.3f ms -> modeled overhead %.4f%% (< %.1f%%: %s); wrote %s\n",
       disabled_span_ns, spans_per_run, run_seconds * 1e3,
       overhead_fraction * 100.0, kThreshold * 100.0,
-      pass ? "PASS" : "FAIL", path.c_str());
-  if (!pass) {
+      span_pass ? "PASS" : "FAIL", path.c_str());
+  std::printf(
+      "stream telemetry gate: %.1f ns/OnTick vs %.3f ms/tick off -> "
+      "%.4f%% (< %.1f%%), digests %s (%s)\n",
+      ontick_ns, off_ms_per_tick, stream_overhead_fraction * 100.0,
+      kThreshold * 100.0, digest_match ? "match" : "DIVERGE",
+      stream_pass ? "PASS" : "FAIL");
+  if (!span_pass) {
     std::fprintf(stderr,
                  "obs overhead gate FAILED: disabled-mode instrumentation "
                  "costs %.4f%% of the GM-default FGT run (limit %.1f%%)\n",
                  overhead_fraction * 100.0, kThreshold * 100.0);
+    return 1;
+  }
+  if (!stream_pass) {
+    std::fprintf(stderr,
+                 "stream telemetry gate FAILED: digest_match=%d, per-tick "
+                 "overhead %.4f%% (limit %.1f%%)\n",
+                 digest_match ? 1 : 0, stream_overhead_fraction * 100.0,
+                 kThreshold * 100.0);
     return 1;
   }
   return 0;
@@ -527,6 +645,8 @@ int RunGameLedgerGate(size_t num_workers) {
   json.BeginObject();
   json.Key("bench");
   json.String("game_ledger");
+  json.Key("meta");
+  bench::AppendBenchMeta(json);
   json.Key("workload");
   json.String("chain_single_strategy");
   json.Key("workers");
@@ -816,6 +936,8 @@ int RunSimdKernelGate(size_t num_workers) {
   json.BeginObject();
   json.Key("bench");
   json.String("simd_kernels");
+  json.Key("meta");
+  bench::AppendBenchMeta(json);
   json.Key("workload");
   json.String("uniform_single_point_catalogs");
   json.Key("workers");

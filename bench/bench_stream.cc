@@ -161,7 +161,8 @@ void Main() {
                        warm.steady_total_ms, cold.steady_total_ms));
 
   std::ostringstream json;
-  json << "{\n  \"bench\": \"stream\",\n  \"ticks\": " << kTicks
+  json << "{\n  \"bench\": \"stream\",\n  \"meta\": " << BenchMetaJson()
+       << ",\n  \"ticks\": " << kTicks
        << ",\n  \"warmup_ticks\": " << kWarmupTicks
        << ",\n  \"reps\": " << kReps << ",\n  \"epsilon\": 0.6"
        << ",\n  \"events\": " << events.size() << ",\n  \"policies\": [\n";

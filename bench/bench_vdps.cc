@@ -116,7 +116,8 @@ void Main() {
   const std::vector<Engine> engines{{"sequences", 0}, {"beam", 64}};
 
   std::ostringstream json;
-  json << "{\n  \"bench\": \"vdps\",\n"
+  json << "{\n  \"bench\": \"vdps\",\n  \"meta\": " << BenchMetaJson()
+       << ",\n"
        << "  \"dataset\": \"GM default (200 tasks, 40 workers, 100 dps, "
           "eps=0.6, maxDP=3)\",\n  \"engines\": [\n";
 

@@ -10,13 +10,99 @@
 /// figure *shapes* survive the scaling. Every bench prints the factor.
 
 #include <cstdio>
+#include <ctime>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fta/fta.h"
 
 namespace fta {
 namespace bench {
+
+/// Provenance stamped into every BENCH_*.json so tools/bench_track can
+/// fold gate runs into a comparable trajectory (BENCH_history.jsonl).
+struct BenchMeta {
+  std::string git_sha;   // short SHA, "unknown" outside a checkout
+  std::string cpu;       // /proc/cpuinfo model name
+  std::string date;      // UTC YYYY-MM-DD
+  std::string compiler;  // __VERSION__
+  std::string build;     // "release" (NDEBUG) or "debug"
+  unsigned threads = 0;  // hardware_concurrency
+};
+
+inline BenchMeta GetBenchMeta() {
+  BenchMeta meta;
+  meta.git_sha = "unknown";
+  if (FILE* p = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    if (fgets(buf, sizeof(buf), p) != nullptr) {
+      std::string sha(buf);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+      if (!sha.empty()) meta.git_sha = sha;
+    }
+    pclose(p);
+  }
+  meta.cpu = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  for (std::string line; std::getline(cpuinfo, line);) {
+    const size_t colon = line.find(':');
+    if (line.rfind("model name", 0) == 0 && colon != std::string::npos) {
+      size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      meta.cpu = line.substr(start);
+      break;
+    }
+  }
+  const std::time_t now = std::time(nullptr);
+  char datebuf[16] = {0};
+  std::tm tm_utc;
+  if (gmtime_r(&now, &tm_utc) != nullptr &&
+      std::strftime(datebuf, sizeof(datebuf), "%Y-%m-%d", &tm_utc) > 0) {
+    meta.date = datebuf;
+  } else {
+    meta.date = "unknown";
+  }
+  meta.compiler = __VERSION__;
+#ifdef NDEBUG
+  meta.build = "release";
+#else
+  meta.build = "debug";
+#endif
+  meta.threads = std::thread::hardware_concurrency();
+  return meta;
+}
+
+/// Appends the meta object into an in-progress JSON document (after
+/// Key("meta")).
+inline void AppendBenchMeta(obs::JsonWriter& w) {
+  const BenchMeta meta = GetBenchMeta();
+  w.BeginObject();
+  w.Key("git_sha");
+  w.String(meta.git_sha);
+  w.Key("cpu");
+  w.String(meta.cpu);
+  w.Key("date");
+  w.String(meta.date);
+  w.Key("compiler");
+  w.String(meta.compiler);
+  w.Key("build");
+  w.String(meta.build);
+  w.Key("threads");
+  w.UInt(meta.threads);
+  w.EndObject();
+}
+
+/// The meta object as a standalone JSON string, for ostringstream-built
+/// bench files.
+inline std::string BenchMetaJson() {
+  obs::JsonWriter w;
+  AppendBenchMeta(w);
+  return w.str();
+}
 
 /// Population scale factor applied to the paper's SYN numbers.
 inline constexpr double kSynScale = 0.05;

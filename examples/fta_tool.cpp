@@ -15,10 +15,21 @@
 //
 //   stream     online streaming dispatch over a Poisson churn workload
 //     ./fta_tool stream --policy=warm --solver=fgt --ticks=40
+//     ./fta_tool stream --prom-out=metrics.prom --prom-every=1 ...
+//
+//   metrics-serve   tiny HTTP exporter over a published metrics text file
+//     ./fta_tool metrics-serve --file=metrics.prom --port=9184
 //
 // Every knob has a sane default; run a subcommand with --help for flags.
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "fta/fta.h"
@@ -285,6 +296,10 @@ int CmdStream(int argc, const char* const* argv) {
   std::string policy_name = "warm";
   std::string solver_name = "fgt";
   std::string metrics_json;
+  std::string trace_json;
+  std::string prom_out;
+  size_t prom_every = 1;
+  size_t window = 32;
   int64_t ticks = 40;
   double tick_period = 0.05;
   double epsilon = 2.5;
@@ -314,6 +329,14 @@ int CmdStream(int argc, const char* const* argv) {
   flags.AddInt("seed", &seed, "stream seed (events and solver)");
   flags.AddString("metrics-json", &metrics_json,
                   "write the structured run report (fta-run-report-v1) here");
+  flags.AddString("trace-json", &trace_json,
+                  "record spans and write a Chrome/Perfetto trace here");
+  flags.AddString("prom-out", &prom_out,
+                  "publish a Prometheus text page here while running "
+                  "(atomic rename; scrape with metrics-serve or tail)");
+  flags.AddSizeT("prom-every", &prom_every,
+                 "publish cadence in ticks (0 = only at run end)");
+  flags.AddSizeT("window", &window, "rolling-window length in ticks");
   flags.AddBool("help", &help, "show flags");
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
   if (help) {
@@ -355,10 +378,18 @@ int CmdStream(int argc, const char* const* argv) {
   config.fgt.engine.num_threads = threads;
   config.iegt.engine.num_threads = threads;
   config.seed = static_cast<uint64_t>(seed);
+  config.telemetry.window_ticks = window > 0 ? window : 1;
+  config.telemetry.publish_path = prom_out;
+  config.telemetry.publish_every_ticks = prom_every;
 
+  if (!trace_json.empty()) {
+    obs::TraceRecorder::Global().Clear();
+    obs::SetTracingEnabled(true);
+  }
   StreamDispatcher dispatcher(
       config, GenerateChurnEvents(churn, static_cast<uint64_t>(seed)));
   StatusOr<StreamResult> result = dispatcher.Run();
+  if (!trace_json.empty()) obs::SetTracingEnabled(false);
   if (!result.ok()) return Fail(result.status());
   const StreamCounters& c = result->counters;
   std::printf(
@@ -385,6 +416,20 @@ int CmdStream(int argc, const char* const* argv) {
         last.num_workers, last.num_dps, last.assigned_workers,
         last.covered_dps, last.payoff_difference, last.average_payoff);
   }
+  if (!trace_json.empty()) {
+    if (Status s = obs::TraceRecorder::Global().WriteChromeJson(trace_json);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s (%zu spans)\n", trace_json.c_str(),
+                obs::TraceRecorder::Global().num_events());
+  }
+  if (!prom_out.empty()) {
+    std::printf("published %s (windowed tick p50 %.3fms / p99 %.3fms)\n",
+                prom_out.c_str(),
+                dispatcher.telemetry()->tick_window().Stats().Quantile(0.5),
+                dispatcher.telemetry()->tick_window().Stats().Quantile(0.99));
+  }
   if (!metrics_json.empty()) {
     RunMetrics m;
     m.num_workers = result->ticks.empty() ? 0 : result->ticks.back().num_workers;
@@ -395,14 +440,104 @@ int CmdStream(int argc, const char* const* argv) {
     m.assigned_workers =
         result->ticks.empty() ? 0 : result->ticks.back().assigned_workers;
     m.cpu_seconds = (c.catalog_ms + c.solve_ms) / 1e3;
-    const RunReport report = BuildRunReport(
+    RunReport report = BuildRunReport(
         "fta_tool", StrFormat("stream-%s-%s", policy_name.c_str(),
                               solver_name.c_str()),
         "churn-workload", m);
+    if (dispatcher.telemetry() != nullptr) {
+      report.windows = dispatcher.telemetry()->WindowReadings();
+    }
     if (Status s = report.WriteJson(metrics_json); !s.ok()) return Fail(s);
-    std::printf("wrote %s (%zu registry metrics)\n", metrics_json.c_str(),
-                report.registry.metrics.size());
+    std::printf("wrote %s (%zu registry metrics, %zu windows)\n",
+                metrics_json.c_str(), report.registry.metrics.size(),
+                report.windows.size());
   }
+  return 0;
+}
+
+// Minimal single-threaded HTTP/1.0 exporter over a published text file —
+// the node_exporter textfile pattern: the dispatcher atomically renames
+// fresh pages into place and this loop re-reads the file per scrape, so
+// the serving side never touches dispatcher state.
+int CmdMetricsServe(int argc, const char* const* argv) {
+  std::string file;
+  size_t port = 9184;
+  size_t max_requests = 0;
+  bool help = false;
+  FlagParser flags;
+  flags.AddString("file", &file, "metrics text file to serve (required)");
+  flags.AddSizeT("port", &port, "TCP port to listen on");
+  flags.AddSizeT("max-requests", &max_requests,
+                 "exit after this many requests (0 = serve forever)");
+  flags.AddBool("help", &help, "show flags");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  if (help || file.empty()) {
+    std::printf("metrics-serve flags:\n%s", flags.Usage().c_str());
+    return help ? 0 : 1;
+  }
+
+  const int server = socket(AF_INET, SOCK_STREAM, 0);
+  if (server < 0) return Fail(Status::IoError("socket() failed"));
+  const int one = 1;
+  setsockopt(server, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(server, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(server);
+    return Fail(Status::IoError(
+        StrFormat("bind() failed on port %zu", port)));
+  }
+  if (listen(server, 16) < 0) {
+    close(server);
+    return Fail(Status::IoError("listen() failed"));
+  }
+  std::printf("serving %s on http://0.0.0.0:%zu/metrics\n", file.c_str(),
+              port);
+  std::fflush(stdout);
+
+  size_t served = 0;
+  while (max_requests == 0 || served < max_requests) {
+    const int conn = accept(server, nullptr, nullptr);
+    if (conn < 0) continue;
+    char request[1024];
+    // One read is enough for a scrape's GET line; content is ignored.
+    (void)read(conn, request, sizeof(request));
+
+    std::ifstream in(file, std::ios::binary);
+    std::string response;
+    if (in) {
+      std::ostringstream body;
+      body << in.rdbuf();
+      const std::string text = body.str();
+      response = StrFormat(
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: %zu\r\n\r\n",
+          text.size());
+      response += text;
+    } else {
+      const std::string text = "metrics file not available\n";
+      response = StrFormat(
+          "HTTP/1.0 503 Service Unavailable\r\n"
+          "Content-Type: text/plain\r\nContent-Length: %zu\r\n\r\n",
+          text.size());
+      response += text;
+    }
+    size_t off = 0;
+    while (off < response.size()) {
+      const ssize_t n =
+          write(conn, response.data() + off, response.size() - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    close(conn);
+    ++served;
+  }
+  close(server);
+  std::printf("served %zu requests\n", served);
   return 0;
 }
 
@@ -413,8 +548,10 @@ int Main(int argc, const char* const* argv) {
   if (command == "repeat") return CmdRepeat(argc, argv);
   if (command == "simulate") return CmdSimulate(argc, argv);
   if (command == "stream") return CmdStream(argc, argv);
+  if (command == "metrics-serve") return CmdMetricsServe(argc, argv);
   std::printf(
-      "usage: fta_tool <generate|solve|repeat|simulate|stream> [flags]\n"
+      "usage: fta_tool "
+      "<generate|solve|repeat|simulate|stream|metrics-serve> [flags]\n"
       "run a subcommand with --help for its flags\n");
   return command.empty() ? 1 : (command == "--help" ? 0 : 1);
 }

@@ -141,6 +141,31 @@ std::string RunReport::ToJson() const {
   w.Key("metrics_registry");
   registry.AppendTo(w);
 
+  w.Key("windows");
+  w.BeginObject();
+  for (const auto& [name, stats] : windows) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("epochs");
+    w.UInt(stats.epochs);
+    w.Key("capacity");
+    w.UInt(stats.capacity);
+    w.Key("count");
+    w.UInt(stats.count());
+    w.Key("sum");
+    w.Double(stats.sum());
+    w.Key("rate_per_epoch");
+    w.Double(stats.RatePerEpoch());
+    w.Key("p50");
+    w.Double(stats.Quantile(0.5));
+    w.Key("p90");
+    w.Double(stats.Quantile(0.9));
+    w.Key("p99");
+    w.Double(stats.Quantile(0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+
   w.Key("spans");
   w.BeginArray();
   for (const obs::SpanEvent& s : spans) {

@@ -2,11 +2,13 @@
 #define FTA_EXP_RUN_REPORT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/runner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "util/status.h"
 
 namespace fta {
@@ -31,6 +33,9 @@ struct RunReport {
   obs::MetricsSnapshot registry;
   /// Recorded spans at report time (empty when tracing was off).
   std::vector<obs::SpanEvent> spans;
+  /// Rolling-window readings at report time (empty outside streaming
+  /// runs) — e.g. StreamTelemetry::WindowReadings().
+  std::vector<std::pair<std::string, obs::WindowStats>> windows;
 
   std::string ToJson() const;
   Status WriteJson(const std::string& path) const;

@@ -157,6 +157,33 @@ void MetricsSnapshot::AppendTo(JsonWriter& w) const {
         w.Key("sum");
         w.Double(m.sum);
         break;
+      case MetricReading::Kind::kSketch:
+        w.Key("kind");
+        w.String("sketch");
+        w.Key("relative_accuracy");
+        w.Double(m.sketch.layout().relative_accuracy);
+        w.Key("zero_count");
+        w.UInt(m.sketch.zero_count());
+        w.Key("count");
+        w.UInt(m.count);
+        w.Key("sum");
+        w.Double(m.sum);
+        w.Key("buckets");
+        w.BeginArray();
+        for (size_t i = 0; i < m.sketch.bucket_indices().size(); ++i) {
+          w.BeginArray();
+          w.Int(m.sketch.bucket_indices()[i]);
+          w.UInt(m.sketch.bucket_counts()[i]);
+          w.EndArray();
+        }
+        w.EndArray();
+        w.Key("p50");
+        w.Double(m.sketch.ValueAtQuantile(0.5));
+        w.Key("p90");
+        w.Double(m.sketch.ValueAtQuantile(0.9));
+        w.Key("p99");
+        w.Double(m.sketch.ValueAtQuantile(0.99));
+        break;
     }
     w.EndObject();
   }
@@ -190,11 +217,19 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+QuantileSketch& MetricsRegistry::GetSketch(const std::string& name,
+                                           double relative_accuracy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<QuantileSketch>& slot = sketches_[name];
+  if (slot == nullptr) slot.reset(new QuantileSketch(relative_accuracy));
+  return *slot;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
   snapshot.metrics.reserve(counters_.size() + gauges_.size() +
-                           histograms_.size());
+                           histograms_.size() + sketches_.size());
   // One name-ordered pass per kind, then a final merge by name so the
   // snapshot order is a pure function of the metric names.
   for (const auto& [name, counter] : counters_) {
@@ -221,6 +256,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     m.sum = histogram->Sum();
     snapshot.metrics.push_back(std::move(m));
   }
+  for (const auto& [name, sketch] : sketches_) {
+    MetricReading m;
+    m.name = name;
+    m.kind = MetricReading::Kind::kSketch;
+    m.sketch = sketch->Snapshot();
+    m.count = m.sketch.count();
+    m.sum = m.sketch.sum();
+    snapshot.metrics.push_back(std::move(m));
+  }
   std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
             [](const MetricReading& a, const MetricReading& b) {
               return a.name < b.name;
@@ -233,6 +277,7 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, sketch] : sketches_) sketch->Reset();
 }
 
 }  // namespace obs

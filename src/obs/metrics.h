@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/sketch.h"
+
 namespace fta {
 namespace obs {
 
@@ -117,7 +119,7 @@ std::vector<double> ExponentialBounds(double start, double factor,
 
 /// Point-in-time reading of one metric.
 struct MetricReading {
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kSketch };
   std::string name;
   Kind kind = Kind::kCounter;
   uint64_t counter = 0;  // kCounter
@@ -127,6 +129,9 @@ struct MetricReading {
   std::vector<uint64_t> bucket_counts;
   uint64_t count = 0;
   double sum = 0.0;
+  // kSketch: the merged sketch (count/sum above mirror it for uniform
+  // access; quantiles read via sketch.ValueAtQuantile).
+  SketchData sketch;
 
   bool operator==(const MetricReading&) const = default;
 };
@@ -153,11 +158,15 @@ class MetricsRegistry {
 
   /// Finds or creates. The returned reference lives until process exit;
   /// hot paths should cache it. Re-registering an existing histogram name
-  /// ignores the new bounds (first registration wins).
+  /// ignores the new bounds (first registration wins; pinned by
+  /// MetricsTest.HistogramReRegistrationKeepsFirstBounds). Sketches follow
+  /// the same rule for their relative accuracy.
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name,
                           const std::vector<double>& bounds);
+  QuantileSketch& GetSketch(const std::string& name,
+                            double relative_accuracy = 0.01);
 
   /// Order-invariant merged reading of every registered metric.
   MetricsSnapshot Snapshot() const;
@@ -175,6 +184,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileSketch>> sketches_;
 };
 
 }  // namespace obs

@@ -1,0 +1,67 @@
+#include "obs/window.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace fta {
+namespace obs {
+
+RollingWindow::RollingWindow(size_t num_epochs, double relative_accuracy)
+    : capacity_(num_epochs),
+      layout_(relative_accuracy),
+      current_(layout_) {
+  FTA_CHECK_MSG(num_epochs >= 1, "rolling window needs >= 1 epoch");
+  ring_.reserve(capacity_);
+}
+
+void RollingWindow::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_.Observe(value);
+}
+
+void RollingWindow::Advance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(current_));
+  } else {
+    ring_[next_] = std::move(current_);
+  }
+  next_ = (next_ + 1) % capacity_;
+  sealed_ = ring_.size();
+  current_ = SketchData(layout_);
+}
+
+WindowStats RollingWindow::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowStats stats;
+  stats.merged = SketchData(layout_);
+  stats.epochs = sealed_;
+  stats.capacity = capacity_;
+  // Oldest-first over the ring; the merge itself is order-invariant, the
+  // fixed order just makes the walk auditable.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const size_t slot = ring_.size() < capacity_
+                            ? i
+                            : (next_ + i) % capacity_;
+    stats.merged.Merge(ring_[slot]);
+  }
+  stats.merged.Merge(current_);
+  return stats;
+}
+
+size_t RollingWindow::epochs_sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_;
+}
+
+void RollingWindow::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  sealed_ = 0;
+  current_ = SketchData(layout_);
+}
+
+}  // namespace obs
+}  // namespace fta

@@ -1,0 +1,92 @@
+#ifndef FTA_OBS_WINDOW_H_
+#define FTA_OBS_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/sketch.h"
+
+namespace fta {
+namespace obs {
+
+/// Merged reading over a rolling window: the sealed epochs currently in
+/// the ring plus the in-progress epoch. A plain value — compute quantiles
+/// and rates from it without holding the window's lock.
+struct WindowStats {
+  /// Order-invariant merge of the covered epochs' sketches.
+  SketchData merged;
+  /// Sealed epochs covered (excludes the in-progress epoch).
+  size_t epochs = 0;
+  /// Ring capacity (the window length N).
+  size_t capacity = 0;
+
+  uint64_t count() const { return merged.count(); }
+  double sum() const { return merged.sum(); }
+  double Quantile(double q) const { return merged.ValueAtQuantile(q); }
+  /// Mean observations per sealed epoch — the windowed rate. The
+  /// in-progress epoch's observations are included in the numerator, so
+  /// the first epoch reads a rate before any Advance().
+  double RatePerEpoch() const {
+    const size_t denom = epochs > 0 ? epochs : 1;
+    return static_cast<double>(merged.count()) /
+           static_cast<double>(denom);
+  }
+};
+
+/// Rolling-window aggregator: a ring of the last N epoch sketches.
+///
+/// Epoch advancement is CALLER-driven — the streaming dispatcher calls
+/// Advance() once per tick, a server would call it once per second — so
+/// there is no wall clock anywhere in this class and a replayed run
+/// produces bit-identical window contents (the determinism contract
+/// fta_lint's wall-clock-read rule enforces for src/obs/ and src/stream/).
+///
+/// Observe() records into the in-progress epoch; Advance() seals it into
+/// the ring (evicting the oldest epoch once N are held) and starts a fresh
+/// one. Stats() merges the sealed epochs oldest-first plus the in-progress
+/// epoch — every cell is a uint64, so the merged reading is independent of
+/// the merge order and of how observations were interleaved with reads.
+///
+/// Thread safety: all three operations take the window's mutex. The lock
+/// is uncontended in the streaming loop (one writer, occasional exporter
+/// reads) and epoch-granular, never per-observation-hot-path.
+class RollingWindow {
+ public:
+  /// `num_epochs` is the window length N (>= 1, checked);
+  /// `relative_accuracy` parameterizes every epoch sketch.
+  explicit RollingWindow(size_t num_epochs, double relative_accuracy = 0.01);
+
+  /// Records into the in-progress epoch.
+  void Observe(double value);
+
+  /// Seals the in-progress epoch into the ring and starts a new one.
+  /// Epoch boundaries are exact: an observation belongs to precisely the
+  /// epoch during which it was recorded.
+  void Advance();
+
+  /// Merged reading over the sealed epochs plus the in-progress epoch.
+  WindowStats Stats() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Sealed epochs currently held (saturates at capacity()).
+  size_t epochs_sealed() const;
+
+  void Reset();
+
+ private:
+  const size_t capacity_;
+  const SketchLayout layout_;
+
+  mutable std::mutex mu_;
+  std::vector<SketchData> ring_;  // sealed epochs, ring-ordered
+  size_t next_ = 0;               // ring slot the next seal writes
+  size_t sealed_ = 0;             // min(total seals, capacity_)
+  SketchData current_;            // in-progress epoch
+};
+
+}  // namespace obs
+}  // namespace fta
+
+#endif  // FTA_OBS_WINDOW_H_

@@ -95,6 +95,9 @@ StreamDispatcher::StreamDispatcher(StreamConfig config,
         "kWarm streaming requires a delta-patchable catalog config "
         "(beam_width == 0, max_entries == 0); see VdpsCatalog::ApplyDelta");
   }
+  if (config_.telemetry.enabled) {
+    telemetry_.reset(new StreamTelemetry(config_.telemetry));
+  }
 }
 
 void StreamDispatcher::BuildInstance() {
@@ -161,6 +164,7 @@ uint64_t StreamDispatcher::DigestCatalog() const {
 Status StreamDispatcher::Step() {
   FTA_SPAN("stream/tick");
   FTA_CHECK_MSG(!Done(), "Step() past max_ticks");
+  Stopwatch tick_sw;
   const double now = static_cast<double>(tick_) * config_.tick_period;
   TickStats ts;
   ts.tick = tick_;
@@ -274,6 +278,7 @@ Status StreamDispatcher::Step() {
   // set lost any delivery point falls back to the null strategy; surviving
   // sets stay pairwise disjoint (subsets of a disjoint family), so the
   // seed is always Definition-8 valid. ----
+  Stopwatch project_sw;
   std::vector<int32_t> seed;
   const bool seeded =
       config_.policy != ResolvePolicy::kColdRestart && tick_ > 0;
@@ -308,6 +313,7 @@ Status StreamDispatcher::Step() {
       seed[worker_map[ow]] = strategy;
     }
   }
+  ts.project_ms = project_sw.ElapsedMillis();
 
   // ---- 5. Solve this tick's game, warm-started when seeded. ----
   Stopwatch solve_sw;
@@ -365,6 +371,13 @@ Status StreamDispatcher::Step() {
   }
 
   ++counters_.ticks;
+  ts.tick_ms = tick_sw.ElapsedMillis();
+  // ---- 7. Telemetry observes the finished tick (after the digest fold,
+  // so it cannot perturb observable behavior). ----
+  if (telemetry_ != nullptr) {
+    telemetry_->OnTick(ts);
+    telemetry_->MaybePublish(tick_);
+  }
   last_tick_ = ts;
   if (config_.record_ticks) ticks_.push_back(std::move(ts));
   ++tick_;
@@ -381,6 +394,7 @@ StatusOr<StreamResult> StreamDispatcher::Run() {
   result.ticks = ticks_;
   result.digest = digest_.value();
   PublishStream(counters_);
+  if (telemetry_ != nullptr) telemetry_->PublishNow();
   FTA_LOG(kInfo) << "stream run: policy=" << ResolvePolicyName(config_.policy)
                  << " solver=" << StreamSolverName(config_.solver)
                  << " ticks=" << counters_.ticks

@@ -13,6 +13,7 @@
 // warm start and the catalog delta both exploit.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "game/fgt.h"
@@ -23,6 +24,7 @@
 #include "model/instance.h"
 #include "stream/digest.h"
 #include "stream/events.h"
+#include "stream/telemetry.h"
 #include "util/status.h"
 #include "vdps/catalog.h"
 
@@ -79,6 +81,10 @@ struct StreamConfig {
   /// index, ε-adjacency) into the run digest every tick. O(catalog) per
   /// tick — the identity tests' instrument, off by default.
   bool digest_catalog = false;
+  /// Live-telemetry sink: per-tick phase sketches, rolling windows, and
+  /// the Prometheus publisher. Purely observational — telemetry on/off
+  /// leaves the run digest unchanged (pinned by the identity battery).
+  StreamTelemetryConfig telemetry;
 };
 
 /// Per-tick observability record.
@@ -95,6 +101,10 @@ struct TickStats {
   bool used_delta = false;
   double catalog_ms = 0.0;
   double solve_ms = 0.0;
+  /// Warm-seed projection (phase 4) wall time.
+  double project_ms = 0.0;
+  /// Whole-tick wall time (ingest through digest fold).
+  double tick_ms = 0.0;
   int rounds = 0;
   bool converged = false;
   size_t assigned_workers = 0;
@@ -166,6 +176,8 @@ class StreamDispatcher {
   const TickStats& last_tick() const { return last_tick_; }
   const StreamCounters& counters() const { return counters_; }
   uint64_t digest() const { return digest_.value(); }
+  /// Null when config.telemetry.enabled is false.
+  const StreamTelemetry* telemetry() const { return telemetry_.get(); }
 
  private:
   struct LiveWorker {
@@ -205,6 +217,7 @@ class StreamDispatcher {
   std::vector<TickStats> ticks_;
   TickStats last_tick_;
   StreamDigest digest_;
+  std::unique_ptr<StreamTelemetry> telemetry_;
 };
 
 }  // namespace fta

@@ -1,0 +1,104 @@
+#include "stream/telemetry.h"
+
+#include "obs/prometheus.h"
+#include "stream/dispatcher.h"
+
+namespace fta {
+
+StreamTelemetry::StreamTelemetry(const StreamTelemetryConfig& config)
+    : config_(config),
+      tick_ms_(obs::MetricsRegistry::Global().GetSketch(
+          "stream/tick_ms", config.relative_accuracy)),
+      catalog_phase_ms_(obs::MetricsRegistry::Global().GetSketch(
+          "stream/catalog_phase_ms", config.relative_accuracy)),
+      solve_phase_ms_(obs::MetricsRegistry::Global().GetSketch(
+          "stream/solve_phase_ms", config.relative_accuracy)),
+      project_phase_ms_(obs::MetricsRegistry::Global().GetSketch(
+          "stream/project_phase_ms", config.relative_accuracy)),
+      live_workers_(
+          obs::MetricsRegistry::Global().GetGauge("stream/live_workers")),
+      backlog_dps_(
+          obs::MetricsRegistry::Global().GetGauge("stream/backlog_dps")),
+      tick_workers_in_(
+          obs::MetricsRegistry::Global().GetGauge("stream/tick_workers_in")),
+      tick_workers_out_(
+          obs::MetricsRegistry::Global().GetGauge("stream/tick_workers_out")),
+      tick_tasks_in_(
+          obs::MetricsRegistry::Global().GetGauge("stream/tick_tasks_in")),
+      tick_tasks_out_(
+          obs::MetricsRegistry::Global().GetGauge("stream/tick_tasks_out")),
+      last_tick_(obs::MetricsRegistry::Global().GetGauge("stream/last_tick")),
+      tick_rounds_(
+          obs::MetricsRegistry::Global().GetGauge("stream/tick_rounds")),
+      ticks_warm_(
+          obs::MetricsRegistry::Global().GetCounter("stream/ticks_warm")),
+      ticks_cold_(
+          obs::MetricsRegistry::Global().GetCounter("stream/ticks_cold")),
+      ticks_converged_(
+          obs::MetricsRegistry::Global().GetCounter("stream/ticks_converged")),
+      tick_window_(config.window_ticks, config.relative_accuracy),
+      catalog_window_(config.window_ticks, config.relative_accuracy),
+      solve_window_(config.window_ticks, config.relative_accuracy),
+      project_window_(config.window_ticks, config.relative_accuracy) {}
+
+void StreamTelemetry::OnTick(const TickStats& ts) {
+  if (!config_.enabled) return;
+  tick_ms_.Observe(ts.tick_ms);
+  catalog_phase_ms_.Observe(ts.catalog_ms);
+  solve_phase_ms_.Observe(ts.solve_ms);
+  project_phase_ms_.Observe(ts.project_ms);
+  live_workers_.Set(static_cast<double>(ts.num_workers));
+  backlog_dps_.Set(static_cast<double>(ts.num_dps));
+  tick_workers_in_.Set(static_cast<double>(ts.workers_in));
+  tick_workers_out_.Set(static_cast<double>(ts.workers_out));
+  tick_tasks_in_.Set(static_cast<double>(ts.tasks_in));
+  tick_tasks_out_.Set(static_cast<double>(ts.tasks_out));
+  last_tick_.Set(static_cast<double>(ts.tick));
+  tick_rounds_.Set(static_cast<double>(ts.rounds));
+  (ts.used_delta ? ticks_warm_ : ticks_cold_).Increment();
+  if (ts.converged) ticks_converged_.Increment();
+
+  tick_window_.Observe(ts.tick_ms);
+  catalog_window_.Observe(ts.catalog_ms);
+  solve_window_.Observe(ts.solve_ms);
+  project_window_.Observe(ts.project_ms);
+  tick_window_.Advance();
+  catalog_window_.Advance();
+  solve_window_.Advance();
+  project_window_.Advance();
+}
+
+std::string StreamTelemetry::PrometheusText() const {
+  std::string out =
+      obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot());
+  for (const auto& [name, stats] : WindowReadings()) {
+    obs::AppendWindowSummary(name, stats, out);
+  }
+  return out;
+}
+
+bool StreamTelemetry::MaybePublish(uint64_t tick) const {
+  if (config_.publish_path.empty() || config_.publish_every_ticks == 0) {
+    return true;
+  }
+  if ((tick + 1) % config_.publish_every_ticks != 0) return true;
+  return PublishNow();
+}
+
+bool StreamTelemetry::PublishNow() const {
+  if (config_.publish_path.empty()) return true;
+  return obs::WriteTextFileAtomic(config_.publish_path, PrometheusText());
+}
+
+std::vector<std::pair<std::string, obs::WindowStats>>
+StreamTelemetry::WindowReadings() const {
+  std::vector<std::pair<std::string, obs::WindowStats>> out;
+  out.reserve(4);
+  out.emplace_back("tick_ms", tick_window_.Stats());
+  out.emplace_back("catalog_phase_ms", catalog_window_.Stats());
+  out.emplace_back("solve_phase_ms", solve_window_.Stats());
+  out.emplace_back("project_phase_ms", project_window_.Stats());
+  return out;
+}
+
+}  // namespace fta

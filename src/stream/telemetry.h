@@ -1,0 +1,105 @@
+#ifndef FTA_STREAM_TELEMETRY_H_
+#define FTA_STREAM_TELEMETRY_H_
+
+// Per-tick instrumentation of the streaming dispatch loop: tick-latency
+// quantile sketches split by phase, churn/backlog gauges, warm-vs-cold
+// path counters, and rolling windows over the last N ticks — the live
+// serving view ROADMAP item 2's p50/p99 gates read.
+//
+// Strictly an OBSERVER of TickStats values the dispatcher already
+// computes: it never touches the instance, catalog, solver, or digest, so
+// telemetry on/off cannot change assignments (pinned by the stream
+// identity battery). Epoch advancement is tick-driven — no wall clock
+// anywhere in this layer (enforced by fta_lint's wall-clock-read rule);
+// the only nondeterministic inputs are the phase timings themselves.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace fta {
+
+struct TickStats;
+
+struct StreamTelemetryConfig {
+  /// Master switch; off skips every per-tick observation.
+  bool enabled = true;
+  /// Rolling-window length in ticks (epoch == tick).
+  size_t window_ticks = 32;
+  /// Relative accuracy of the latency sketches (registry + windows).
+  double relative_accuracy = 0.01;
+  /// When non-empty, the Prometheus text page is published here (atomic
+  /// tmp+rename) every `publish_every_ticks` ticks and at run end — the
+  /// node_exporter-textfile pattern `fta_tool metrics-serve` serves.
+  std::string publish_path;
+  /// 0 publishes only at run end (when publish_path is set).
+  size_t publish_every_ticks = 0;
+};
+
+/// The dispatcher's telemetry sink. Registers its metrics in the global
+/// registry at construction (names are distinct from the run-end
+/// PublishStream aggregates, so the two never double-count) and caches the
+/// references, keeping OnTick allocation-free and lock-free on the
+/// registry side.
+class StreamTelemetry {
+ public:
+  explicit StreamTelemetry(const StreamTelemetryConfig& config);
+
+  /// Records one completed tick: phase sketches, churn/backlog gauges,
+  /// warm-vs-cold counters, then advances every rolling window so the
+  /// epoch boundary is exactly the tick boundary.
+  void OnTick(const TickStats& ts);
+
+  /// The full Prometheus page: global registry snapshot plus this
+  /// dispatcher's rolling windows.
+  std::string PrometheusText() const;
+
+  /// Publishes PrometheusText() to config.publish_path when the cadence
+  /// says so (tick numbers are 0-based; cadence 1 publishes every tick).
+  /// No-op without a path. Returns false only on I/O failure.
+  bool MaybePublish(uint64_t tick) const;
+  /// Unconditional publish (run end). No-op without a path.
+  bool PublishNow() const;
+
+  /// Windowed readings, name-paired for the run report's "windows"
+  /// section.
+  std::vector<std::pair<std::string, obs::WindowStats>> WindowReadings()
+      const;
+
+  const obs::RollingWindow& tick_window() const { return tick_window_; }
+  const StreamTelemetryConfig& config() const { return config_; }
+
+ private:
+  StreamTelemetryConfig config_;
+
+  // Registry-resident (process-lifetime) metrics, cached.
+  obs::QuantileSketch& tick_ms_;
+  obs::QuantileSketch& catalog_phase_ms_;
+  obs::QuantileSketch& solve_phase_ms_;
+  obs::QuantileSketch& project_phase_ms_;
+  obs::Gauge& live_workers_;
+  obs::Gauge& backlog_dps_;
+  obs::Gauge& tick_workers_in_;
+  obs::Gauge& tick_workers_out_;
+  obs::Gauge& tick_tasks_in_;
+  obs::Gauge& tick_tasks_out_;
+  obs::Gauge& last_tick_;
+  obs::Gauge& tick_rounds_;
+  obs::Counter& ticks_warm_;
+  obs::Counter& ticks_cold_;
+  obs::Counter& ticks_converged_;
+
+  // Per-dispatcher rolling windows (epoch == tick).
+  obs::RollingWindow tick_window_;
+  obs::RollingWindow catalog_window_;
+  obs::RollingWindow solve_window_;
+  obs::RollingWindow project_window_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_STREAM_TELEMETRY_H_

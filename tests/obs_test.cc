@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <regex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,7 +16,10 @@
 #include "game/fgt.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/sketch.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "vdps/catalog.h"
@@ -174,6 +182,312 @@ TEST(MetricsTest, SnapshotJsonSortedAndParseable) {
   EXPECT_EQ(zeta->StringOr("kind", ""), "counter");
 }
 
+TEST(MetricsTest, HistogramReRegistrationKeepsFirstBounds) {
+  auto& reg = obs::MetricsRegistry::Global();
+  auto& first = reg.GetHistogram("obs_test/rereg_hist", {1.0, 2.0, 4.0});
+  auto& second = reg.GetHistogram("obs_test/rereg_hist", {10.0, 20.0});
+  // Same object, first bounds win: re-registration with different bounds
+  // must not create a second histogram or rebucket the first.
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+  first.Reset();
+  second.Observe(3.0);  // bucket 2 under the FIRST bounds
+  const std::vector<uint64_t> counts = first.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(MetricsTest, SketchReRegistrationKeepsFirstAccuracy) {
+  auto& reg = obs::MetricsRegistry::Global();
+  auto& first = reg.GetSketch("obs_test/rereg_sketch", 0.01);
+  auto& second = reg.GetSketch("obs_test/rereg_sketch", 0.2);
+  EXPECT_EQ(&first, &second);
+  EXPECT_DOUBLE_EQ(second.layout().relative_accuracy, 0.01);
+}
+
+TEST(MetricsTest, SnapshotJsonIncludesSketch) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+  auto& sketch = reg.GetSketch("obs_test/json_sketch");
+  for (int i = 1; i <= 100; ++i) sketch.Observe(static_cast<double>(i));
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  const obs::MetricReading* m = snap.Find("obs_test/json_sketch");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, obs::MetricReading::Kind::kSketch);
+  EXPECT_EQ(m->count, 100u);
+  EXPECT_DOUBLE_EQ(m->sum, 5050.0);
+
+  StatusOr<obs::JsonValue> parsed = obs::ParseJson(snap.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* j = parsed->Find("obs_test/json_sketch");
+  ASSERT_NE(j, nullptr);
+  EXPECT_EQ(j->StringOr("kind", ""), "sketch");
+  EXPECT_DOUBLE_EQ(j->NumberOr("count", 0), 100.0);
+  // The readout quantile carries the sketch's relative-accuracy bound.
+  EXPECT_NEAR(j->NumberOr("p50", 0), 50.0, 50.0 * 0.0101);
+}
+
+// ---------------------------------------------------------------- sketch --
+
+TEST(SketchTest, QuantilesCarryTheRelativeAccuracyBound) {
+  obs::SketchData s(0.01);
+  std::vector<double> values;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform over six decades: exactly the no-pre-chosen-bounds
+    // regime fixed-boundary histograms cannot cover.
+    const double v = std::exp(rng.Uniform(std::log(1e-3), std::log(1e3)));
+    values.push_back(v);
+    s.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(q * static_cast<double>(values.size()))));
+    const double exact = values[std::min(rank, values.size()) - 1];
+    EXPECT_NEAR(s.ValueAtQuantile(q), exact, exact * 0.0101) << "q=" << q;
+  }
+}
+
+TEST(SketchTest, DeterministicRankRule) {
+  const obs::SketchLayout layout(0.01);
+  obs::SketchData s(layout);
+  EXPECT_DOUBLE_EQ(s.ValueAtQuantile(0.5), 0.0);  // empty reads 0
+  s.Observe(1.0);
+  s.Observe(2.0);
+  s.Observe(3.0);
+  // rank = max(1, ceil(q*count)): q=0 reads observation #1, q=0.5 reads
+  // #2, q=1 reads #3; out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(s.ValueAtQuantile(0.0),
+                   layout.ValueFor(layout.IndexFor(1.0)));
+  EXPECT_DOUBLE_EQ(s.ValueAtQuantile(0.5),
+                   layout.ValueFor(layout.IndexFor(2.0)));
+  EXPECT_DOUBLE_EQ(s.ValueAtQuantile(1.0),
+                   layout.ValueFor(layout.IndexFor(3.0)));
+  EXPECT_DOUBLE_EQ(s.ValueAtQuantile(2.0), s.ValueAtQuantile(1.0));
+  EXPECT_DOUBLE_EQ(s.ValueAtQuantile(-1.0), s.ValueAtQuantile(0.0));
+
+  // Non-positive and NaN observations land in the zero bucket; ranks that
+  // fall inside it read exactly 0.
+  obs::SketchData z(layout);
+  z.Observe(0.0);
+  z.Observe(-5.0);
+  z.Observe(std::nan(""));
+  z.Observe(10.0);
+  EXPECT_EQ(z.zero_count(), 3u);
+  EXPECT_EQ(z.count(), 4u);
+  EXPECT_DOUBLE_EQ(z.ValueAtQuantile(0.5), 0.0);  // rank 2 <= zero count
+  EXPECT_DOUBLE_EQ(z.ValueAtQuantile(1.0),
+                   layout.ValueFor(layout.IndexFor(10.0)));
+}
+
+TEST(SketchTest, MergeIsOrderInvariant) {
+  // Three shards with overlapping buckets, zero-bucket traffic, and
+  // range-clamped extremes, merged in every order — plus a single sketch
+  // ingesting the union in a different interleaving. All bit-identical.
+  const std::vector<std::vector<double>> shards = {
+      {0.5, 1.5, 0.5, 800.0},
+      {1.5, 22.0, 1e-12},
+      {0.0, 3.14, 0.5},
+  };
+  std::vector<obs::SketchData> parts;
+  for (const std::vector<double>& shard : shards) {
+    obs::SketchData s;
+    for (double v : shard) s.Observe(v);
+    parts.push_back(s);
+  }
+  std::vector<size_t> order = {0, 1, 2};
+  obs::SketchData reference;
+  bool have_reference = false;
+  do {
+    obs::SketchData merged;
+    for (size_t i : order) merged.Merge(parts[i]);
+    if (!have_reference) {
+      reference = merged;
+      have_reference = true;
+    }
+    EXPECT_EQ(merged, reference);
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(reference.count(), 10u);
+
+  obs::SketchData interleaved;
+  for (double v :
+       {0.5, 1.5, 0.0, 22.0, 3.14, 0.5, 1e-12, 800.0, 1.5, 0.5}) {
+    interleaved.Observe(v);
+  }
+  EXPECT_EQ(interleaved, reference);
+}
+
+/// Observes a fixed workload into the registry-resident atomic sketch from
+/// `num_threads` threads; the snapshot must not depend on the split.
+obs::SketchData RunShardedSketchWorkload(size_t num_threads) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+  auto& sketch = reg.GetSketch("obs_test/latency_sketch");
+  constexpr size_t kItems = 4000;
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < kItems;
+           i = next.fetch_add(1)) {
+        // i % 97 == 0 exercises the zero bucket concurrently too.
+        sketch.Observe(0.05 * static_cast<double>(i % 97));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  return sketch.Snapshot();
+}
+
+TEST(SketchTest, AtomicSnapshotIsThreadCountInvariant) {
+  const obs::SketchData serial = RunShardedSketchWorkload(1);
+  EXPECT_EQ(serial.count(), 4000u);
+  EXPECT_GT(serial.zero_count(), 0u);
+  EXPECT_EQ(serial, RunShardedSketchWorkload(2));
+  EXPECT_EQ(serial, RunShardedSketchWorkload(8));
+}
+
+// ---------------------------------------------------------------- window --
+
+TEST(WindowTest, EpochBoundariesAreExactAndOldEpochsEvict) {
+  obs::RollingWindow window(2);
+  window.Observe(1.0);
+  const obs::WindowStats s0 = window.Stats();
+  EXPECT_EQ(s0.count(), 1u);  // the in-progress epoch is included
+  EXPECT_EQ(s0.epochs, 0u);
+  EXPECT_DOUBLE_EQ(s0.RatePerEpoch(), 1.0);  // denominator clamps to 1
+
+  window.Advance();  // seal {1}
+  window.Observe(2.0);
+  window.Observe(2.0);
+  window.Advance();    // seal {2,2}
+  window.Observe(4.0);  // in-progress
+  const obs::WindowStats s1 = window.Stats();
+  EXPECT_EQ(s1.epochs, 2u);
+  EXPECT_EQ(s1.capacity, 2u);
+  EXPECT_EQ(s1.count(), 4u);  // {1} + {2,2} + {4}
+  EXPECT_DOUBLE_EQ(s1.sum(), 9.0);
+  EXPECT_DOUBLE_EQ(s1.RatePerEpoch(), 2.0);
+
+  window.Advance();  // seal {4}; the ring evicts {1}
+  const obs::WindowStats s2 = window.Stats();
+  EXPECT_EQ(window.epochs_sealed(), 2u);
+  EXPECT_EQ(s2.count(), 3u);  // exactly {2,2} + {4}: the 1.0 left
+  EXPECT_DOUBLE_EQ(s2.sum(), 8.0);
+  const obs::SketchLayout layout(0.01);
+  EXPECT_DOUBLE_EQ(s2.Quantile(0.5),
+                   layout.ValueFor(layout.IndexFor(2.0)));
+  EXPECT_DOUBLE_EQ(s2.Quantile(1.0),
+                   layout.ValueFor(layout.IndexFor(4.0)));
+
+  window.Reset();
+  EXPECT_EQ(window.Stats().count(), 0u);
+  EXPECT_EQ(window.epochs_sealed(), 0u);
+}
+
+/// Same fixed workload into one window epoch from `num_threads` threads.
+obs::SketchData RunShardedWindowWorkload(size_t num_threads) {
+  obs::RollingWindow window(4);
+  constexpr size_t kItems = 2000;
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < kItems;
+           i = next.fetch_add(1)) {
+        window.Observe(0.25 * static_cast<double>(i % 53));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  window.Advance();  // seal the epoch the whole workload landed in
+  return window.Stats().merged;
+}
+
+TEST(WindowTest, MergedStatsAreThreadCountInvariant) {
+  const obs::SketchData serial = RunShardedWindowWorkload(1);
+  EXPECT_EQ(serial.count(), 2000u);
+  EXPECT_EQ(serial, RunShardedWindowWorkload(2));
+  EXPECT_EQ(serial, RunShardedWindowWorkload(8));
+}
+
+// ------------------------------------------------------------ prometheus --
+
+TEST(PrometheusTest, NameSanitization) {
+  EXPECT_EQ(obs::PrometheusName("stream/tick_ms"), "fta_stream_tick_ms");
+  EXPECT_EQ(obs::PrometheusName("a-b.c:d9"), "fta_a_b_c:d9");
+}
+
+TEST(PrometheusTest, TextPageCoversEveryMetricKind) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+  reg.GetCounter("obs_test/prom_counter").Add(3);
+  reg.GetGauge("obs_test/prom_gauge").Set(2.5);
+  auto& h = reg.GetHistogram("obs_test/prom_hist", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(9.0);
+  auto& sk = reg.GetSketch("obs_test/prom_sketch");
+  for (int i = 0; i < 10; ++i) sk.Observe(7.0);
+
+  const std::string text = obs::ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE fta_obs_test_prom_counter_total counter\n"
+                      "fta_obs_test_prom_counter_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fta_obs_test_prom_gauge gauge\n"
+                      "fta_obs_test_prom_gauge 2.5\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and +Inf equals the total count.
+  EXPECT_NE(text.find("fta_obs_test_prom_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fta_obs_test_prom_hist_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fta_obs_test_prom_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fta_obs_test_prom_hist_sum 11\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fta_obs_test_prom_hist_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fta_obs_test_prom_sketch summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fta_obs_test_prom_sketch{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("fta_obs_test_prom_sketch_count 10\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, WindowSummaryAndAtomicPublish) {
+  obs::RollingWindow window(3);
+  window.Observe(1.0);
+  window.Observe(5.0);
+  window.Advance();
+  window.Observe(9.0);
+  std::string out;
+  obs::AppendWindowSummary("tick_ms", window.Stats(), out);
+  EXPECT_NE(out.find("# TYPE fta_window_tick_ms gauge\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fta_window_tick_ms{stat=\"count\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fta_window_tick_ms{stat=\"epochs\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fta_window_tick_ms{stat=\"rate_per_epoch\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("fta_window_tick_ms{stat=\"p50\"} "),
+            std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "fta_obs_prom_test.prom";
+  ASSERT_TRUE(obs::WriteTextFileAtomic(path, out));
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str(), out);
+  // The temp name never survives a successful publish.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
 // ----------------------------------------------------------------- spans --
 
 TEST(TraceTest, DisabledRecordsNothing) {
@@ -300,6 +614,32 @@ TEST(RunReportTest, JsonRoundTrip) {
   EXPECT_DOUBLE_EQ(fgt_runs->NumberOr("value", 0), 1.0);
 
   ASSERT_NE(v.Find("spans"), nullptr);
+}
+
+TEST(RunReportTest, WindowsSectionRoundTrips) {
+  const Instance inst = RandomInstance(43, 8, 4);
+  SolverOptions options;
+  obs::MetricsRegistry::Global().Reset();
+  const RunMetrics m = RunOnInstance(Algorithm::kFgt, inst, options);
+  RunReport report = BuildRunReport("obs_test", "FGT", "random-43", m);
+  obs::RollingWindow window(4);
+  window.Observe(1.0);
+  window.Observe(3.0);
+  window.Advance();
+  report.windows.emplace_back("tick_ms", window.Stats());
+
+  StatusOr<obs::JsonValue> parsed = obs::ParseJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* windows = parsed->Find("windows");
+  ASSERT_NE(windows, nullptr);
+  const obs::JsonValue* tick = windows->Find("tick_ms");
+  ASSERT_NE(tick, nullptr);
+  EXPECT_DOUBLE_EQ(tick->NumberOr("count", 0), 2.0);
+  EXPECT_DOUBLE_EQ(tick->NumberOr("sum", 0), 4.0);
+  EXPECT_DOUBLE_EQ(tick->NumberOr("epochs", 0), 1.0);
+  EXPECT_DOUBLE_EQ(tick->NumberOr("capacity", 0), 4.0);
+  EXPECT_DOUBLE_EQ(tick->NumberOr("rate_per_epoch", 0), 2.0);
+  EXPECT_GT(tick->NumberOr("p99", 0), 0.0);
 }
 
 // ----------------------------------------------------------- determinism --

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "datagen/workload.h"
+#include "obs/window.h"
 #include "stream/dispatcher.h"
 #include "util/status.h"
 
@@ -112,6 +113,37 @@ TEST(StreamIdentityTest, ColdSeededTicksAlwaysRegenerate) {
   ASSERT_TRUE(result.ok()) << result.status().message();
   EXPECT_EQ(result->counters.regens, result->counters.ticks);
   EXPECT_EQ(result->counters.deltas, 0u);
+}
+
+TEST(StreamIdentityTest, TelemetryOnOffAssignmentsAreBitIdentical) {
+  // Telemetry is strictly an observer (dispatcher phase 7, after the
+  // digest fold): with it on (the default) and off, a full stream run must
+  // fold bit-identical whole-run digests — while the telemetry side really
+  // does observe every tick into its rolling windows.
+  const std::vector<StreamEvent> events =
+      GenerateChurnEvents(SmallChurn(), 31);
+  for (const StreamSolver solver :
+       {StreamSolver::kFgt, StreamSolver::kIegt}) {
+    StreamConfig on = SmallStream(5, 2, solver);
+    on.policy = ResolvePolicy::kWarm;
+    StreamConfig off = on;
+    off.telemetry.enabled = false;
+
+    StreamDispatcher instrumented(on, events);
+    StatusOr<StreamResult> with = instrumented.Run();
+    ASSERT_TRUE(with.ok()) << with.status().message();
+    ASSERT_NE(instrumented.telemetry(), nullptr);
+    const obs::WindowStats tick_stats =
+        instrumented.telemetry()->tick_window().Stats();
+    EXPECT_EQ(tick_stats.count(), with->counters.ticks);
+
+    StreamDispatcher bare(off, events);
+    StatusOr<StreamResult> without = bare.Run();
+    ASSERT_TRUE(without.ok()) << without.status().message();
+    EXPECT_EQ(bare.telemetry(), nullptr);
+    EXPECT_EQ(with->digest, without->digest)
+        << "solver=" << StreamSolverName(solver);
+  }
 }
 
 TEST(StreamIdentityTest, DifferentSeedsProduceDifferentStreams) {

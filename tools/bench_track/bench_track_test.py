@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Self-test for bench_track: history folding, replacement semantics,
+regression detection (including an injected synthetic regression),
+report-only mode, and malformed-history failure."""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_track  # noqa: E402
+
+
+def meta(sha):
+    return {"git_sha": sha, "cpu": "test-cpu", "date": "2026-08-08",
+            "compiler": "g++", "build": "release", "threads": 4}
+
+
+def obs_bench(sha, overhead=0.002, stream_overhead=0.004):
+    return {
+        "bench": "obs_overhead", "meta": meta(sha),
+        "disabled_span_ns": 2.0, "overhead_fraction": overhead,
+        "stream_telemetry": {"overhead_fraction": stream_overhead,
+                             "ontick_ns": 400.0, "digest_match": True},
+        "pass": True,
+    }
+
+
+def game_bench(sha, ns_per_evaluate=200.0, speedup=6.0):
+    return {
+        "bench": "game_ledger", "meta": meta(sha),
+        "ledger": {"ns_per_evaluate": ns_per_evaluate},
+        "speedup": speedup, "pass": True,
+    }
+
+
+class BenchTrackTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = self.tmp.name
+        self.history = os.path.join(self.dir, "BENCH_history.jsonl")
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write_benches(self, sha, **overrides):
+        docs = {"obs": obs_bench(sha), "game": game_bench(sha)}
+        for stem, patch in overrides.items():
+            docs[stem] = patch
+        for stem, doc in docs.items():
+            path = os.path.join(self.dir, "BENCH_%s.json" % stem)
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+
+    def collect(self, sha, **overrides):
+        self.write_benches(sha, **overrides)
+        return bench_track.main(
+            ["collect", "--bench-dir", self.dir, "--history", self.history])
+
+    def check(self, extra=()):
+        return bench_track.main(
+            ["check", "--history", self.history, "--bench-dir", self.dir]
+            + list(extra))
+
+    def test_collect_builds_consistent_history(self):
+        self.assertEqual(self.collect("aaa111"), 0)
+        self.assertEqual(self.collect("bbb222"), 0)
+        entries = bench_track.load_history(self.history)
+        self.assertEqual(len(entries), 2)
+        self.assertEqual([e["sha"] for e in entries], ["aaa111", "bbb222"])
+        for entry in entries:
+            self.assertEqual(entry["schema"], bench_track.SCHEMA)
+            self.assertEqual(entry["cpu"], "test-cpu")
+            self.assertEqual(entry["build"], "release")
+            self.assertEqual(sorted(entry["benches"]), ["game", "obs"])
+        # Every tracked obs/game metric is resolvable in every entry.
+        for bench, path, _ in bench_track.TRACKED:
+            if bench in ("obs", "game"):
+                for entry in entries:
+                    self.assertIsNotNone(
+                        bench_track.lookup(entry["benches"][bench], path),
+                        "%s.%s" % (bench, path))
+
+    def test_collect_replaces_same_sha(self):
+        self.assertEqual(self.collect("aaa111"), 0)
+        self.assertEqual(self.collect("aaa111"), 0)
+        self.assertEqual(len(bench_track.load_history(self.history)), 1)
+
+    def test_check_clean_run_passes(self):
+        for sha in ("s1", "s2", "s3"):
+            self.assertEqual(self.collect(sha), 0)
+        self.write_benches("s4")
+        self.assertEqual(self.check(), 0)
+
+    def test_check_flags_injected_regression(self):
+        for sha in ("s1", "s2", "s3"):
+            self.assertEqual(self.collect(sha), 0)
+        # Synthetic regression: Evaluate gets 50% slower (lower-is-better
+        # metric rises well beyond the 15% default threshold).
+        self.write_benches(
+            "s4", game=game_bench("s4", ns_per_evaluate=300.0))
+        self.assertEqual(self.check(), 1)
+        # Report-only mode surfaces it but exits 0 (the CI default).
+        self.assertEqual(self.check(["--report-only"]), 0)
+
+    def test_check_flags_higher_is_better_drop(self):
+        for sha in ("s1", "s2", "s3"):
+            self.assertEqual(self.collect(sha), 0)
+        self.write_benches("s4", game=game_bench("s4", speedup=3.0))
+        self.assertEqual(self.check(), 1)
+
+    def test_check_within_threshold_passes(self):
+        for sha in ("s1", "s2"):
+            self.assertEqual(self.collect(sha), 0)
+        self.write_benches(
+            "s3", game=game_bench("s3", ns_per_evaluate=220.0))  # +10%
+        self.assertEqual(self.check(), 0)
+
+    def test_check_newest_history_entry_without_bench_dir(self):
+        for sha in ("s1", "s2"):
+            self.assertEqual(self.collect(sha), 0)
+        self.assertEqual(self.collect(
+            "s3", game=game_bench("s3", ns_per_evaluate=300.0)), 0)
+        self.assertEqual(bench_track.main(
+            ["check", "--history", self.history]), 1)
+
+    def test_malformed_history_exits_2(self):
+        with open(self.history, "w", encoding="utf-8") as f:
+            f.write('{"schema": "fta-bench-history-v1"\n')  # truncated
+        self.write_benches("s1")
+        self.assertEqual(self.check(), 2)
+        self.assertEqual(bench_track.main(
+            ["report", "--history", self.history]), 2)
+
+    def test_wrong_schema_exits_2(self):
+        with open(self.history, "w", encoding="utf-8") as f:
+            f.write(json.dumps({"schema": "v0", "benches": {}}) + "\n")
+        self.write_benches("s1")
+        self.assertEqual(self.check(), 2)
+
+    def test_report_runs_on_real_shapes(self):
+        for sha in ("s1", "s2"):
+            self.assertEqual(self.collect(sha), 0)
+        self.assertEqual(bench_track.main(
+            ["report", "--history", self.history]), 0)
+
+    def test_first_entry_has_no_baseline(self):
+        self.write_benches("s1")
+        self.assertEqual(self.check(), 0)
+
+    def test_repo_history_is_consistent(self):
+        """The committed BENCH_history.jsonl (when present) parses and
+        passes a report-only check against the committed BENCH files."""
+        repo = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        history = os.path.join(repo, "BENCH_history.jsonl")
+        if not os.path.exists(history):
+            self.skipTest("no committed BENCH_history.jsonl")
+        entries = bench_track.load_history(history)
+        self.assertGreaterEqual(len(entries), 1)
+        self.assertEqual(bench_track.main(
+            ["check", "--history", history, "--report-only"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -40,6 +40,17 @@ hazard patterns that have historically threatened that claim:
       (`PayoffLedger::Gini`) are not calls and are skipped; code outside
       src/game/ has no ledger in scope and is out of this rule's reach.
 
+  wall-clock-read
+      A direct clock read (std::chrono::*_clock::now, clock_gettime,
+      gettimeofday, localtime/gmtime) inside src/obs/ or src/stream/
+      outside the sanctioned trace clock (src/obs/trace.cc). Those layers
+      are replay-deterministic by contract: rolling-window epochs advance
+      on caller-driven ticks and durations arrive as values the caller
+      measured (util/stopwatch.h), so a replayed run reproduces window
+      contents and snapshots bit-identically. A clock read buried in
+      either layer would silently break that. Code elsewhere (util,
+      bench, examples) is out of this rule's scope.
+
   raw-simd-intrinsics
       A raw vector intrinsic (`_mm256_*` and friends) or an intrinsic
       header include (`<immintrin.h>`) outside the sanctioned kernel TUs
@@ -100,6 +111,19 @@ SIMD_SANCTIONED = (
     "src/util/simd_avx2.cc",
     "src/game/iau_kernels_avx2.cc",
 )
+
+# Direct clock reads banned from the replay-deterministic layers. The
+# chrono alternative covers every std clock; the libc alternatives cover
+# the POSIX reads (including the _r variants via the optional suffix).
+WALL_CLOCK_READ = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)::now"
+    r"|\b(?:clock_gettime|gettimeofday|localtime(?:_r)?|gmtime(?:_r)?)\s*\("
+)
+# Path fragments the wall-clock-read rule applies to.
+WALL_CLOCK_SCOPES = ("src/obs/", "src/stream/")
+# The one sanctioned clock: the trace recorder's span timestamps, which
+# are wall-time-valued by design and never feed the determinism contract.
+WALL_CLOCK_SANCTIONED = ("src/obs/trace.cc",)
 
 NOLINT_HERE = re.compile(r"NOLINT\(fta-det\)")
 NOLINT_NEXT = re.compile(r"NOLINTNEXTLINE\(fta-det\)")
@@ -448,6 +472,30 @@ def check_raw_simd_intrinsics(scan: FileScan, out: list[Violation]) -> None:
             )
 
 
+def check_wall_clock_read(scan: FileScan, out: list[Violation]) -> None:
+    display = scan.display.replace(os.sep, "/")
+    if not any(scope in display for scope in WALL_CLOCK_SCOPES):
+        return
+    if display.endswith(WALL_CLOCK_SANCTIONED):
+        return
+    for i, line in enumerate(scan.scrubbed_lines):
+        for m in WALL_CLOCK_READ.finditer(line):
+            if i in scan.suppressed:
+                continue
+            out.append(
+                Violation(
+                    scan.display,
+                    i + 1,
+                    "wall-clock-read",
+                    f"'{m.group(0).strip()}' — direct clock read in the "
+                    "replay-deterministic obs/stream layers; take durations "
+                    "as caller-measured values (util/stopwatch.h at the "
+                    "call site) and advance windows on caller-driven ticks; "
+                    "the only sanctioned clock is src/obs/trace.cc",
+                )
+            )
+
+
 def load_allowlist(path: str):
     entries = []
     if not os.path.exists(path):
@@ -537,6 +585,7 @@ def main(argv=None) -> int:
         check_parallel_float_reduce(scan, tables, violations)
         check_sorted_metric_rebuild(scan, violations)
         check_raw_simd_intrinsics(scan, violations)
+        check_wall_clock_read(scan, violations)
         del before
 
     entries = load_allowlist(allowlist_path)

@@ -52,6 +52,30 @@ class ViolationFixtures(unittest.TestCase):
             "the engine's ledger already keeps sorted; read "
             "PayoffLedger::PayoffDifference()/Gini() or pass a sorted view "
             "to a *Sorted overload (DESIGN.md §9)",
+            "src/obs/wall_clock.cc:10: [wall-clock-read] "
+            "'std::chrono::steady_clock::now' — direct clock read in the "
+            "replay-deterministic obs/stream layers; take durations as "
+            "caller-measured values (util/stopwatch.h at the call site) "
+            "and advance windows on caller-driven ticks; the only "
+            "sanctioned clock is src/obs/trace.cc",
+            "src/obs/wall_clock.cc:13: [wall-clock-read] "
+            "'clock_gettime(' — direct clock read in the "
+            "replay-deterministic obs/stream layers; take durations as "
+            "caller-measured values (util/stopwatch.h at the call site) "
+            "and advance windows on caller-driven ticks; the only "
+            "sanctioned clock is src/obs/trace.cc",
+            "src/obs/wall_clock.cc:15: [wall-clock-read] "
+            "'gettimeofday(' — direct clock read in the "
+            "replay-deterministic obs/stream layers; take durations as "
+            "caller-measured values (util/stopwatch.h at the call site) "
+            "and advance windows on caller-driven ticks; the only "
+            "sanctioned clock is src/obs/trace.cc",
+            "src/obs/wall_clock.cc:18: [wall-clock-read] "
+            "'gmtime_r(' — direct clock read in the "
+            "replay-deterministic obs/stream layers; take durations as "
+            "caller-measured values (util/stopwatch.h at the call site) "
+            "and advance windows on caller-driven ticks; the only "
+            "sanctioned clock is src/obs/trace.cc",
             "src/parallel_reduce.cc:20: [parallel-float-reduce] float "
             "accumulation 'total +=' inside a ThreadPool fan-out lambda; "
             "scheduling order would change the sum — fold per-shard results "
@@ -105,6 +129,11 @@ class ViolationFixtures(unittest.TestCase):
         for line in (15, 17, 24):
             self.assertNotIn(f"src/simd_leak.cc:{line}:", text)
         self.assertNotIn("src/util/simd_avx2.cc:", text)
+        # Clock names in strings/comments and NOLINT'd reads: clean; the
+        # sanctioned trace clock produces no diagnostics at all.
+        for line in (25, 28, 30):
+            self.assertNotIn(f"src/obs/wall_clock.cc:{line}:", text)
+        self.assertNotIn("src/obs/trace.cc:", text)
 
 
 class CleanFixture(unittest.TestCase):

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned trace clock. This path (src/obs/trace.cc) is
+// the one place in the obs/stream layers allowed to read wall time, so
+// the read below must produce no wall-clock-read diagnostic.
+#include <chrono>
+
+namespace fta {
+
+long TraceEpochNanos() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace fta

@@ -1,0 +1,35 @@
+// Fixture: direct wall-clock reads inside the replay-deterministic
+// obs/stream layers. Every read below must be flagged unless NOLINT'd.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+namespace fta {
+
+double TickLatencySeconds() {
+  const auto begin = std::chrono::steady_clock::now();
+  (void)begin;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  struct tm parts;
+  time_t stamp = ts.tv_sec;
+  gmtime_r(&stamp, &parts);
+  return static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double SuppressedProbes() {
+  // A "std::chrono::system_clock::now()" inside a string or comment is
+  // scrubbed before matching and must stay silent.
+  const char* label = "std::chrono::system_clock::now()";
+  (void)label;
+  // NOLINTNEXTLINE(fta-det): fixture-sanctioned replay-exempt probe.
+  const auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  const auto hi = std::chrono::high_resolution_clock::now();  // NOLINT(fta-det)
+  (void)hi;
+  return 0.0;
+}
+
+}  // namespace fta
