@@ -32,6 +32,20 @@ struct BenchMeta {
   unsigned threads = 0;  // hardware_concurrency
 };
 
+/// True for a plausible abbreviated git SHA: ≥4 lowercase hex chars.
+/// `git rev-parse` outside a checkout (or with git absent) can still
+/// produce output — a shell error line, an empty string — and a bench
+/// run must degrade to "unknown" rather than record garbage that
+/// bench_track would then treat as a real commit.
+inline bool LooksLikeGitSha(const std::string& sha) {
+  if (sha.size() < 4) return false;
+  for (const char c : sha) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
 inline BenchMeta GetBenchMeta() {
   BenchMeta meta;
   meta.git_sha = "unknown";
@@ -42,7 +56,7 @@ inline BenchMeta GetBenchMeta() {
       while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
         sha.pop_back();
       }
-      if (!sha.empty()) meta.git_sha = sha;
+      if (LooksLikeGitSha(sha)) meta.git_sha = sha;
     }
     pclose(p);
   }

@@ -1,7 +1,5 @@
 #include "exp/runner.h"
 
-#include <mutex>
-
 #include "baseline/gta.h"
 #include "baseline/random_assignment.h"
 #include "model/assignment.h"

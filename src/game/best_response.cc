@@ -112,6 +112,11 @@ void BestResponseEngine::Apply(size_t w, int32_t idx) {
   ledger_.Update(w, state_->payoff_of(w));
 }
 
+// FTA_HOT_BEGIN(best-response-scan)
+// Steady-state region (fta_lint hot-path-allocation): Evaluate through
+// AvailableAbovePayoff run once per candidate move, every round. Scratch
+// is sized in the constructor; nothing here may allocate per call.
+
 BestResponseOutcome BestResponseEngine::Evaluate(size_t w) {
   FTA_SPAN("game/best_response");
   if (config_.use_payoff_ledger) {
@@ -241,9 +246,13 @@ void BestResponseEngine::AvailableAbovePayoff(size_t w,
     const int32_t idx = static_cast<int32_t>(i);
     if (idx == current) continue;
     if (payoffs[i] <= payoff_threshold + kEps) break;  // sorted desc
-    if (Available(w, idx, counters_)) out.push_back(idx);
+    // Caller-owned buffer, reused across calls (out.clear() above keeps
+    // capacity): growth amortizes to zero in steady state.
+    if (Available(w, idx, counters_)) out.push_back(idx);  // NOLINT(fta-alloc)
   }
 }
+
+// FTA_HOT_END(best-response-scan)
 
 Status BestResponseEngine::ValidateAvailabilityIndex() const {
   for (size_t w = 0; w < avail_.size(); ++w) {

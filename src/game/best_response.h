@@ -137,8 +137,11 @@ class BestResponseEngine {
   static constexpr uint8_t kAvailable = 1;
   static constexpr uint8_t kBlocked = 2;
 
+  // FTA_HOT_BEGIN(candidate-fold)
   /// Candidate in the deterministic reduce; ordered by (utility desc,
-  /// index asc). `valid` is false for the identity element.
+  /// index asc). `valid` is false for the identity element. Runs once per
+  /// shard winner per Evaluate — allocation-free by construction, checked
+  /// by fta_lint's hot-path-allocation rule.
   struct Candidate {
     double utility = 0.0;
     int32_t index = 0;
@@ -150,6 +153,7 @@ class BestResponseEngine {
     if (a.utility != b.utility) return a.utility > b.utility ? a : b;
     return a.index <= b.index ? a : b;
   }
+  // FTA_HOT_END(candidate-fold)
 
   /// Reusable gather scratch of the batched candidate scan (one slot per
   /// potential shard, sized once in the constructor to the catalog's max

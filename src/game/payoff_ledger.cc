@@ -37,6 +37,11 @@ void PayoffLedger::Reset(const std::vector<double>& payoffs) {
   scratch_.prefix_.assign(n == 0 ? 1 : n, 0.0);
 }
 
+// FTA_HOT_BEGIN(ledger-steady-state)
+// Steady-state region (fta_lint hot-path-allocation): Update/Exclude/
+// metric reads run once per accepted move. Reset() above is the one
+// sanctioned allocation point — it sizes the scratch these reuse.
+
 void PayoffLedger::Update(size_t w, double payoff) {
   const size_t p = pos_[w];
   const double old = sorted_[p];
@@ -116,6 +121,8 @@ double PayoffLedger::ExactPotential(const std::vector<double>& payoffs,
                                     double alpha) const {
   return fta::ExactPotential(payoffs, alpha, PayoffDifference());
 }
+
+// FTA_HOT_END(ledger-steady-state)
 
 Status PayoffLedger::Validate(const std::vector<double>& payoffs) const {
   if (payoffs.size() != sorted_.size() || pos_.size() != sorted_.size() ||

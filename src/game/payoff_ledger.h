@@ -52,6 +52,9 @@ struct LedgerCounters {
 /// or Update() on the owning ledger.
 class LedgerView {
  public:
+  // FTA_HOT_BEGIN(ledger-view)
+  // These accessors sit inside the per-candidate inner loop; fta_lint's
+  // hot-path-allocation rule keeps them allocation-free.
   size_t size() const { return values_.size(); }
   double Mp(double own) const {
     return SortedMp(values_.data(), values_.size(), prefix_.data(), own);
@@ -69,6 +72,7 @@ class LedgerView {
   /// scan.
   const double* sorted_values() const { return values_.data(); }
   const double* prefix_sums() const { return prefix_.data(); }
+  // FTA_HOT_END(ledger-view)
 
  private:
   friend class PayoffLedger;

@@ -196,14 +196,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot.reset(new Counter());
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot.reset(new Gauge());
   return *slot;
@@ -211,7 +211,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot.reset(new Histogram(bounds));
   return *slot;
@@ -219,14 +219,14 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 
 QuantileSketch& MetricsRegistry::GetSketch(const std::string& name,
                                            double relative_accuracy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<QuantileSketch>& slot = sketches_[name];
   if (slot == nullptr) slot.reset(new QuantileSketch(relative_accuracy));
   return *slot;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot snapshot;
   snapshot.metrics.reserve(counters_.size() + gauges_.size() +
                            histograms_.size() + sketches_.size());
@@ -273,7 +273,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/sketch.h"
+#include "util/mutex.h"
 
 namespace fta {
 namespace obs {
@@ -161,30 +161,39 @@ class MetricsRegistry {
   /// ignores the new bounds (first registration wins; pinned by
   /// MetricsTest.HistogramReRegistrationKeepsFirstBounds). Sketches follow
   /// the same rule for their relative accuracy.
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
+  Counter& GetCounter(const std::string& name) FTA_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) FTA_EXCLUDES(mu_);
   Histogram& GetHistogram(const std::string& name,
-                          const std::vector<double>& bounds);
+                          const std::vector<double>& bounds)
+      FTA_EXCLUDES(mu_);
   QuantileSketch& GetSketch(const std::string& name,
-                            double relative_accuracy = 0.01);
+                            double relative_accuracy = 0.01)
+      FTA_EXCLUDES(mu_);
 
   /// Order-invariant merged reading of every registered metric.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const FTA_EXCLUDES(mu_);
 
   /// Zeroes every metric (registrations survive). Callers must make sure
   /// no concurrent writers are active (quiesce pools first) — a reset
   /// racing an Add would produce an unspecified but memory-safe reading.
-  void Reset();
+  void Reset() FTA_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
+  /// Guards the registration maps only. The metric cells themselves stay
+  /// lock-free by design (relaxed atomics, order-invariant folds — see the
+  /// file comment); a returned Counter& outlives the lock because
+  /// registered metrics are never deleted.
+  mutable Mutex mu_;
   // std::map: stable pointers + name-ordered snapshots.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<QuantileSketch>> sketches_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      FTA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ FTA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      FTA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<QuantileSketch>> sketches_
+      FTA_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -50,7 +50,7 @@ TraceRecorder& TraceRecorder::Global() {
 TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
   if (tls_buffer == nullptr) {
     auto buffer = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     buffer->tid = static_cast<uint32_t>(buffers_.size());
     buffers_.push_back(buffer);
     tls_buffer = std::move(buffer);
@@ -67,14 +67,14 @@ void TraceRecorder::Record(std::string name, uint64_t start_us,
   event.dur_us = dur_us;
   event.tid = buffer.tid;
   event.depth = depth;
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(&buffer.mu);
   buffer.events.push_back(std::move(event));
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     buffer->events.clear();
   }
 }
@@ -82,9 +82,9 @@ void TraceRecorder::Clear() {
 std::vector<SpanEvent> TraceRecorder::Snapshot() const {
   std::vector<SpanEvent> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       out.insert(out.end(), buffer->events.begin(), buffer->events.end());
     }
   }
@@ -98,10 +98,10 @@ std::vector<SpanEvent> TraceRecorder::Snapshot() const {
 }
 
 size_t TraceRecorder::num_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     n += buffer->events.size();
   }
   return n;

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace fta {
@@ -79,8 +79,10 @@ class TraceRecorder {
   /// Per-thread span store. Public only so the implementation's
   /// thread_local can name it; not part of the API.
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<SpanEvent> events;
+    Mutex mu;
+    std::vector<SpanEvent> events FTA_GUARDED_BY(mu);
+    /// Thread index; written once at registration (under the recorder's
+    /// mu_), read-only afterwards, so it needs no lock.
     uint32_t tid = 0;
     /// Open-span depth; touched only by the owning thread.
     uint32_t depth = 0;
@@ -93,8 +95,8 @@ class TraceRecorder {
   /// The calling thread's buffer, registered on first use.
   ThreadBuffer& LocalBuffer();
 
-  mutable std::mutex mu_;  // guards buffers_ (registration + snapshot)
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;  // guards buffers_ (registration + snapshot)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ FTA_GUARDED_BY(mu_);
 };
 
 /// RAII span. Use through FTA_SPAN; direct construction is for the rare

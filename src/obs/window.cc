@@ -16,12 +16,12 @@ RollingWindow::RollingWindow(size_t num_epochs, double relative_accuracy)
 }
 
 void RollingWindow::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   current_.Observe(value);
 }
 
 void RollingWindow::Advance() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(current_));
   } else {
@@ -33,7 +33,7 @@ void RollingWindow::Advance() {
 }
 
 WindowStats RollingWindow::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   WindowStats stats;
   stats.merged = SketchData(layout_);
   stats.epochs = sealed_;
@@ -51,12 +51,12 @@ WindowStats RollingWindow::Stats() const {
 }
 
 size_t RollingWindow::epochs_sealed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sealed_;
 }
 
 void RollingWindow::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_.clear();
   next_ = 0;
   sealed_ = 0;

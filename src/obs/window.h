@@ -3,10 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "obs/sketch.h"
+#include "util/mutex.h"
 
 namespace fta {
 namespace obs {
@@ -59,31 +59,33 @@ class RollingWindow {
   explicit RollingWindow(size_t num_epochs, double relative_accuracy = 0.01);
 
   /// Records into the in-progress epoch.
-  void Observe(double value);
+  void Observe(double value) FTA_EXCLUDES(mu_);
 
   /// Seals the in-progress epoch into the ring and starts a new one.
   /// Epoch boundaries are exact: an observation belongs to precisely the
   /// epoch during which it was recorded.
-  void Advance();
+  void Advance() FTA_EXCLUDES(mu_);
 
   /// Merged reading over the sealed epochs plus the in-progress epoch.
-  WindowStats Stats() const;
+  WindowStats Stats() const FTA_EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
   /// Sealed epochs currently held (saturates at capacity()).
-  size_t epochs_sealed() const;
+  size_t epochs_sealed() const FTA_EXCLUDES(mu_);
 
-  void Reset();
+  void Reset() FTA_EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
   const SketchLayout layout_;
 
-  mutable std::mutex mu_;
-  std::vector<SketchData> ring_;  // sealed epochs, ring-ordered
-  size_t next_ = 0;               // ring slot the next seal writes
-  size_t sealed_ = 0;             // min(total seals, capacity_)
-  SketchData current_;            // in-progress epoch
+  mutable Mutex mu_;
+  /// Sealed epochs, ring-ordered. Everything below shares one epoch-
+  /// granular lock (see class comment) and is compile-checked against it.
+  std::vector<SketchData> ring_ FTA_GUARDED_BY(mu_);
+  size_t next_ FTA_GUARDED_BY(mu_) = 0;    // ring slot the next seal writes
+  size_t sealed_ FTA_GUARDED_BY(mu_) = 0;  // min(total seals, capacity_)
+  SketchData current_ FTA_GUARDED_BY(mu_);  // in-progress epoch
 };
 
 }  // namespace obs

@@ -41,22 +41,22 @@ LogLevel GetLogLevel() { return g_log_level.load(); }
 LogSink* SetLogSink(LogSink* sink) { return g_log_sink.exchange(sink); }
 
 void CaptureLogSink::Write(LogLevel /*level*/, std::string_view line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lines_.emplace_back(line);
 }
 
 std::vector<std::string> CaptureLogSink::lines() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lines_;
 }
 
 size_t CaptureLogSink::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lines_.size();
 }
 
 void CaptureLogSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lines_.clear();
 }
 

@@ -1,11 +1,12 @@
 #ifndef FTA_UTIL_LOGGING_H_
 #define FTA_UTIL_LOGGING_H_
 
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace fta {
 
@@ -45,8 +46,8 @@ class CaptureLogSink : public LogSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> lines_;
+  mutable Mutex mu_;
+  std::vector<std::string> lines_ FTA_GUARDED_BY(mu_);
 };
 
 namespace internal_logging {

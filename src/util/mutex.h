@@ -1,0 +1,174 @@
+#ifndef FTA_UTIL_MUTEX_H_
+#define FTA_UTIL_MUTEX_H_
+
+// The repo's ONLY sanctioned synchronization primitives (DESIGN.md §13).
+//
+// Every locked subsystem (thread pool, log sinks, metrics registry,
+// rolling windows, trace buffers, and whatever the sharded server grows
+// next) locks through fta::Mutex / fta::MutexLock / fta::CondVar instead
+// of the raw std:: primitives, for one reason: these wrappers carry
+// Clang's thread-safety capability attributes, so the relationship
+// between a lock and the state it guards is part of the type system.
+// A field declared
+//
+//     std::deque<Job> queue_ FTA_GUARDED_BY(mu_);
+//
+// touched anywhere without `mu_` held is a COMPILE ERROR under
+// `clang++ -Wthread-safety` (promoted to -Werror by the
+// -DFTA_THREAD_SAFETY=ON CMake option and the CI thread-safety job) —
+// the bit-identical-at-any-thread-count contract stops depending on a
+// TSan run happening to schedule the racing interleaving.
+//
+// Under non-Clang compilers (GCC builds the default matrix) the
+// FTA_THREAD_ANNOTATION_ATTRIBUTE__ shim expands every annotation to
+// nothing, so the wrappers cost exactly what the std primitives they
+// hold cost: Mutex is a std::mutex, MutexLock is a lock_guard, CondVar
+// is a condition_variable. No virtual dispatch, no extra state.
+//
+// Raw std::mutex / std::lock_guard / std::unique_lock /
+// std::condition_variable outside this header are rejected by
+// fta_lint's `raw-mutex` rule (no allowlist entries, by policy); the
+// escape for genuinely unannotatable code is // NOLINT(fta-det) with a
+// reason, but no such site exists today.
+
+#include <condition_variable>  // wrapped by fta::CondVar (sanctioned use)
+#include <mutex>               // wrapped by fta::Mutex (sanctioned use)
+
+// ---------------------------------------------------------------------------
+// Attribute shim: Clang's capability attributes, nothing elsewhere.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define FTA_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define FTA_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability
+/// kind in diagnostics).
+#define FTA_CAPABILITY(x) FTA_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability.
+#define FTA_SCOPED_CAPABILITY \
+  FTA_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Declares that a field or variable is protected by the given
+/// capability: reads require it held (shared or exclusive), writes
+/// require it held exclusively.
+#define FTA_GUARDED_BY(x) FTA_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Like FTA_GUARDED_BY, for the data a pointer points at.
+#define FTA_PT_GUARDED_BY(x) \
+  FTA_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function-level contract: the caller must hold the capability when
+/// calling (and it stays held across the call).
+#define FTA_REQUIRES(...) \
+  FTA_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define FTA_ACQUIRE(...) \
+  FTA_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define FTA_RELEASE(...) \
+  FTA_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (it acquires it
+/// itself; calling with it held would deadlock a non-recursive mutex).
+#define FTA_EXCLUDES(...) \
+  FTA_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion to the analysis that the capability is held — for
+/// code reached only under a lock the analysis cannot see (e.g. via a
+/// callback registered while holding it).
+#define FTA_ASSERT_EXCLUSIVE_LOCK(...) \
+  FTA_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(__VA_ARGS__))
+
+/// Documents that a function returns a reference to the given capability
+/// (so locking the returned reference counts as locking the original).
+#define FTA_RETURN_CAPABILITY(x) \
+  FTA_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the function is correct.
+#define FTA_NO_THREAD_SAFETY_ANALYSIS \
+  FTA_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace fta {
+
+class CondVar;
+
+/// An annotated std::mutex. Lock discipline against FTA_GUARDED_BY fields
+/// is checked at compile time under Clang (see file comment).
+class FTA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FTA_ACQUIRE() { mu_.lock(); }
+  void Unlock() FTA_RELEASE() { mu_.unlock(); }
+
+  /// Tells the analysis this thread holds the mutex (no runtime effect).
+  void AssertHeld() const FTA_ASSERT_EXCLUSIVE_LOCK() {}
+
+ private:
+  friend class CondVar;  // waits on the wrapped handle directly
+  std::mutex mu_;
+};
+
+/// RAII lock over an fta::Mutex — the lock_guard of the annotated world.
+/// The analysis tracks the held capability for the scope's duration.
+class FTA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) FTA_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() FTA_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable over fta::Mutex. Wait() requires the mutex held and
+/// returns with it held (the blocked interval releases it, like every
+/// condition variable) — callers re-check their predicate in a while loop
+/// under the lock, which is exactly the shape the analysis can verify:
+///
+///     MutexLock lock(&mu_);
+///     while (!ready_) cv_.Wait(mu_);   // ready_ is FTA_GUARDED_BY(mu_)
+///
+/// There is deliberately no predicate-template overload: the predicate
+/// lambda would be analyzed as a separate function with no knowledge of
+/// the held lock, producing false positives. The explicit loop keeps
+/// every guarded read inside the analyzed, lock-holding frame.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; reacquires before returning.
+  /// Spurious wakeups happen — always re-check the predicate.
+  void Wait(Mutex& mu) FTA_REQUIRES(mu) {
+    // Adopt the already-held native handle for the wait, then release the
+    // unique_lock's ownership claim so the wrapper's bookkeeping (and the
+    // analysis's view that `mu` stayed held) is undisturbed.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fta
+
+#endif  // FTA_UTIL_MUTEX_H_

@@ -19,34 +19,34 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> job) {
   FTA_CHECK(job != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     FTA_CHECK_MSG(!shutdown_, "Submit after shutdown");
     queue_.push_back(std::move(job));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) done_cv_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -60,9 +60,9 @@ void ThreadPool::WorkerLoop() {
       FTA_LOG(kError) << "ThreadPool job threw a non-std exception";
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) done_cv_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -72,15 +72,18 @@ void ThreadPool::RunBatch(size_t n, const std::function<void(size_t)>& fn) {
   // Completion is tracked per batch (not via Wait) so concurrent batches
   // and unrelated Submit-ed jobs never block each other.
   struct BatchState {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t drivers_left;
-    std::atomic<size_t> next{0};
-    std::exception_ptr first_error;
+    Mutex mu;
+    CondVar done;
+    size_t drivers_left FTA_GUARDED_BY(mu) = 0;
+    std::atomic<size_t> next{0};  // lock-free work-stealing cursor
+    std::exception_ptr first_error FTA_GUARDED_BY(mu);
   };
   auto state = std::make_shared<BatchState>();
   const size_t drivers = std::min(std::max<size_t>(num_threads(), 1), n);
-  state->drivers_left = drivers;
+  {
+    MutexLock lock(&state->mu);
+    state->drivers_left = drivers;
+  }
   // `fn` is captured by reference: this frame outlives the batch because it
   // blocks below until every driver has finished.
   for (size_t t = 0; t < drivers; ++t) {
@@ -90,18 +93,18 @@ void ThreadPool::RunBatch(size_t n, const std::function<void(size_t)>& fn) {
         try {
           fn(i);
         } catch (...) {
-          std::unique_lock<std::mutex> lock(state->mu);
+          MutexLock lock(&state->mu);
           if (!state->first_error) {
             state->first_error = std::current_exception();
           }
         }
       }
-      std::unique_lock<std::mutex> lock(state->mu);
-      if (--state->drivers_left == 0) state->done.notify_all();
+      MutexLock lock(&state->mu);
+      if (--state->drivers_left == 0) state->done.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&] { return state->drivers_left == 0; });
+  MutexLock lock(&state->mu);
+  while (state->drivers_left != 0) state->done.Wait(state->mu);
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 

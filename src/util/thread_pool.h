@@ -1,13 +1,13 @@
 #ifndef FTA_UTIL_THREAD_POOL_H_
 #define FTA_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace fta {
 
@@ -18,6 +18,12 @@ namespace fta {
 /// captured inside the job closure. A job that does throw never kills the
 /// pool: Submit-ed exceptions are caught and logged, RunBatch captures the
 /// first one and rethrows it to the batch's caller.
+///
+/// Lock discipline (compile-checked under Clang -Wthread-safety, DESIGN.md
+/// §13): the queue, the shutdown flag, and the in-flight count are guarded
+/// by mu_; every touch goes through a MutexLock scope. threads_ is written
+/// only in the constructor and joined in the destructor, both before/after
+/// any sharing, so it carries no guard.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -30,10 +36,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a job. Never blocks. Safe to call from a pool worker.
-  void Submit(std::function<void()> job);
+  void Submit(std::function<void()> job) FTA_EXCLUDES(mu_);
 
   /// Blocks until every submitted job has finished.
-  void Wait();
+  void Wait() FTA_EXCLUDES(mu_);
 
   /// Bulk-submit/wait helper: runs fn(i) for i in [0, n) on this pool and
   /// blocks until the whole batch has finished, without disturbing other
@@ -41,7 +47,8 @@ class ThreadPool {
   /// i. Every index is attempted even when some throw; the first exception
   /// is rethrown here once the batch is done. Must not be called from a
   /// pool worker thread (it would block a lane of its own batch).
-  void RunBatch(size_t n, const std::function<void(size_t)>& fn);
+  void RunBatch(size_t n, const std::function<void(size_t)>& fn)
+      FTA_EXCLUDES(mu_);
 
   /// Range fan-out: splits [0, n) into NumChunks(n, chunk_size) contiguous
   /// chunks and runs fn(chunk, begin, end) for each as one batch. Chunk
@@ -51,7 +58,8 @@ class ThreadPool {
   /// thread-count-invariant output.
   void RunChunked(size_t n, size_t chunk_size,
                   const std::function<void(size_t chunk, size_t begin,
-                                           size_t end)>& fn);
+                                           size_t end)>& fn)
+      FTA_EXCLUDES(mu_);
 
   /// Number of chunks RunChunked(n, chunk_size, ...) will produce.
   static size_t NumChunks(size_t n, size_t chunk_size) {
@@ -67,15 +75,15 @@ class ThreadPool {
                           const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() FTA_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::deque<std::function<void()>> queue_ FTA_GUARDED_BY(mu_);
+  size_t in_flight_ FTA_GUARDED_BY(mu_) = 0;
+  bool shutdown_ FTA_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // ctor-built, dtor-joined; unshared
 };
 
 }  // namespace fta

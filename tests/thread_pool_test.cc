@@ -57,6 +57,34 @@ TEST(ThreadPoolTest, RunBatchCoversTenThousandNoOps) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, RunBatchZeroItemsReturnsImmediately) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.RunBatch(0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.RunChunked(0, 8, [&](size_t, size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  // The pool is still fully operational afterwards.
+  pool.RunBatch(10, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPoolTest, ConsecutiveThrowingBatchesEachRethrow) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.RunBatch(1'000,
+                      [](size_t i) {
+                        if (i == 500) throw std::runtime_error("again");
+                      }),
+        std::runtime_error);
+  }
+  // A clean batch after repeated failures still covers every index.
+  std::atomic<int> after{0};
+  pool.RunBatch(1'000, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 1'000);
+}
+
 TEST(ThreadPoolTest, RunBatchRethrowsFirstErrorAfterAttemptingEveryTask) {
   ThreadPool pool(4);
   std::atomic<int> attempted{0};
@@ -115,6 +143,29 @@ TEST(ThreadPoolTest, ShutdownWhileBusyDrainsTheQueue) {
     // Destructor fires with most jobs still queued.
   }
   EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsFollowUpsQueuedByFinishedJobs) {
+  std::atomic<int> parents{0};
+  std::atomic<int> total{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] {
+        pool.Submit([&total] {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          total.fetch_add(1);
+        });
+        parents.fetch_add(1);
+      });
+    }
+    // Every parent has submitted its follow-up (so no Submit can race the
+    // shutdown flag), but the slow follow-ups are still queued behind two
+    // workers when the destructor fires: shutdown must drain them, not
+    // abandon them.
+    while (parents.load() < 50) std::this_thread::yield();
+  }
+  EXPECT_EQ(total.load(), 50);
 }
 
 TEST(ThreadPoolTest, ConcurrentBatchesFromSeparatePoolsDoNotInterfere) {

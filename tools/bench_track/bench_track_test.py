@@ -89,6 +89,23 @@ class BenchTrackTest(unittest.TestCase):
         self.assertEqual(self.collect("aaa111"), 0)
         self.assertEqual(len(bench_track.load_history(self.history)), 1)
 
+    def test_collect_unknown_sha_appends_never_replaces(self):
+        # Outside a git checkout GetBenchMeta stamps "unknown"; two such
+        # runs are distinct measurements, not a re-run of one commit, so
+        # same-sha replacement must not collapse them.
+        self.assertEqual(self.collect("unknown"), 0)
+        self.assertEqual(self.collect("unknown"), 0)
+        entries = bench_track.load_history(self.history)
+        self.assertEqual([e["sha"] for e in entries], ["unknown", "unknown"])
+
+    def test_build_entry_without_meta_degrades_to_unknown(self):
+        entry = bench_track.build_entry({"obs": {"bench": "obs_overhead"}})
+        self.assertEqual(entry["sha"], "unknown")
+        self.assertEqual(entry["date"], "unknown")
+        self.assertEqual(entry["cpu"], "unknown")
+        self.assertEqual(entry["build"], "unknown")
+        self.assertEqual(entry["threads"], 0)
+
     def test_check_clean_run_passes(self):
         for sha in ("s1", "s2", "s3"):
             self.assertEqual(self.collect(sha), 0)

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""fta_lint: determinism lint for the FTA codebase.
+"""fta_lint: determinism + concurrency lint for the FTA codebase.
 
 The reproduction's headline claim is that assignments and catalogs are
 bit-identical at any thread count. This lint statically rejects the
-hazard patterns that have historically threatened that claim:
+hazard patterns that have historically threatened that claim. Each rule
+is a Rule subclass registered in RULES; per-rule fixtures live under
+tools/fta_lint/testdata/ and pin every diagnostic exactly.
 
   banned-token
       Nondeterminism/timing sources that must never appear in src/:
@@ -61,23 +63,51 @@ hazard patterns that have historically threatened that claim:
       scalar/AVX2 bit-identity contract (DESIGN.md §11). Route new vector
       code through util/simd.h / game/iau_kernels.h dispatch instead.
 
+  raw-mutex
+      A raw standard-library locking primitive (std::mutex and variants,
+      std::lock_guard/unique_lock/scoped_lock/shared_lock,
+      std::condition_variable) or the matching header include outside
+      src/util/mutex.h. Every lock in src/ must be an fta::Mutex /
+      fta::MutexLock / fta::CondVar so Clang's -Wthread-safety analysis
+      sees the acquisition and checks it against FTA_GUARDED_BY fields
+      at compile time (DESIGN.md §13). A raw std::mutex is invisible to
+      that analysis — the whole point of the wall is that there are
+      exactly zero such sites.
+
+  hot-path-allocation
+      An allocation (`new`, make_unique/make_shared) or a growth call
+      (push_back/emplace_back on a container with no `.reserve(` in the
+      same file) inside a marked steady-state region of
+      src/game/best_response* or src/game/payoff_ledger*. Regions are
+      delimited by `// FTA_HOT_BEGIN(name)` / `// FTA_HOT_END(name)`
+      comments; these are the per-round inner loops the paper's
+      complexity claims are measured on, and a hidden realloc there
+      shows up as a latency spike the bench trajectory cannot explain.
+      Escape with `// NOLINT(fta-alloc)` plus a reason when the
+      allocation is amortized by design (e.g. a caller-owned buffer).
+
 Escapes, in order of preference:
   1. Restructure the code (sort the result, fold in fixed shard order,
-     accumulate in integers).
-  2. `// NOLINT(fta-det)` on the offending line, or
-     `// NOLINTNEXTLINE(fta-det)` on the line above, with a reason in
-     the surrounding comment.
+     accumulate in integers, hoist the allocation out of the region).
+  2. `// NOLINT(<tag>)` on the offending line, or
+     `// NOLINTNEXTLINE(<tag>)` on the line above, with a reason in the
+     surrounding comment. The tag is `fta-det` for every rule except
+     hot-path-allocation, which uses `fta-alloc`.
   3. An entry in tools/fta_lint/allowlist.txt (rule:path-suffix:needle).
      Unused allowlist entries are reported as errors so the file cannot
      accumulate stale exemptions.
 
 Exit codes: 0 clean, 1 violations found, 2 usage/configuration error.
 Diagnostics are `path:line: [rule] message`, one per line, sorted.
+With --format=json the same findings are emitted as one JSON object
+(schema "fta-lint-v1": {"schema", "violations": [{file, line, rule,
+message}...], "files_scanned"}) for CI artifact upload.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -125,8 +155,33 @@ WALL_CLOCK_SCOPES = ("src/obs/", "src/stream/")
 # are wall-time-valued by design and never feed the determinism contract.
 WALL_CLOCK_SANCTIONED = ("src/obs/trace.cc",)
 
-NOLINT_HERE = re.compile(r"NOLINT\(fta-det\)")
-NOLINT_NEXT = re.compile(r"NOLINTNEXTLINE\(fta-det\)")
+# Raw locking primitives and their headers. Includes and type/RAII names
+# are both matched so a file cannot smuggle in a lock via `using`.
+RAW_MUTEX = re.compile(
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+    r"|std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable|condition_variable_any)\b"
+)
+# The one file allowed to touch std locking: the annotated wrapper layer.
+MUTEX_SANCTIONED = ("src/util/mutex.h",)
+
+# Steady-state hot regions: the per-round inner loops of the game engine.
+# Markers are comments, so they are read from the RAW lines (scrub blanks
+# comments); region bodies are checked on the scrubbed lines.
+HOT_REGION_FILES = ("src/game/best_response", "src/game/payoff_ledger")
+HOT_BEGIN = re.compile(r"//\s*FTA_HOT_BEGIN\(([\w.-]+)\)")
+HOT_END = re.compile(r"//\s*FTA_HOT_END\(([\w.-]+)\)")
+HOT_ALLOC = re.compile(
+    r"(?<![\w:])new\b|\b(?:std::)?make_(?:unique|shared)\b(?=\s*<)"
+)
+HOT_APPEND = re.compile(
+    r"([A-Za-z_]\w*(?:\[[^\]]*\])?(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)"
+    r"\s*(?:\.|->)\s*(push_back|emplace_back)\s*\("
+)
+
+NOLINT_HERE = re.compile(r"NOLINT\((fta-[\w-]+)\)")
+NOLINT_NEXT = re.compile(r"NOLINTNEXTLINE\((fta-[\w-]+)\)")
 
 
 class Violation:
@@ -138,6 +193,14 @@ class Violation:
 
     def render(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
 
 
 def scrub(text: str) -> str:
@@ -241,12 +304,16 @@ class FileScan:
             self.raw = f.read()
         self.raw_lines = self.raw.split("\n")
         self.scrubbed_lines = scrub(self.raw).split("\n")
-        self.suppressed = set()
+        # 0-based line index -> set of suppressed NOLINT tags on that line.
+        self.suppressed: dict[int, set[str]] = {}
         for i, line in enumerate(self.raw_lines):
-            if NOLINT_NEXT.search(line):
-                self.suppressed.add(i + 1)
-            elif NOLINT_HERE.search(line):
-                self.suppressed.add(i)
+            for m in NOLINT_NEXT.finditer(line):
+                self.suppressed.setdefault(i + 1, set()).add(m.group(1))
+            for m in NOLINT_HERE.finditer(line):
+                self.suppressed.setdefault(i, set()).add(m.group(1))
+
+    def is_suppressed(self, line_idx: int, tag: str) -> bool:
+        return tag in self.suppressed.get(line_idx, set())
 
     def local_unordered_names(self) -> set[str]:
         names = set()
@@ -284,216 +351,333 @@ def lhs_terminal(expr: str) -> str:
     return m2.group(1) if m2 else last
 
 
-def check_banned_tokens(scan: FileScan, out: list[Violation]) -> None:
-    for i, line in enumerate(scan.scrubbed_lines):
-        for pattern, why in BANNED_TOKENS:
-            m = pattern.search(line)
-            if m:
-                out.append(
-                    Violation(
-                        scan.display,
-                        i + 1,
-                        "banned-token",
-                        f"'{m.group(0).strip()}' — {why}",
-                    )
-                )
+class Rule:
+    """One lint rule. Subclasses set `name`, optionally `nolint_tag`
+    (which NOLINT(tag) suppresses the rule; None means the rule ignores
+    NOLINT entirely), and implement check()."""
 
+    name = ""
+    nolint_tag: str | None = "fta-det"
 
-def is_unordered_target(
-    expr: str, scan: FileScan, tables: TypeTables, local_unordered: set[str]
-) -> bool:
-    expr = expr.strip()
-    if "unordered_" in expr:
-        return True
-    terminal = lhs_terminal(expr)
-    if terminal in local_unordered or terminal in tables.unordered_members:
-        return True
-    # Bare names declared via an unordered alias (e.g. `SetStore sets;`
-    # where `using SetStore = std::unordered_map<...>`).
-    for alias in tables.unordered_aliases:
-        if re.search(
-            rf"\b{re.escape(alias)}\b[^;={{}}]*?[\s&*]{re.escape(terminal)}\s*[;({{=,)]",
-            "\n".join(scan.scrubbed_lines),
+    def check(self, scan: FileScan, tables: TypeTables,
+              out: list[Violation]) -> None:
+        raise NotImplementedError
+
+    def report(self, scan: FileScan, line_idx: int, message: str,
+               out: list[Violation]) -> bool:
+        """Appends a violation at 0-based line_idx unless suppressed.
+        Returns True when a violation was recorded."""
+        if self.nolint_tag is not None and scan.is_suppressed(
+            line_idx, self.nolint_tag
         ):
+            return False
+        out.append(Violation(scan.display, line_idx + 1, self.name, message))
+        return True
+
+
+class BannedTokenRule(Rule):
+    # banned-token ignores NOLINT: there is no sanctioned use of those
+    # tokens in src/, so an escape hatch would only hide problems.
+    name = "banned-token"
+    nolint_tag = None
+
+    def check(self, scan, tables, out):
+        for i, line in enumerate(scan.scrubbed_lines):
+            for pattern, why in BANNED_TOKENS:
+                m = pattern.search(line)
+                if m:
+                    self.report(
+                        scan, i, f"'{m.group(0).strip()}' — {why}", out
+                    )
+
+
+class UnorderedIterationRule(Rule):
+    name = "unordered-iteration"
+
+    def is_unordered_target(self, expr, scan, tables, local_unordered):
+        expr = expr.strip()
+        if "unordered_" in expr:
             return True
-    return False
+        terminal = lhs_terminal(expr)
+        if (terminal in local_unordered
+                or terminal in tables.unordered_members):
+            return True
+        # Bare names declared via an unordered alias (e.g. `SetStore sets;`
+        # where `using SetStore = std::unordered_map<...>`).
+        for alias in tables.unordered_aliases:
+            if re.search(
+                rf"\b{re.escape(alias)}\b[^;={{}}]*?[\s&*]{re.escape(terminal)}\s*[;({{=,)]",
+                "\n".join(scan.scrubbed_lines),
+            ):
+                return True
+        return False
 
-
-def check_unordered_iteration(
-    scan: FileScan, tables: TypeTables, out: list[Violation]
-) -> None:
-    local_unordered = scan.local_unordered_names()
-    lines = scan.scrubbed_lines
-    for i, line in enumerate(lines):
-        m = RANGE_FOR.search(line)
-        if not m:
-            continue
-        if not is_unordered_target(m.group(2), scan, tables, local_unordered):
-            continue
-        # Locate the loop body's opening brace (same line or a later one).
-        open_line, open_col = i, line.rfind("{")
-        if open_col == -1:
-            for j in range(i + 1, min(i + 3, len(lines))):
-                col = lines[j].find("{")
-                if col != -1:
-                    open_line, open_col = j, col
+    def check(self, scan, tables, out):
+        local_unordered = scan.local_unordered_names()
+        lines = scan.scrubbed_lines
+        for i, line in enumerate(lines):
+            m = RANGE_FOR.search(line)
+            if not m:
+                continue
+            if not self.is_unordered_target(
+                m.group(2), scan, tables, local_unordered
+            ):
+                continue
+            # Locate the loop body's opening brace (same line or later).
+            open_line, open_col = i, line.rfind("{")
+            if open_col == -1:
+                for j in range(i + 1, min(i + 3, len(lines))):
+                    col = lines[j].find("{")
+                    if col != -1:
+                        open_line, open_col = j, col
+                        break
+                else:
+                    continue  # single-statement body: nothing to append into
+            end = brace_match(lines, open_line, open_col)
+            if end is None:
+                continue
+            end_line, _ = end
+            body = "\n".join(lines[open_line : end_line + 1])
+            feeds = APPEND_CALL.search(body) or re.search(r"[+\-]=(?!=)", body)
+            if not feeds:
+                continue
+            # Look for a normalizing sort between the loop and the end of
+            # the enclosing function (a column-0 '}'); a sort in a
+            # *different* function must not absolve this loop.
+            ahead = []
+            for j in range(end_line + 1, min(end_line + 1 + SORT_LOOKAHEAD,
+                                             len(lines))):
+                if lines[j].startswith("}"):
                     break
-            else:
-                continue  # single-statement loop body: nothing to append into
-        end = brace_match(lines, open_line, open_col)
-        if end is None:
-            continue
-        end_line, _ = end
-        body = "\n".join(lines[open_line : end_line + 1])
-        feeds = APPEND_CALL.search(body) or re.search(r"[+\-]=(?!=)", body)
-        if not feeds:
-            continue
-        # Look for a normalizing sort between the loop and the end of the
-        # enclosing function (a column-0 '}'); a sort in a *different*
-        # function must not absolve this loop.
-        ahead = []
-        for j in range(end_line + 1, min(end_line + 1 + SORT_LOOKAHEAD,
-                                         len(lines))):
-            if lines[j].startswith("}"):
-                break
-            ahead.append(lines[j])
-        lookahead = "\n".join(ahead)
-        if SORT_CALL.search(lookahead) or SORT_CALL.search(body):
-            continue  # order normalized after (or during) the fold
-        if i in scan.suppressed:
-            continue
-        out.append(
-            Violation(
-                scan.display,
-                i + 1,
-                "unordered-iteration",
+                ahead.append(lines[j])
+            lookahead = "\n".join(ahead)
+            if SORT_CALL.search(lookahead) or SORT_CALL.search(body):
+                continue  # order normalized after (or during) the fold
+            self.report(
+                scan, i,
                 "range-for over an unordered container feeds a result "
                 "container without a subsequent sort or an order-invariant "
                 "fold; bucket order will leak into the output",
+                out,
             )
-        )
 
 
-def check_parallel_float_reduce(
-    scan: FileScan, tables: TypeTables, out: list[Violation]
-) -> None:
-    local_floats = scan.local_float_names()
-    lines = scan.scrubbed_lines
-    for i, line in enumerate(lines):
-        entry = PARALLEL_ENTRYPOINTS.search(line)
-        if not entry:
-            continue
-        # Only call sites that pass a lambda matter: find the lambda intro
-        # '[' after the call, then the lambda body's first '{' after it.
-        # Declarations and function-pointer call sites have no '[' and are
-        # skipped (nothing to accumulate into from here).
-        intro_line, intro_col = -1, -1
-        for j in range(i, min(i + 4, len(lines))):
-            col = lines[j].find("[", entry.end() if j == i else 0)
-            if col != -1:
-                intro_line, intro_col = j, col
-                break
-        if intro_line == -1:
-            continue
-        open_line, open_col = -1, -1
-        for j in range(intro_line, min(intro_line + 4, len(lines))):
-            col = lines[j].find("{", intro_col + 1 if j == intro_line else 0)
-            if col != -1:
-                open_line, open_col = j, col
-                break
-        if open_line == -1:
-            continue
-        end = brace_match(lines, open_line, open_col)
-        if end is None:
-            continue
-        end_line, _ = end
-        for k in range(open_line, end_line + 1):
-            for m in COMPOUND_FLOAT.finditer(lines[k]):
-                target = lhs_terminal(m.group(1))
-                if target in local_floats or target in tables.float_members:
-                    if k in scan.suppressed:
-                        continue
-                    out.append(
-                        Violation(
-                            scan.display,
-                            k + 1,
-                            "parallel-float-reduce",
+class ParallelFloatReduceRule(Rule):
+    name = "parallel-float-reduce"
+
+    def check(self, scan, tables, out):
+        local_floats = scan.local_float_names()
+        lines = scan.scrubbed_lines
+        for i, line in enumerate(lines):
+            entry = PARALLEL_ENTRYPOINTS.search(line)
+            if not entry:
+                continue
+            # Only call sites that pass a lambda matter: find the lambda
+            # intro '[' after the call, then the lambda body's first '{'
+            # after it. Declarations and function-pointer call sites have
+            # no '[' and are skipped (nothing to accumulate into).
+            intro_line, intro_col = -1, -1
+            for j in range(i, min(i + 4, len(lines))):
+                col = lines[j].find("[", entry.end() if j == i else 0)
+                if col != -1:
+                    intro_line, intro_col = j, col
+                    break
+            if intro_line == -1:
+                continue
+            open_line, open_col = -1, -1
+            for j in range(intro_line, min(intro_line + 4, len(lines))):
+                col = lines[j].find(
+                    "{", intro_col + 1 if j == intro_line else 0
+                )
+                if col != -1:
+                    open_line, open_col = j, col
+                    break
+            if open_line == -1:
+                continue
+            end = brace_match(lines, open_line, open_col)
+            if end is None:
+                continue
+            end_line, _ = end
+            for k in range(open_line, end_line + 1):
+                for m in COMPOUND_FLOAT.finditer(lines[k]):
+                    target = lhs_terminal(m.group(1))
+                    if (target in local_floats
+                            or target in tables.float_members):
+                        self.report(
+                            scan, k,
                             f"float accumulation '{m.group(0).strip()}' "
                             "inside a ThreadPool fan-out lambda; "
                             "scheduling order would change the sum — fold "
                             "per-shard results in a fixed order instead",
+                            out,
                         )
-                    )
 
 
-def check_sorted_metric_rebuild(scan: FileScan, out: list[Violation]) -> None:
-    if "src/game/" not in scan.display.replace(os.sep, "/"):
-        return
-    for i, line in enumerate(scan.scrubbed_lines):
-        for m in SORTED_METRIC.finditer(line):
-            # `double Gini() const;` and friends declare the wrapper, they
-            # do not call it. (Qualified definitions like PayoffLedger::Gini
-            # are already excluded by the lookbehind.)
-            if re.search(r"\b(?:double|float|auto)\s+$", line[: m.start()]):
-                continue
-            if i in scan.suppressed:
-                continue
-            out.append(
-                Violation(
-                    scan.display,
-                    i + 1,
-                    "sorted-metric-rebuild",
+class SortedMetricRebuildRule(Rule):
+    name = "sorted-metric-rebuild"
+
+    def check(self, scan, tables, out):
+        if "src/game/" not in scan.display.replace(os.sep, "/"):
+            return
+        for i, line in enumerate(scan.scrubbed_lines):
+            for m in SORTED_METRIC.finditer(line):
+                # `double Gini() const;` and friends declare the wrapper,
+                # they do not call it. (Qualified definitions like
+                # PayoffLedger::Gini are excluded by the lookbehind.)
+                if re.search(
+                    r"\b(?:double|float|auto)\s+$", line[: m.start()]
+                ):
+                    continue
+                self.report(
+                    scan, i,
                     f"'{m.group(1)}(' copies and re-sorts payoffs the "
                     "engine's ledger already keeps sorted; read "
                     "PayoffLedger::PayoffDifference()/Gini() or pass a "
                     "sorted view to a *Sorted overload (DESIGN.md §9)",
+                    out,
                 )
-            )
 
 
-def check_raw_simd_intrinsics(scan: FileScan, out: list[Violation]) -> None:
-    display = scan.display.replace(os.sep, "/")
-    if display.endswith(SIMD_SANCTIONED):
-        return
-    for i, line in enumerate(scan.scrubbed_lines):
-        for m in SIMD_INTRINSIC.finditer(line):
-            if i in scan.suppressed:
-                continue
-            out.append(
-                Violation(
-                    scan.display,
-                    i + 1,
-                    "raw-simd-intrinsics",
-                    f"'{m.group(0).strip()}' outside a sanctioned kernel TU; "
-                    "raw SIMD belongs in src/util/simd_avx2.cc / "
+class RawSimdIntrinsicsRule(Rule):
+    name = "raw-simd-intrinsics"
+
+    def check(self, scan, tables, out):
+        display = scan.display.replace(os.sep, "/")
+        if display.endswith(SIMD_SANCTIONED):
+            return
+        for i, line in enumerate(scan.scrubbed_lines):
+            for m in SIMD_INTRINSIC.finditer(line):
+                self.report(
+                    scan, i,
+                    f"'{m.group(0).strip()}' outside a sanctioned kernel "
+                    "TU; raw SIMD belongs in src/util/simd_avx2.cc / "
                     "src/game/iau_kernels_avx2.cc behind the util/simd.h "
                     "dispatch layer (DESIGN.md §11)",
+                    out,
                 )
-            )
 
 
-def check_wall_clock_read(scan: FileScan, out: list[Violation]) -> None:
-    display = scan.display.replace(os.sep, "/")
-    if not any(scope in display for scope in WALL_CLOCK_SCOPES):
-        return
-    if display.endswith(WALL_CLOCK_SANCTIONED):
-        return
-    for i, line in enumerate(scan.scrubbed_lines):
-        for m in WALL_CLOCK_READ.finditer(line):
-            if i in scan.suppressed:
-                continue
-            out.append(
-                Violation(
-                    scan.display,
-                    i + 1,
-                    "wall-clock-read",
+class WallClockReadRule(Rule):
+    name = "wall-clock-read"
+
+    def check(self, scan, tables, out):
+        display = scan.display.replace(os.sep, "/")
+        if not any(scope in display for scope in WALL_CLOCK_SCOPES):
+            return
+        if display.endswith(WALL_CLOCK_SANCTIONED):
+            return
+        for i, line in enumerate(scan.scrubbed_lines):
+            for m in WALL_CLOCK_READ.finditer(line):
+                self.report(
+                    scan, i,
                     f"'{m.group(0).strip()}' — direct clock read in the "
                     "replay-deterministic obs/stream layers; take durations "
                     "as caller-measured values (util/stopwatch.h at the "
                     "call site) and advance windows on caller-driven ticks; "
                     "the only sanctioned clock is src/obs/trace.cc",
+                    out,
                 )
-            )
+
+
+class RawMutexRule(Rule):
+    name = "raw-mutex"
+
+    def check(self, scan, tables, out):
+        display = scan.display.replace(os.sep, "/")
+        if display.endswith(MUTEX_SANCTIONED):
+            return
+        for i, line in enumerate(scan.scrubbed_lines):
+            for m in RAW_MUTEX.finditer(line):
+                self.report(
+                    scan, i,
+                    f"'{m.group(0).strip()}' — raw standard-library "
+                    "locking outside src/util/mutex.h; use fta::Mutex / "
+                    "fta::MutexLock / fta::CondVar (util/mutex.h) so "
+                    "Clang thread-safety analysis can check the lock "
+                    "against FTA_GUARDED_BY state (DESIGN.md §13)",
+                    out,
+                )
+
+
+class HotPathAllocationRule(Rule):
+    name = "hot-path-allocation"
+    nolint_tag = "fta-alloc"
+
+    @staticmethod
+    def applies_to(display: str) -> bool:
+        display = display.replace(os.sep, "/")
+        return any(
+            display.startswith(prefix) or f"/{prefix}" in display
+            for prefix in HOT_REGION_FILES
+        )
+
+    @staticmethod
+    def regions(raw_lines: list[str]):
+        """Yields (line_idx, region_name) for every line strictly inside
+        a FTA_HOT_BEGIN/FTA_HOT_END pair. Unterminated regions extend to
+        end-of-file (better to over-check than silently stop)."""
+        current: str | None = None
+        for i, line in enumerate(raw_lines):
+            begin = HOT_BEGIN.search(line)
+            end = HOT_END.search(line)
+            if begin is not None:
+                current = begin.group(1)
+                continue
+            if end is not None:
+                current = None
+                continue
+            if current is not None:
+                yield i, current
+
+    def check(self, scan, tables, out):
+        if not self.applies_to(scan.display):
+            return
+        # Containers that reserve anywhere in this file are exempt from
+        # the push_back check: growth is amortized by an explicit sizing
+        # call the reader can find.
+        reserved = set(
+            re.findall(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*reserve\s*\(",
+                       "\n".join(scan.scrubbed_lines))
+        )
+        for i, region in self.regions(scan.raw_lines):
+            line = scan.scrubbed_lines[i] if i < len(scan.scrubbed_lines) else ""
+            m = HOT_ALLOC.search(line)
+            if m:
+                self.report(
+                    scan, i,
+                    f"'{m.group(0).strip()}' allocates inside steady-state "
+                    f"hot region '{region}'; hoist the allocation out of "
+                    "the region or reuse a pre-sized buffer "
+                    "(// NOLINT(fta-alloc) with a reason if amortized by "
+                    "design)",
+                    out,
+                )
+                continue
+            for am in HOT_APPEND.finditer(line):
+                recv = lhs_terminal(am.group(1))
+                if recv in reserved:
+                    continue
+                self.report(
+                    scan, i,
+                    f"'{recv}.{am.group(2)}' in hot region '{region}' may "
+                    f"reallocate — no '{recv}.reserve(' anywhere in this "
+                    "file; size the container up front or reuse a "
+                    "caller-owned buffer (// NOLINT(fta-alloc) with a "
+                    "reason if amortized by design)",
+                    out,
+                )
+
+
+RULES: list[Rule] = [
+    BannedTokenRule(),
+    UnorderedIterationRule(),
+    ParallelFloatReduceRule(),
+    SortedMetricRebuildRule(),
+    RawSimdIntrinsicsRule(),
+    WallClockReadRule(),
+    RawMutexRule(),
+    HotPathAllocationRule(),
+]
 
 
 def load_allowlist(path: str):
@@ -545,6 +729,9 @@ def main(argv=None) -> int:
                         help="repository root; scan dirs are relative to it")
     parser.add_argument("--allowlist", default=None,
                         help="allowlist file (default <root>/tools/fta_lint/allowlist.txt)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="diagnostic format (json: one fta-lint-v1 "
+                             "object on stdout, for CI artifacts)")
     parser.add_argument("dirs", nargs="*", default=None,
                         help="directories under root to scan (default: src)")
     args = parser.parse_args(argv)
@@ -577,16 +764,8 @@ def main(argv=None) -> int:
 
     violations: list[Violation] = []
     for scan in scans:
-        before = len(violations)
-        check_banned_tokens(scan, violations)
-        # banned-token ignores NOLINT: there is no sanctioned use of those
-        # tokens in src/, so an escape hatch would only hide problems.
-        check_unordered_iteration(scan, tables, violations)
-        check_parallel_float_reduce(scan, tables, violations)
-        check_sorted_metric_rebuild(scan, violations)
-        check_raw_simd_intrinsics(scan, violations)
-        check_wall_clock_read(scan, violations)
-        del before
+        for rule in RULES:
+            rule.check(scan, tables, violations)
 
     entries = load_allowlist(allowlist_path)
     raw_by_path = {scan.display: scan.raw_lines for scan in scans}
@@ -605,6 +784,16 @@ def main(argv=None) -> int:
             )
 
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "schema": "fta-lint-v1",
+                "violations": [v.to_json() for v in violations],
+                "files_scanned": len(scans),
+            },
+            indent=2,
+        ))
+        return 1 if violations else 0
     for v in violations:
         print(v.render())
     if violations:

@@ -1,0 +1,34 @@
+// hot-path-allocation fixture: allocations inside FTA_HOT_BEGIN/END
+// regions of the game engine's hot files are reported; reserve-backed
+// growth, NOLINT(fta-alloc) lines, and code outside regions stay clean.
+#include <memory>
+#include <vector>
+
+namespace fta {
+
+struct Engine {
+  std::vector<double> scratch;
+  std::vector<int> winners;
+};
+
+inline void Setup(Engine& e) {
+  e.scratch.reserve(64);     // sanctioned sizing point
+  e.scratch.push_back(0.0);  // outside any region: clean
+}
+
+// FTA_HOT_BEGIN(scan)
+inline void Scan(Engine& e, std::vector<double>& out) {
+  auto tmp = std::make_unique<double[]>(8);
+  double* leak = new double[4];
+  e.winners.push_back(1);
+  e.scratch.push_back(tmp[0] + leak[0]);
+  e.winners.emplace_back(2);  // NOLINT(fta-det) — wrong tag, still fires
+  // Caller-owned buffer, reused across rounds.
+  out.push_back(e.scratch.back());  // NOLINT(fta-alloc)
+  delete[] leak;
+}
+// FTA_HOT_END(scan)
+
+inline void Teardown(Engine& e) { e.winners.push_back(0); }
+
+}  // namespace fta

@@ -1,0 +1,25 @@
+// raw-mutex fixture: std locking primitives outside src/util/mutex.h are
+// reported; names in comments (std::mutex) and strings stay clean.
+#include <mutex>
+#include <shared_mutex>
+
+namespace fta {
+
+struct Registry {
+  std::mutex mu;
+  std::condition_variable cv;
+  int guarded = 0;
+};
+
+inline void Touch(Registry& r) {
+  std::unique_lock lock(r.mu);
+  ++r.guarded;
+  r.cv.notify_one();
+}
+
+// NOLINTNEXTLINE(fta-det) — migration shim, tracked in DESIGN.md §13.
+inline std::mutex& Sanctioned();
+
+inline const char* Hint() { return "use fta::Mutex, not std::mutex"; }
+
+}  // namespace fta

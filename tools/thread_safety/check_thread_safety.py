@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Thread-safety annotation fixture check.
+
+Proves the FTA_GUARDED_BY wall actually bites: compiles a correct
+annotated fixture (annotated_ok.cc) with Clang's -Wthread-safety promoted
+to an error and expects success, then compiles four deliberately broken
+variants of annotated_bad.cc (selected with -DFTA_TS_CASE=N) and expects
+each to FAIL:
+
+  1  reads a guarded field without holding the lock
+  2  writes a guarded field without holding the lock
+  3  calls an FTA_REQUIRES(mu) function without holding the lock
+  4  double-acquires a non-reentrant fta::Mutex
+
+A passing "bad" compile means the annotations degraded to no-ops — the
+exact regression this check exists to catch (e.g. someone weakens the
+FTA_THREAD_ANNOTATION_ATTRIBUTE__ shim or strips an attribute from
+util/mutex.h).
+
+Requires clang++; exits 77 (the ctest SKIP_RETURN_CODE) when no clang++
+is on PATH so the default GCC-only environment skips rather than fails.
+CI runs this for real in the thread-safety matrix job.
+
+Exit codes: 0 all cases behave, 1 a case misbehaves, 77 no clang++.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+BAD_CASES = {
+    1: "read of guarded field without the lock",
+    2: "write of guarded field without the lock",
+    3: "call of an FTA_REQUIRES function without the lock",
+    4: "double-acquire of a non-reentrant mutex",
+}
+
+
+def compile_fixture(clang, source, extra_defines=()):
+    cmd = [
+        clang,
+        "-std=c++20",
+        "-fsyntax-only",
+        "-Wthread-safety",
+        "-Wthread-safety-beta",
+        "-Werror",
+        f"-I{os.path.join(ROOT, 'src')}",
+    ]
+    cmd += [f"-D{d}" for d in extra_defines]
+    cmd.append(source)
+    return subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+
+
+def main() -> int:
+    clang = os.environ.get("FTA_CLANGXX") or shutil.which("clang++")
+    if clang is None:
+        print("check_thread_safety: no clang++ on PATH; skipping "
+              "(set FTA_CLANGXX to override)")
+        return 77
+
+    failures = []
+
+    ok = compile_fixture(clang, os.path.join(HERE, "testdata",
+                                             "annotated_ok.cc"))
+    if ok.returncode != 0:
+        failures.append(
+            "annotated_ok.cc should compile cleanly under "
+            f"-Werror=thread-safety but failed:\n{ok.stdout}"
+        )
+    else:
+        print("check_thread_safety: annotated_ok.cc compiles clean")
+
+    bad = os.path.join(HERE, "testdata", "annotated_bad.cc")
+    for case, what in sorted(BAD_CASES.items()):
+        result = compile_fixture(clang, bad, [f"FTA_TS_CASE={case}"])
+        if result.returncode == 0:
+            failures.append(
+                f"annotated_bad.cc case {case} ({what}) compiled cleanly — "
+                "the thread-safety annotations are not being enforced"
+            )
+        elif "thread-safety" not in result.stdout:
+            failures.append(
+                f"annotated_bad.cc case {case} ({what}) failed for a "
+                f"non-thread-safety reason:\n{result.stdout}"
+            )
+        else:
+            print(f"check_thread_safety: case {case} rejected as expected "
+                  f"({what})")
+
+    if failures:
+        for f in failures:
+            print(f"check_thread_safety: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("check_thread_safety: all fixtures behave")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

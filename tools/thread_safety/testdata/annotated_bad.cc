@@ -1,0 +1,50 @@
+// Deliberately broken locking, one violation per FTA_TS_CASE. Every case
+// must FAIL to compile under -Werror=thread-safety; a case that compiles
+// means the annotation wall has degraded to a no-op (see
+// check_thread_safety.py).
+#include "util/mutex.h"
+
+#if !defined(FTA_TS_CASE)
+#error "compile with -DFTA_TS_CASE=1..4"
+#endif
+
+namespace {
+
+class Account {
+ public:
+#if FTA_TS_CASE == 1
+  // Reads the guarded balance without acquiring the lock.
+  long Read() const { return balance_; }
+#elif FTA_TS_CASE == 2
+  // Writes the guarded balance without acquiring the lock.
+  void Deposit(long amount) { balance_ += amount; }
+#elif FTA_TS_CASE == 3
+  // Calls an FTA_REQUIRES(mu_) function without holding mu_.
+  void Deposit(long amount) { DepositLocked(amount); }
+#elif FTA_TS_CASE == 4
+  // Acquires the non-reentrant mutex twice on one thread.
+  void Deposit(long amount) FTA_EXCLUDES(mu_) {
+    fta::MutexLock outer(&mu_);
+    fta::MutexLock inner(&mu_);
+    balance_ += amount;
+  }
+#endif
+
+  void DepositLocked(long amount) FTA_REQUIRES(mu_) { balance_ += amount; }
+
+ private:
+  mutable fta::Mutex mu_;
+  long balance_ FTA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+#if FTA_TS_CASE == 1
+  return account.Read() == 0;
+#else
+  account.Deposit(1);
+  return 0;
+#endif
+}

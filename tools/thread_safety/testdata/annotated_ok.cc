@@ -1,0 +1,55 @@
+// Correct use of the annotated primitives: compiles warning-free under
+// -Werror=thread-safety. The mirror fixture annotated_bad.cc breaks one
+// rule per FTA_TS_CASE and must fail.
+#include "util/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) FTA_EXCLUDES(mu_) {
+    fta::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  long Read() const FTA_EXCLUDES(mu_) {
+    fta::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  void DepositLocked(long amount) FTA_REQUIRES(mu_) { balance_ += amount; }
+
+  void DepositTwice(long amount) FTA_EXCLUDES(mu_) {
+    fta::MutexLock lock(&mu_);
+    DepositLocked(amount);
+    DepositLocked(amount);
+  }
+
+  void WaitNonZero() FTA_EXCLUDES(mu_) {
+    fta::MutexLock lock(&mu_);
+    while (balance_ == 0) cv_.Wait(mu_);
+  }
+
+  void Signal() FTA_EXCLUDES(mu_) {
+    {
+      fta::MutexLock lock(&mu_);
+      balance_ = 1;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  mutable fta::Mutex mu_;
+  fta::CondVar cv_;
+  long balance_ FTA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.DepositTwice(2);
+  account.Signal();
+  return account.Read() == 0;
+}
