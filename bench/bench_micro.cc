@@ -155,6 +155,11 @@ void BM_BestResponseRoundsParallel(benchmark::State& state) {
   const VdpsCatalog catalog = VdpsCatalog::Generate(inst, PrunedVdps());
   FgtConfig config;
   config.engine.num_threads = static_cast<size_t>(state.range(0));
+  // One pool per thread count for every timed iteration: per-iteration
+  // pool construction would otherwise dominate the small arguments.
+  if (config.engine.num_threads > 1) {
+    config.engine.pool = &bench::SharedBenchPool(config.engine.num_threads);
+  }
   config.engine.use_incremental_index = false;  // isolate the fan-out
   uint64_t candidates = 0;
   for (auto _ : state) {

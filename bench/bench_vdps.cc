@@ -129,6 +129,9 @@ void Main() {
       VdpsConfig config = base;
       config.beam_width = engine.beam_width;
       config.num_threads = threads;
+      // Reuse one pool per thread count across engines and repetitions so
+      // the timed region measures generation, not thread spawn.
+      if (threads > 1) config.pool = &SharedBenchPool(threads);
       Stopwatch sw;
       catalogs.push_back(VdpsCatalog::Generate(instance, config));
       const double wall_ms = sw.ElapsedMillis();

@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <ctime>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +22,21 @@
 
 namespace fta {
 namespace bench {
+
+/// Process-lifetime worker pools, one per thread count. Replay benches
+/// repeat their workloads many times; constructing a fresh ThreadPool per
+/// repetition both pays thread spawn inside the timed region and hides
+/// pool-reuse regressions. Inject these through VdpsConfig::pool /
+/// BestResponseConfig::pool (or pass to AssignmentServer) so repetitions
+/// share one pool — bench_serve asserts via ThreadPool::total_created()
+/// that its measurement loop spawns none. Benches are single-threaded at
+/// the call site, so the static map needs no lock.
+inline ThreadPool& SharedBenchPool(size_t threads) {
+  static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
+  std::unique_ptr<ThreadPool>& slot = pools[threads];
+  if (!slot) slot = std::make_unique<ThreadPool>(threads);
+  return *slot;
+}
 
 /// Provenance stamped into every BENCH_*.json so tools/bench_track can
 /// fold gate runs into a comparable trajectory (BENCH_history.jsonl).

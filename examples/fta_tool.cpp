@@ -17,6 +17,12 @@
 //     ./fta_tool stream --policy=warm --solver=fgt --ticks=40
 //     ./fta_tool stream --prom-out=metrics.prom --prom-every=1 ...
 //
+//   serve      sharded multi-center assignment server over a replayed
+//              city workload (synthesized or loaded from --workload)
+//     ./fta_tool serve --centers=16 --ticks=20 --threads=8 --validate
+//     ./fta_tool serve --save-workload=city.csv
+//     ./fta_tool serve --workload=city.csv --prom-out=metrics.prom
+//
 //   metrics-serve   tiny HTTP exporter over a published metrics text file
 //     ./fta_tool metrics-serve --file=metrics.prom --port=9184
 //
@@ -455,6 +461,183 @@ int CmdStream(int argc, const char* const* argv) {
   return 0;
 }
 
+int CmdServe(int argc, const char* const* argv) {
+  std::string policy_name = "warm";
+  std::string solver_name = "fgt";
+  std::string workload;
+  std::string save_workload;
+  std::string prom_out;
+  int64_t centers = 8;
+  int64_t ticks = 16;
+  double tick_period = 0.05;
+  double epsilon = 0.6;
+  size_t max_set = 3;
+  size_t threads = 8;
+  size_t queue_capacity = 256;
+  size_t max_requests_per_tick = 3;
+  double task_rate = 240.0;
+  double worker_rate = 40.0;
+  double rate_sigma = 0.6;
+  int64_t seed = 42;
+  bool validate = false;
+  bool help = false;
+  FlagParser flags;
+  flags.AddString("policy", &policy_name,
+                  "per-tick re-solve policy: cold | cold-seeded | warm");
+  flags.AddString("solver", &solver_name, "fgt | iegt");
+  flags.AddInt("centers", &centers, "distribution centers (= shards)");
+  flags.AddInt("ticks", &ticks, "replay ticks");
+  flags.AddDouble("tick-period", &tick_period, "hours per tick");
+  flags.AddDouble("epsilon", &epsilon, "pruning threshold (km; 0 = off)");
+  flags.AddSizeT("max_set", &max_set, "max delivery points per VDPS");
+  flags.AddSizeT("threads", &threads, "shard-runner threads");
+  flags.AddSizeT("queue-capacity", &queue_capacity,
+                 "admission bound (requests in flight before shedding)");
+  flags.AddSizeT("max-requests-per-tick", &max_requests_per_tick,
+                 "per (center, tick) coalescing split when synthesizing");
+  flags.AddDouble("task-rate", &task_rate,
+                  "mean order arrivals per center per hour");
+  flags.AddDouble("worker-rate", &worker_rate,
+                  "mean worker arrivals per center per hour");
+  flags.AddDouble("rate-sigma", &rate_sigma,
+                  "log-normal per-center rate heterogeneity (0 = uniform)");
+  flags.AddInt("seed", &seed, "city + trace + solver seed");
+  flags.AddString("workload", &workload,
+                  "replay this saved trace instead of synthesizing");
+  flags.AddString("save-workload", &save_workload,
+                  "write the replayed trace here (fta serve trace CSV)");
+  flags.AddBool("validate", &validate,
+                "run the sequential reference and compare every shard "
+                "digest (exits non-zero on divergence)");
+  flags.AddString("prom-out", &prom_out,
+                  "write the post-drain Prometheus page here");
+  flags.AddBool("help", &help, "show flags");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  if (help) {
+    std::printf("serve flags:\n%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  ServerConfig config;
+  config.num_threads = threads > 0 ? threads : 1;
+  config.queue_capacity = queue_capacity;
+  config.tick_period = tick_period;
+  if (policy_name == "cold") {
+    config.engine.policy = ResolvePolicy::kColdRestart;
+  } else if (policy_name == "cold-seeded") {
+    config.engine.policy = ResolvePolicy::kColdSeeded;
+  } else if (policy_name == "warm") {
+    config.engine.policy = ResolvePolicy::kWarm;
+  } else {
+    return Fail(Status::InvalidArgument(
+        "--policy must be cold, cold-seeded, or warm"));
+  }
+  if (solver_name == "fgt") {
+    config.engine.solver = StreamSolver::kFgt;
+  } else if (solver_name == "iegt") {
+    config.engine.solver = StreamSolver::kIegt;
+  } else {
+    return Fail(Status::InvalidArgument("--solver must be fgt or iegt"));
+  }
+  config.engine.vdps.epsilon = epsilon > 0 ? epsilon : kInfinity;
+  config.engine.vdps.max_set_size = static_cast<uint32_t>(max_set);
+  config.engine.seed = static_cast<uint64_t>(seed);
+
+  ServeTrace trace;
+  if (!workload.empty()) {
+    StatusOr<ServeTrace> loaded = LoadServeTrace(workload);
+    if (!loaded.ok()) return Fail(loaded.status());
+    trace = std::move(*loaded);
+    config.tick_period = trace.tick_period;
+  } else {
+    CityWorkloadConfig city;
+    city.num_centers = static_cast<size_t>(centers);
+    city.rate_sigma = rate_sigma;
+    city.tick_period = tick_period;
+    city.ticks = static_cast<uint64_t>(ticks);
+    city.base.tasks.base_rate_per_hour = task_rate;
+    city.base.tasks.peak_hours = {};
+    city.base.worker_rate_per_hour = worker_rate;
+    trace = BuildServeTrace(GenerateCityWorkload(city,
+                                                 static_cast<uint64_t>(seed)),
+                            max_requests_per_tick,
+                            static_cast<uint64_t>(seed));
+  }
+  if (!save_workload.empty()) {
+    if (Status s = SaveServeTrace(save_workload, trace); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s (%zu centers, %zu requests)\n",
+                save_workload.c_str(), trace.centers.size(),
+                trace.requests.size());
+  }
+
+  std::vector<CenterSpec> specs;
+  for (const Point& p : trace.centers) specs.push_back({p});
+  ThreadPool pool(config.num_threads);
+  Stopwatch sw;
+  AssignmentServer server(config, std::move(specs), &pool);
+  StatusOr<uint64_t> retries = ReplayTrace(server, trace);
+  if (!retries.ok()) return Fail(retries.status());
+  server.Drain();
+  const double wall_ms = sw.ElapsedMillis();
+
+  const ServeCounters counters = server.counters();
+  obs::SketchData latency(0.01);
+  for (uint32_t c = 0; c < server.num_shards(); ++c) {
+    for (const ServeResponse& r : server.responses(c)) {
+      latency.Observe(r.latency_ms);
+    }
+  }
+  std::printf(
+      "%s/%s: %zu shards x %llu requests over %.1f ms | batches %llu | "
+      "assignments %llu | shed %llu (retries %llu) | rounds %llu | "
+      "latency p50 %.2fms p99 %.2fms | %.0f assignments/s\n",
+      policy_name.c_str(), solver_name.c_str(), server.num_shards(),
+      static_cast<unsigned long long>(counters.admitted), wall_ms,
+      static_cast<unsigned long long>(counters.batches),
+      static_cast<unsigned long long>(counters.assignments),
+      static_cast<unsigned long long>(counters.rejected_full),
+      static_cast<unsigned long long>(*retries),
+      static_cast<unsigned long long>(counters.solver_rounds),
+      latency.ValueAtQuantile(0.5), latency.ValueAtQuantile(0.99),
+      wall_ms > 0.0 ? static_cast<double>(counters.assignments) /
+                          (wall_ms / 1000.0)
+                    : 0.0);
+  const std::vector<uint64_t> batches = server.shard_batch_counts();
+  uint64_t bmin = batches.empty() ? 0 : batches[0];
+  uint64_t bmax = 0;
+  for (const uint64_t b : batches) {
+    bmin = b < bmin ? b : bmin;
+    bmax = b > bmax ? b : bmax;
+  }
+  std::printf("shard balance: %llu..%llu batches/shard\n",
+              static_cast<unsigned long long>(bmin),
+              static_cast<unsigned long long>(bmax));
+
+  if (validate) {
+    const ReferenceResult ref = RunSequentialReference(config, trace);
+    for (uint32_t c = 0; c < server.num_shards(); ++c) {
+      if (server.shard_digest(c) != ref.digests[c]) {
+        return Fail(Status::Internal(StrFormat(
+            "shard %u digest %016llx != sequential reference %016llx", c,
+            static_cast<unsigned long long>(server.shard_digest(c)),
+            static_cast<unsigned long long>(ref.digests[c]))));
+      }
+    }
+    std::printf("validate: all %zu shard digests match the sequential "
+                "reference\n",
+                server.num_shards());
+  }
+  if (!prom_out.empty()) {
+    if (!obs::WriteTextFileAtomic(prom_out, server.PrometheusText())) {
+      return Fail(Status::IoError("cannot publish " + prom_out));
+    }
+    std::printf("published %s\n", prom_out.c_str());
+  }
+  return 0;
+}
+
 // Minimal single-threaded HTTP/1.0 exporter over a published text file —
 // the node_exporter textfile pattern: the dispatcher atomically renames
 // fresh pages into place and this loop re-reads the file per scrape, so
@@ -548,10 +731,11 @@ int Main(int argc, const char* const* argv) {
   if (command == "repeat") return CmdRepeat(argc, argv);
   if (command == "simulate") return CmdSimulate(argc, argv);
   if (command == "stream") return CmdStream(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   if (command == "metrics-serve") return CmdMetricsServe(argc, argv);
   std::printf(
       "usage: fta_tool "
-      "<generate|solve|repeat|simulate|stream|metrics-serve> [flags]\n"
+      "<generate|solve|repeat|simulate|stream|serve|metrics-serve> [flags]\n"
       "run a subcommand with --help for its flags\n");
   return command.empty() ? 1 : (command == "--help" ? 0 : 1);
 }

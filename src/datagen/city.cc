@@ -1,0 +1,71 @@
+#include "datagen/city.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fta {
+
+CityWorkload GenerateCityWorkload(const CityWorkloadConfig& config,
+                                  uint64_t seed) {
+  FTA_CHECK_MSG(config.num_centers >= 1, "city needs >= 1 center");
+  FTA_CHECK_MSG(config.ticks >= 1, "city needs >= 1 tick");
+  FTA_CHECK_MSG(config.tick_period > 0.0, "tick_period must be positive");
+
+  CityWorkload city;
+  city.tick_period = config.tick_period;
+  city.ticks = config.ticks;
+  city.centers.reserve(config.num_centers);
+  city.events.reserve(config.num_centers);
+
+  const size_t grid = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(config.num_centers))));
+  const double horizon =
+      static_cast<double>(config.ticks) * config.tick_period;
+
+  for (size_t c = 0; c < config.num_centers; ++c) {
+    // Independent substream per center: the city seed never feeds a
+    // center directly, so center sets of different sizes share traffic.
+    const uint64_t center_seed =
+        SplitMix64(seed ^ (static_cast<uint64_t>(c) + 1)).Next();
+    Rng rng(center_seed);
+
+    // Heterogeneous demand: one log-normal draw scales both rates, so a
+    // busy center is busy on both sides of the market.
+    const double scale =
+        config.rate_sigma > 0.0 ? std::exp(config.rate_sigma * rng.Gaussian())
+                                : 1.0;
+
+    ChurnWorkloadConfig churn = config.base;
+    churn.horizon_hours = horizon;
+    churn.tasks.base_rate_per_hour *= scale;
+    churn.worker_rate_per_hour *= scale;
+
+    // Cell origin on the city grid; the depot sits at the cell's middle,
+    // the same geometry a single-center churn instance uses.
+    const double ox =
+        static_cast<double>(c % grid) * config.center_spacing;
+    const double oy =
+        static_cast<double>(c / grid) * config.center_spacing;
+    city.centers.push_back(
+        Point{ox + churn.area_size / 2.0, oy + churn.area_size / 2.0});
+
+    std::vector<StreamEvent> events =
+        GenerateChurnEvents(churn, rng.Next());
+    for (StreamEvent& ev : events) {
+      if (ev.kind == StreamEventKind::kWorkerArrival) {
+        ev.worker.location.x += ox;
+        ev.worker.location.y += oy;
+      } else {
+        ev.location.x += ox;
+        ev.location.y += oy;
+      }
+    }
+    city.events.push_back(std::move(events));
+  }
+  return city;
+}
+
+}  // namespace fta

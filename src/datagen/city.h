@@ -1,0 +1,63 @@
+#ifndef FTA_DATAGEN_CITY_H_
+#define FTA_DATAGEN_CITY_H_
+
+// City-scale traffic synthesis for the multi-center assignment server: a
+// grid of distribution centers, each with its own churn-event stream
+// drawn from a shared template whose Poisson rates are decorrelated and
+// heterogeneous (log-normal multipliers), the textbook shape of demand
+// across a city — a few hot downtown centers, a long tail of quiet ones.
+//
+// The output is datagen-only (center points + per-center sorted event
+// vectors); serve/replay.h turns it into the server's request trace.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "datagen/workload.h"
+#include "geo/point.h"
+#include "stream/events.h"
+
+namespace fta {
+
+struct CityWorkloadConfig {
+  /// Distribution centers, laid out on a square grid.
+  size_t num_centers = 16;
+  /// Grid pitch between neighboring centers. Each center's workers and
+  /// orders live in its own `base.area_size` square cell, so spacing >=
+  /// area_size keeps the cells disjoint (centers are independent worlds
+  /// either way — the paper solves them separately).
+  double center_spacing = 20.0;
+  /// Per-center churn template. `horizon_hours` is overridden to cover
+  /// `ticks * tick_period`.
+  ChurnWorkloadConfig base;
+  /// Log-normal heterogeneity of the per-center arrival rates: center c
+  /// scales the template's task and worker rates by exp(rate_sigma * g_c)
+  /// with g_c standard normal. 0 = homogeneous city.
+  double rate_sigma = 0.6;
+  /// Replay cadence the trace is bucketed at (absolute time per tick).
+  double tick_period = 0.25;
+  /// Number of replay ticks the horizon covers.
+  uint64_t ticks = 16;
+};
+
+/// One synthesized city: per-center event streams over a shared clock.
+struct CityWorkload {
+  /// Center c's location (the shard engine's depot point).
+  std::vector<Point> centers;
+  double tick_period = 0.25;
+  uint64_t ticks = 0;
+  /// events[c] is center c's stream, sorted by non-decreasing time, with
+  /// all locations in the center's own cell of the city plane.
+  std::vector<std::vector<StreamEvent>> events;
+};
+
+/// Deterministic in `seed`; center c draws from an independent
+/// SplitMix64-derived substream, so adding centers never perturbs the
+/// traffic of existing ones.
+CityWorkload GenerateCityWorkload(const CityWorkloadConfig& config,
+                                  uint64_t seed);
+
+}  // namespace fta
+
+#endif  // FTA_DATAGEN_CITY_H_

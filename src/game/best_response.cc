@@ -16,8 +16,13 @@ BestResponseEngine::BestResponseEngine(JointState& state,
                                        const IauParams& params,
                                        const BestResponseConfig& config)
     : state_(&state), params_(params), config_(config) {
-  if (config_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  if (config_.pool != nullptr) {
+    // Injected pool: reuse the caller's workers. A 1-thread pool keeps
+    // the scan serial, matching the num_threads <= 1 contract.
+    if (config_.pool->num_threads() > 1) pool_ = config_.pool;
+  } else if (config_.num_threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    pool_ = owned_pool_.get();
   }
   if (config_.use_incremental_index) {
     const VdpsCatalog& catalog = state_->catalog();

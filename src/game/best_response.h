@@ -21,6 +21,13 @@ struct BestResponseConfig {
   /// the reduce applies a total order (utility desc, strategy index asc,
   /// null below index 0) that no shard boundary can disturb.
   size_t num_threads = 1;
+  /// Non-owning external pool for the candidate scan. When set it
+  /// overrides `num_threads` (an injected 1-thread pool keeps the scan
+  /// serial) and MUST outlive the engine — long-lived callers (the
+  /// serving layer, benches repeating solves) reuse one pool instead of
+  /// paying a thread spawn/join per engine construction. Results are
+  /// bit-identical either way.
+  ThreadPool* pool = nullptr;
   /// Maintain the incremental availability index: per-strategy cached
   /// availability bits, invalidated through the catalog's delivery-point →
   /// strategies inverted index on every strategy switch. Purely a
@@ -184,7 +191,8 @@ class BestResponseEngine {
   JointState* state_;
   IauParams params_;
   BestResponseConfig config_;
-  std::unique_ptr<ThreadPool> pool_;  // only when num_threads > 1
+  std::unique_ptr<ThreadPool> owned_pool_;  // only when no injected pool
+  ThreadPool* pool_ = nullptr;  // injected or owned_pool_.get(); may be null
   /// avail_[w][i]: cached availability of strategy i for worker w.
   std::vector<std::vector<uint8_t>> avail_;
   /// Per-shard batch scratch; scratch_[0] serves the serial path.

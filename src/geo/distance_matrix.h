@@ -25,6 +25,11 @@ class DistanceMatrix {
   /// Travel time between points i and j.
   double Between(size_t i, size_t j) const { return times_[i * n_ + j]; }
 
+  /// Contiguous travel-time row of point i (row-major mirror, n entries):
+  /// TimeRow(i)[j] == Between(i, j). Hot loops hoist the row pointer once
+  /// and stream it instead of re-deriving i * n per neighbor.
+  const double* TimeRow(size_t i) const { return times_.data() + i * n_; }
+
   /// Travel time from the origin (distribution center) to point i.
   double FromOrigin(size_t i) const { return from_origin_[i]; }
 

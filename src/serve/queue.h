@@ -1,0 +1,85 @@
+#ifndef FTA_SERVE_QUEUE_H_
+#define FTA_SERVE_QUEUE_H_
+
+// Bounded MPMC queue on the annotated mutex layer (DESIGN.md §13): the
+// hand-off between the server's admission stage (producers) and its shard
+// runners (consumers). Push never blocks — a full queue is a typed
+// rejection, which is what lets admission control shed load instead of
+// stalling the caller. Pop blocks until an item arrives or the queue is
+// closed and empty, the shutdown handshake Drain() relies on.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "util/check.h"
+#include "util/mutex.h"
+
+namespace fta {
+
+enum class QueuePush : uint8_t {
+  kOk = 0,
+  kFull = 1,
+  kClosed = 2,
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity must be >= 1 (checked).
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    FTA_CHECK_MSG(capacity_ >= 1, "BoundedQueue capacity must be >= 1");
+  }
+
+  /// Non-blocking enqueue with a typed outcome.
+  QueuePush TryPush(T item) FTA_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      if (closed_) return QueuePush::kClosed;
+      if (items_.size() >= capacity_) return QueuePush::kFull;
+      items_.push_back(std::move(item));
+    }
+    cv_.NotifyOne();
+    return QueuePush::kOk;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// drained (false).
+  bool Pop(T* out) FTA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (items_.empty() && !closed_) cv_.Wait(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects further pushes and wakes every blocked Pop once the backlog
+  /// drains. Idempotent.
+  void Close() FTA_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      closed_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+  size_t size() const FTA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ FTA_GUARDED_BY(mu_);
+  bool closed_ FTA_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace fta
+
+#endif  // FTA_SERVE_QUEUE_H_

@@ -1,27 +1,19 @@
 #include "stream/dispatcher.h"
 
-#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
-#include "model/delivery_point.h"
-#include "model/task.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
-#include "util/math_util.h"
-#include "util/rng.h"
 #include "util/status.h"
-#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace fta {
 namespace {
-
-/// Dense-id map slot for an element removed this tick.
-constexpr uint32_t kGoneSlot = 0xffffffffu;
 
 /// Mirrors a finished stream run into the process-wide metrics registry.
 void PublishStream(const StreamCounters& c) {
@@ -58,322 +50,75 @@ void PublishStream(const StreamCounters& c) {
   }
 }
 
-}  // namespace
-
-const char* ResolvePolicyName(ResolvePolicy policy) {
-  switch (policy) {
-    case ResolvePolicy::kColdRestart:
-      return "cold-restart";
-    case ResolvePolicy::kColdSeeded:
-      return "cold-seeded";
-    case ResolvePolicy::kWarm:
-      return "warm";
-  }
-  return "unknown";
+TickEngineConfig ToEngineConfig(const StreamConfig& c) {
+  TickEngineConfig e;
+  e.center = c.center;
+  e.travel = c.travel;
+  e.policy = c.policy;
+  e.solver = c.solver;
+  e.vdps = c.vdps;
+  e.fgt = c.fgt;
+  e.iegt = c.iegt;
+  e.seed = c.seed;
+  e.digest_catalog = c.digest_catalog;
+  return e;
 }
 
-const char* StreamSolverName(StreamSolver solver) {
-  switch (solver) {
-    case StreamSolver::kFgt:
-      return "fgt";
-    case StreamSolver::kIegt:
-      return "iegt";
+}  // namespace
+
+void StreamCounters::FoldTick(const TickStats& ts, size_t events) {
+  ++ticks;
+  events_ingested += events;
+  workers_arrived += ts.workers_in;
+  workers_departed += ts.workers_out;
+  tasks_arrived += ts.tasks_in;
+  tasks_expired += ts.tasks_out;
+  if (ts.used_delta) {
+    ++deltas;
+    delta.Merge(ts.delta);
+  } else {
+    ++regens;
   }
-  return "unknown";
+  solver_rounds += static_cast<uint64_t>(ts.rounds);
+  if (ts.converged) ++converged_ticks;
+  catalog_ms += ts.catalog_ms;
+  solve_ms += ts.solve_ms;
 }
 
 StreamDispatcher::StreamDispatcher(StreamConfig config,
                                    std::vector<StreamEvent> events)
-    : config_(std::move(config)), events_(std::move(events)) {
+    : config_(std::move(config)),
+      events_(std::move(events)),
+      engine_(ToEngineConfig(config_)) {
   for (size_t i = 1; i < events_.size(); ++i) {
     FTA_CHECK_MSG(events_[i - 1].time <= events_[i].time,
                   "stream events must be sorted by non-decreasing time");
-  }
-  if (config_.policy == ResolvePolicy::kWarm) {
-    FTA_CHECK_MSG(
-        config_.vdps.beam_width == 0 && config_.vdps.max_entries == 0,
-        "kWarm streaming requires a delta-patchable catalog config "
-        "(beam_width == 0, max_entries == 0); see VdpsCatalog::ApplyDelta");
   }
   if (config_.telemetry.enabled) {
     telemetry_.reset(new StreamTelemetry(config_.telemetry));
   }
 }
 
-void StreamDispatcher::BuildInstance() {
-  std::vector<DeliveryPoint> dps;
-  dps.reserve(tasks_.size());
-  for (size_t i = 0; i < tasks_.size(); ++i) {
-    const LiveTask& t = tasks_[i];
-    SpatialTask task;
-    task.delivery_point = static_cast<uint32_t>(i);
-    task.expiry = t.service_window;  // relative to dispatch; see events.h
-    task.reward = t.reward;
-    dps.emplace_back(t.location, std::vector<SpatialTask>{task});
-  }
-  std::vector<Worker> workers;
-  workers.reserve(workers_.size());
-  for (const LiveWorker& w : workers_) workers.push_back(w.worker);
-  instance_ =
-      Instance(config_.center, std::move(dps), std::move(workers),
-               config_.travel);
-}
-
-uint64_t StreamDispatcher::DigestCatalog() const {
-  StreamDigest d;
-  d.Fold(static_cast<uint64_t>(catalog_.num_entries()));
-  for (const CVdpsEntry& entry : catalog_.entries()) {
-    d.Fold(static_cast<uint64_t>(entry.dps.size()));
-    for (uint32_t dp : entry.dps) d.Fold(static_cast<uint64_t>(dp));
-    d.Fold(entry.total_reward);
-    d.Fold(static_cast<uint64_t>(entry.options.size()));
-    for (const SequenceOption& opt : entry.options) {
-      for (uint32_t dp : opt.route) d.Fold(static_cast<uint64_t>(dp));
-      d.Fold(opt.center_time);
-      d.Fold(opt.slack);
-    }
-  }
-  d.Fold(static_cast<uint64_t>(catalog_.num_workers()));
-  for (size_t w = 0; w < catalog_.num_workers(); ++w) {
-    const auto& sts = catalog_.strategies(w);
-    d.Fold(static_cast<uint64_t>(sts.size()));
-    for (const WorkerStrategy& st : sts) {
-      d.Fold(static_cast<uint64_t>(st.entry_id));
-      for (uint32_t dp : st.route) d.Fold(static_cast<uint64_t>(dp));
-      d.Fold(st.total_time);
-      d.Fold(st.total_reward);
-      d.Fold(st.payoff);
-    }
-  }
-  d.Fold(static_cast<uint64_t>(catalog_.num_indexed_delivery_points()));
-  for (size_t dp = 0; dp < catalog_.num_indexed_delivery_points(); ++dp) {
-    const auto& refs = catalog_.strategies_touching(static_cast<uint32_t>(dp));
-    d.Fold(static_cast<uint64_t>(refs.size()));
-    for (const StrategyRef& ref : refs) {
-      d.Fold(static_cast<uint64_t>(ref.worker));
-      d.Fold(static_cast<uint64_t>(static_cast<uint32_t>(ref.strategy)));
-    }
-  }
-  const RadiusAdjacency& adj = catalog_.adjacency();
-  d.Fold(static_cast<uint64_t>(adj.offsets.size()));
-  for (uint32_t o : adj.offsets) d.Fold(static_cast<uint64_t>(o));
-  for (uint32_t n : adj.neighbors) d.Fold(static_cast<uint64_t>(n));
-  return d.value();
-}
-
 Status StreamDispatcher::Step() {
   FTA_SPAN("stream/tick");
   FTA_CHECK_MSG(!Done(), "Step() past max_ticks");
-  Stopwatch tick_sw;
   const double now = static_cast<double>(tick_) * config_.tick_period;
-  TickStats ts;
-  ts.tick = tick_;
-  ts.time = now;
 
-  // ---- 1. Ingest every arrival due by `now` (sorted, so one pass). ----
-  std::vector<LiveWorker> new_workers;
-  std::vector<LiveTask> new_tasks;
+  // Drain every arrival due by `now` (sorted feed, so one pass); the
+  // engine ingests the slice and runs the tick.
+  const size_t first = next_event_;
   while (next_event_ < events_.size() && events_[next_event_].time <= now) {
-    const StreamEvent& ev = events_[next_event_++];
-    ++counters_.events_ingested;
-    if (ev.kind == StreamEventKind::kWorkerArrival) {
-      new_workers.push_back(
-          LiveWorker{ev.worker, ev.departure, next_worker_id_++});
-      ++counters_.workers_arrived;
-      ++ts.workers_in;
-    } else {
-      new_tasks.push_back(LiveTask{ev.location, ev.reward, ev.queue_expiry,
-                                   ev.service_window, next_task_id_++});
-      ++counters_.tasks_arrived;
-      ++ts.tasks_in;
-    }
+    ++next_event_;
   }
+  const std::span<const StreamEvent> arrivals(events_.data() + first,
+                                              next_event_ - first);
 
-  // ---- 2. Expire by the half-open live interval [arrival, expiry): an
-  // element is dispatchable at `now` iff expiry > now, exactly — no
-  // epsilon slop on the boundary (tests/stream_churn_test pins a task
-  // expiring precisely on a tick boundary as gone). Survivors compact in
-  // order; surviving additions append at the tail — the exact layout
-  // CatalogDeltaPlan describes. ----
-  CatalogDeltaPlan plan;
-  std::vector<uint32_t> worker_map(workers_.size(), kGoneSlot);
-  std::vector<uint32_t> dp_map(tasks_.size(), kGoneSlot);
-  {
-    size_t out = 0;
-    for (size_t i = 0; i < workers_.size(); ++i) {
-      if (workers_[i].departure <= now) {
-        plan.removed_workers.push_back(static_cast<uint32_t>(i));
-        ++counters_.workers_departed;
-        ++ts.workers_out;
-        continue;
-      }
-      worker_map[i] = static_cast<uint32_t>(out);
-      if (out != i) workers_[out] = std::move(workers_[i]);
-      ++out;
-    }
-    workers_.resize(out);
-  }
-  {
-    size_t out = 0;
-    for (size_t i = 0; i < tasks_.size(); ++i) {
-      if (tasks_[i].queue_expiry <= now) {
-        plan.removed_dps.push_back(static_cast<uint32_t>(i));
-        ++counters_.tasks_expired;
-        ++ts.tasks_out;
-        continue;
-      }
-      dp_map[i] = static_cast<uint32_t>(out);
-      if (out != i) tasks_[out] = std::move(tasks_[i]);
-      ++out;
-    }
-    tasks_.resize(out);
-  }
-  // Dead-on-arrival elements (deadline at or before their first tick)
-  // never enter the instance; they count as arrived and expired.
-  for (LiveWorker& w : new_workers) {
-    if (w.departure <= now) {
-      ++counters_.workers_departed;
-      ++ts.workers_out;
-      continue;
-    }
-    workers_.push_back(std::move(w));
-    ++plan.added_workers;
-  }
-  for (LiveTask& t : new_tasks) {
-    if (t.queue_expiry <= now) {
-      ++counters_.tasks_expired;
-      ++ts.tasks_out;
-      continue;
-    }
-    tasks_.push_back(std::move(t));
-    ++plan.added_dps;
-  }
+  TickStats ts;
+  if (Status s = engine_.Tick(tick_, now, arrivals, &ts); !s.ok()) return s;
+  counters_.FoldTick(ts, arrivals.size());
 
-  BuildInstance();
-  FTA_DCHECK_OK(instance_.Validate());
-  ts.num_workers = instance_.num_workers();
-  ts.num_dps = instance_.num_delivery_points();
-
-  // ---- 3. Catalog maintenance: incremental delta on the warm path,
-  // full regeneration otherwise (and for everyone on tick 0). ----
-  Stopwatch catalog_sw;
-  if (tick_ == 0 || config_.policy != ResolvePolicy::kWarm) {
-    catalog_ = VdpsCatalog::Generate(instance_, config_.vdps);
-    ++counters_.regens;
-  } else {
-    DeltaCounters dc;
-    if (Status s = catalog_.ApplyDelta(instance_, plan, &dc); !s.ok()) {
-      return s;
-    }
-    counters_.delta.Merge(dc);
-    ts.delta = dc;
-    ts.used_delta = true;
-    ++counters_.deltas;
-  }
-  ts.catalog_ms = catalog_sw.ElapsedMillis();
-  counters_.catalog_ms += ts.catalog_ms;
-
-  // ---- 4. Warm-seed projection: the previous equilibrium's surviving
-  // assignments, re-addressed through this tick's id maps. A worker whose
-  // set lost any delivery point falls back to the null strategy; surviving
-  // sets stay pairwise disjoint (subsets of a disjoint family), so the
-  // seed is always Definition-8 valid. ----
-  Stopwatch project_sw;
-  std::vector<int32_t> seed;
-  const bool seeded =
-      config_.policy != ResolvePolicy::kColdRestart && tick_ > 0;
-  if (seeded) {
-    seed.assign(instance_.num_workers(), kNullStrategy);
-    std::vector<uint32_t> mapped;
-    for (size_t ow = 0; ow < prev_sets_.size(); ++ow) {
-      if (worker_map[ow] == kGoneSlot) continue;
-      const std::vector<uint32_t>& set = prev_sets_[ow];
-      if (set.empty()) continue;
-      mapped.clear();
-      bool alive = true;
-      for (uint32_t dp : set) {
-        if (dp_map[dp] == kGoneSlot) {
-          alive = false;
-          break;
-        }
-        mapped.push_back(dp_map[dp]);  // monotone map: stays sorted
-      }
-      if (!alive) continue;
-      const int32_t entry = catalog_.FindEntry(mapped);
-      FTA_DCHECK_MSG(entry >= 0,
-                     "surviving delivery point set lost its catalog entry");
-      if (entry < 0) continue;
-      const int32_t strategy =
-          catalog_.FindStrategy(worker_map[ow],
-                                static_cast<uint32_t>(entry));
-      FTA_DCHECK_MSG(strategy >= 0,
-                     "surviving worker lost its strategy for a surviving "
-                     "entry");
-      if (strategy < 0) continue;
-      seed[worker_map[ow]] = strategy;
-    }
-  }
-  ts.project_ms = project_sw.ElapsedMillis();
-
-  // ---- 5. Solve this tick's game, warm-started when seeded. ----
-  Stopwatch solve_sw;
-  const uint64_t tick_seed =
-      SplitMix64(config_.seed ^ static_cast<uint64_t>(tick_ + 1)).Next();
-  GameResult game;
-  if (config_.solver == StreamSolver::kFgt) {
-    FgtConfig fgt = config_.fgt;
-    fgt.seed = tick_seed;
-    if (seeded) fgt.warm_start = &seed;
-    game = SolveFgt(instance_, catalog_, fgt);
-  } else {
-    IegtConfig iegt = config_.iegt;
-    iegt.seed = tick_seed;
-    if (seeded) iegt.warm_start = &seed;
-    game = SolveIegt(instance_, catalog_, iegt);
-  }
-  ts.solve_ms = solve_sw.ElapsedMillis();
-  counters_.solve_ms += ts.solve_ms;
-  counters_.solver_rounds += static_cast<uint64_t>(game.rounds);
-  if (game.converged) ++counters_.converged_ticks;
-  ts.rounds = game.rounds;
-  ts.converged = game.converged;
-
-  last_assignment_ = std::move(game.assignment);
-  // Tick-boundary contract: the standing plan is Definition-8 valid.
-  FTA_DCHECK_OK(last_assignment_.Validate(instance_));
-
-  prev_sets_.assign(instance_.num_workers(), {});
-  for (size_t w = 0; w < instance_.num_workers(); ++w) {
-    prev_sets_[w] = last_assignment_.route(w);
-    std::sort(prev_sets_[w].begin(), prev_sets_[w].end());
-  }
-
-  // ---- 6. Fold the tick into the run digest and record stats. ----
-  ts.assigned_workers = last_assignment_.num_assigned_workers();
-  ts.covered_dps = last_assignment_.num_covered_delivery_points();
-  const std::vector<double> payoffs = last_assignment_.Payoffs(instance_);
-  ts.average_payoff = Mean(payoffs);
-  ts.payoff_difference = last_assignment_.PayoffDifference(instance_);
-
-  digest_.Fold(static_cast<uint64_t>(tick_));
-  digest_.Fold(static_cast<uint64_t>(instance_.num_workers()));
-  digest_.Fold(static_cast<uint64_t>(instance_.num_delivery_points()));
-  for (size_t w = 0; w < instance_.num_workers(); ++w) {
-    digest_.Fold(workers_[w].stable_id);
-    const Route& route = last_assignment_.route(w);
-    digest_.Fold(static_cast<uint64_t>(route.size()));
-    for (uint32_t dp : route) digest_.Fold(tasks_[dp].stable_id);
-    digest_.Fold(payoffs[w]);
-  }
-  if (config_.digest_catalog) {
-    ts.catalog_digest = DigestCatalog();
-    digest_.Fold(ts.catalog_digest);
-  }
-
-  ++counters_.ticks;
-  ts.tick_ms = tick_sw.ElapsedMillis();
-  // ---- 7. Telemetry observes the finished tick (after the digest fold,
-  // so it cannot perturb observable behavior). ----
+  // Telemetry observes the finished tick (after the digest fold inside
+  // the engine, so it cannot perturb observable behavior).
   if (telemetry_ != nullptr) {
     telemetry_->OnTick(ts);
     telemetry_->MaybePublish(tick_);
@@ -392,7 +137,7 @@ StatusOr<StreamResult> StreamDispatcher::Run() {
   StreamResult result;
   result.counters = counters_;
   result.ticks = ticks_;
-  result.digest = digest_.value();
+  result.digest = engine_.digest();
   PublishStream(counters_);
   if (telemetry_ != nullptr) telemetry_->PublishNow();
   FTA_LOG(kInfo) << "stream run: policy=" << ResolvePolicyName(config_.policy)

@@ -1,60 +1,34 @@
 #ifndef FTA_STREAM_DISPATCHER_H_
 #define FTA_STREAM_DISPATCHER_H_
 
-// Event-driven streaming dispatch loop over the existing catalog + game
-// engines: a time-sliced tick queue of worker/task arrivals and
-// expirations, incremental C-VDPS catalog deltas between ticks, and
+// Event-driven streaming dispatch loop over the per-tick core in
+// stream/tick_engine.h: a time-sliced tick queue of worker/task arrivals
+// and expirations, incremental C-VDPS catalog deltas between ticks, and
 // warm-started FGT/IEGT solves seeded from the previous equilibrium.
 //
 // Each tick maintains a standing equilibrium PLAN over the current queue
 // (continuous re-planning; commitment/serving is downstream of this
 // subsystem). Elements leave only by their own deadlines, so most of the
 // previous equilibrium survives a tick — that persistence is what the
-// warm start and the catalog delta both exploit.
+// warm start and the catalog delta both exploit. The dispatcher owns the
+// clock and the pre-sorted event feed; the TickEngine does everything
+// else, so the serving layer (src/serve/) shares the exact machinery.
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "game/fgt.h"
-#include "game/iegt.h"
 #include "geo/point.h"
 #include "geo/travel.h"
 #include "model/assignment.h"
 #include "model/instance.h"
-#include "stream/digest.h"
 #include "stream/events.h"
 #include "stream/telemetry.h"
+#include "stream/tick_engine.h"
 #include "util/status.h"
 #include "vdps/catalog.h"
 
 namespace fta {
-
-/// How the dispatcher re-solves each tick after churn.
-enum class ResolvePolicy : uint8_t {
-  /// Regenerate the catalog and solve from the random singleton
-  /// initialization — the from-scratch baseline the bench gates against.
-  kColdRestart = 0,
-  /// Regenerate the catalog but seed the solver from the projected
-  /// previous equilibrium — the differential reference: it shares kWarm's
-  /// seed and solver trajectory while exercising none of the incremental
-  /// machinery, so kWarm ≡ kColdSeeded digests pin delta ≡ regen AND
-  /// warm ≡ cold convergence bit-identically.
-  kColdSeeded = 1,
-  /// Patch the catalog with VdpsCatalog::ApplyDelta and seed the solver
-  /// from the projected previous equilibrium — the streaming fast path.
-  kWarm = 2,
-};
-
-const char* ResolvePolicyName(ResolvePolicy policy);
-
-/// Which game solver equilibrates each tick.
-enum class StreamSolver : uint8_t {
-  kFgt = 0,
-  kIegt = 1,
-};
-
-const char* StreamSolverName(StreamSolver solver);
 
 struct StreamConfig {
   /// Distribution center shared by every tick's instance.
@@ -77,44 +51,13 @@ struct StreamConfig {
   uint64_t seed = 42;
   /// Keep per-tick stats in the result (cheap; off for huge runs).
   bool record_ticks = true;
-  /// Fold a digest of the ENTIRE catalog (entries, strategies, inverted
-  /// index, ε-adjacency) into the run digest every tick. O(catalog) per
-  /// tick — the identity tests' instrument, off by default.
+  /// Fold a digest of the ENTIRE catalog into the run digest every tick.
+  /// O(catalog) per tick — the identity tests' instrument, off by default.
   bool digest_catalog = false;
   /// Live-telemetry sink: per-tick phase sketches, rolling windows, and
   /// the Prometheus publisher. Purely observational — telemetry on/off
   /// leaves the run digest unchanged (pinned by the identity battery).
   StreamTelemetryConfig telemetry;
-};
-
-/// Per-tick observability record.
-struct TickStats {
-  uint64_t tick = 0;
-  double time = 0.0;
-  size_t num_workers = 0;
-  size_t num_dps = 0;
-  size_t workers_in = 0;
-  size_t workers_out = 0;
-  size_t tasks_in = 0;
-  size_t tasks_out = 0;
-  /// True when the catalog was delta-patched (kWarm past tick 0).
-  bool used_delta = false;
-  double catalog_ms = 0.0;
-  double solve_ms = 0.0;
-  /// Warm-seed projection (phase 4) wall time.
-  double project_ms = 0.0;
-  /// Whole-tick wall time (ingest through digest fold).
-  double tick_ms = 0.0;
-  int rounds = 0;
-  bool converged = false;
-  size_t assigned_workers = 0;
-  size_t covered_dps = 0;
-  double average_payoff = 0.0;
-  double payoff_difference = 0.0;
-  /// Catalog digest of this tick (0 unless config.digest_catalog).
-  uint64_t catalog_digest = 0;
-  /// Delta counters of this tick (zero when the catalog was regenerated).
-  DeltaCounters delta;
 };
 
 /// Whole-run aggregation, mirrored into the obs metrics registry.
@@ -137,6 +80,10 @@ struct StreamCounters {
   double solve_ms = 0.0;
   /// Aggregated delta counters (kWarm only).
   DeltaCounters delta;
+
+  /// Folds one finished tick into the aggregates. `events` is the number
+  /// of feed events the tick drained (arrivals handed to the engine).
+  void FoldTick(const TickStats& ts, size_t events);
 };
 
 struct StreamResult {
@@ -161,62 +108,36 @@ class StreamDispatcher {
 
   bool Done() const { return tick_ >= config_.max_ticks; }
 
-  /// Advances one tick: ingests due arrivals, expires dead elements,
-  /// patches or regenerates the catalog, seeds and runs the solver, and
-  /// folds the tick into the run digest.
+  /// Advances one tick: drains every arrival due by this tick's time into
+  /// the engine, which expires dead elements, patches or regenerates the
+  /// catalog, seeds and runs the solver, and folds the run digest.
   Status Step();
 
   /// Runs all remaining ticks and finalizes the result.
   StatusOr<StreamResult> Run();
 
   /// State after the last Step(), for tests and tooling.
-  const Instance& instance() const { return instance_; }
-  const VdpsCatalog& catalog() const { return catalog_; }
-  const Assignment& last_assignment() const { return last_assignment_; }
+  const Instance& instance() const { return engine_.instance(); }
+  const VdpsCatalog& catalog() const { return engine_.catalog(); }
+  const Assignment& last_assignment() const {
+    return engine_.last_assignment();
+  }
   const TickStats& last_tick() const { return last_tick_; }
   const StreamCounters& counters() const { return counters_; }
-  uint64_t digest() const { return digest_.value(); }
+  uint64_t digest() const { return engine_.digest(); }
   /// Null when config.telemetry.enabled is false.
   const StreamTelemetry* telemetry() const { return telemetry_.get(); }
 
  private:
-  struct LiveWorker {
-    Worker worker;
-    double departure = 0.0;
-    uint64_t stable_id = 0;
-  };
-  struct LiveTask {
-    Point location;
-    double reward = 0.0;
-    double queue_expiry = 0.0;
-    double service_window = 0.0;
-    uint64_t stable_id = 0;
-  };
-
-  void BuildInstance();
-  uint64_t DigestCatalog() const;
-
   StreamConfig config_;
   std::vector<StreamEvent> events_;
   size_t next_event_ = 0;
   size_t tick_ = 0;
 
-  std::vector<LiveWorker> workers_;
-  std::vector<LiveTask> tasks_;
-  uint64_t next_worker_id_ = 0;
-  uint64_t next_task_id_ = 0;
-
-  Instance instance_;
-  VdpsCatalog catalog_;
-  Assignment last_assignment_;
-  /// Sorted delivery point sets (dense ids) held by each worker after the
-  /// last solve — the projection source for the next tick's warm seed.
-  std::vector<std::vector<uint32_t>> prev_sets_;
-
+  TickEngine engine_;
   StreamCounters counters_;
   std::vector<TickStats> ticks_;
   TickStats last_tick_;
-  StreamDigest digest_;
   std::unique_ptr<StreamTelemetry> telemetry_;
 };
 

@@ -8,8 +8,18 @@
 #include "util/logging.h"
 
 namespace fta {
+namespace {
+
+std::atomic<uint64_t> g_pools_created{0};
+
+}  // namespace
+
+uint64_t ThreadPool::total_created() {
+  return g_pools_created.load(std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  g_pools_created.fetch_add(1, std::memory_order_relaxed);
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {

@@ -2,6 +2,7 @@
 #define FTA_UTIL_THREAD_POOL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -68,6 +69,12 @@ class ThreadPool {
   }
 
   size_t num_threads() const { return threads_.size(); }
+
+  /// Process-lifetime count of ThreadPool constructions. Benches assert
+  /// this stays flat across repetitions once warm: repeated solves must
+  /// reuse an injected pool (BestResponseConfig::pool, VdpsConfig::pool)
+  /// instead of re-spawning workers per iteration.
+  static uint64_t total_created();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// fn must be safe to invoke concurrently for distinct i.

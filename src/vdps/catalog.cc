@@ -89,7 +89,11 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
   Stopwatch wall;
   std::unique_ptr<ThreadPool> owned_pool;
   ThreadPool* pool = nullptr;
-  if (config.num_threads > 1) {
+  if (config.pool != nullptr) {
+    // Injected pool: reuse the caller's workers (a 1-thread pool keeps
+    // generation serial, matching the num_threads <= 1 contract).
+    if (config.pool->num_threads() > 1) pool = config.pool;
+  } else if (config.num_threads > 1) {
     owned_pool = std::make_unique<ThreadPool>(config.num_threads);
     pool = owned_pool.get();
   }
@@ -105,6 +109,9 @@ VdpsCatalog VdpsCatalog::Generate(const Instance& instance,
   catalog.truncated_ = gen.truncated;
   catalog.gen_ = gen.counters;
   catalog.config_ = config;
+  // The catalog outlives the Generate() call; never retain the caller's
+  // pool pointer past it (ApplyDelta and regen-from-config run serial).
+  catalog.config_.pool = nullptr;
   catalog.adjacency_ = std::move(gen.adjacency);
 
   // Materialize per-worker strategies: a C-VDPS is valid for worker w iff

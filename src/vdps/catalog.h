@@ -157,6 +157,13 @@ struct VdpsConfig {
   /// max_entries > 0 the sequence enumerator runs single-sharded so the
   /// truncation point stays exactly the serial one.
   size_t num_threads = 1;
+  /// Non-owning external pool for catalog construction. When set it
+  /// overrides `num_threads` (an injected 1-thread pool keeps generation
+  /// serial) and must outlive the Generate() call — long-lived callers
+  /// reuse one pool instead of spawning workers per generation. Catalogs
+  /// are bit-identical either way. Generate() does not retain the
+  /// pointer: the config stored in the catalog has it scrubbed to null.
+  ThreadPool* pool = nullptr;
 };
 
 /// One tick of instance churn, described against the catalog's OLD

@@ -33,6 +33,13 @@ struct DfsContext {
   const RadiusAdjacency* adj = nullptr;
   uint32_t n = 0;
   uint32_t cap = 0;
+  /// SoA mirrors of the two per-delivery-point fields the DFS inner loop
+  /// reads (the scalar-AoS leftover of ROADMAP item 3): gathered once out
+  /// of the ~56-byte-stride DeliveryPoint structs so the hot loop streams
+  /// contiguous doubles next to the travel-time row instead of striding
+  /// through Point + vector<SpatialTask> payloads per neighbor.
+  std::vector<double> earliest_expiry;
+  std::vector<double> total_reward;
 };
 
 /// Depth-first enumeration over one shard's root range. All mutable state
@@ -45,6 +52,10 @@ class ShardDfs {
       : ctx_(ctx), shard_(shard), shard_index_(shard_index) {
     in_route_.assign(ctx.n, false);
     key_.reserve(ctx.cap);
+    // One gather scratch per DFS depth: the batched neighbor gather at
+    // depth d must survive the recursive calls it feeds, which overwrite
+    // the scratch of depth d + 1 only.
+    scratch_.resize(ctx.cap);
   }
 
   /// Enumerates every feasible sequence whose first delivery point lies in
@@ -53,8 +64,7 @@ class ShardDfs {
   void RunRoots(uint32_t begin, uint32_t end) {
     for (uint32_t j = begin; j < end; ++j) {
       const double arr = ctx_.dm->FromOrigin(j);
-      const double slack =
-          ctx_.instance->delivery_point(j).earliest_expiry() - arr;
+      const double slack = ctx_.earliest_expiry[j] - arr;
       if (slack < 0.0) continue;
       in_route_[j] = true;
       key_.push_back(j);
@@ -82,9 +92,7 @@ class ShardDfs {
       c.legacy_route_bytes += key_.size() * sizeof(uint32_t);
       ++c.legacy_route_allocs;
       double reward = 0.0;
-      for (uint32_t dp : key_) {
-        reward += ctx_.instance->delivery_point(dp).total_reward();
-      }
+      for (uint32_t dp : key_) reward += ctx_.total_reward[dp];
       rec->total_reward = reward;
     }
     rec->options.push_back(
@@ -99,31 +107,60 @@ class ShardDfs {
     if (shard_.truncated) return;
     // Distance-constrained pruning (Section IV): extend only to delivery
     // points within ε of the current one — one precomputed adjacency row.
-    const auto extend = [&](uint32_t next) {
+    //
+    // Batched gather over the SoA mirrors: pass 1 streams the contiguous
+    // travel-time row and expiry mirror to compute every feasible
+    // neighbor's (arrival, slack); pass 2 recurses into them. The
+    // per-neighbor expression tree is unchanged and in_route_ is restored
+    // before each next sibling in the fused loop too, so the candidate
+    // set, the visit order, and every double are bit-identical to the
+    // fused form (pinned by vdps_catalog_equivalence_test) — the split
+    // just keeps the gather loop branch-light and free of the recursion's
+    // cache pollution.
+    DepthScratch& sc = scratch_[key_.size() - 1];
+    sc.next.clear();
+    sc.arr.clear();
+    sc.slk.clear();
+    const double* row = ctx_.dm->TimeRow(last);
+    const auto gather = [&](uint32_t next) {
       if (in_route_[next]) return;
-      const double arr = arrival + ctx_.dm->Between(last, next);
-      const double slk = std::min(
-          slack, ctx_.instance->delivery_point(next).earliest_expiry() - arr);
+      const double arr = arrival + row[next];
+      const double slk = std::min(slack, ctx_.earliest_expiry[next] - arr);
       if (slk < 0.0) return;  // misses a deadline even with offset 0
-      in_route_[next] = true;
-      key_.insert(std::lower_bound(key_.begin(), key_.end(), next), next);
-      Dfs(next, arr, slk, shard_.arena.Push(node, next));
-      key_.erase(std::lower_bound(key_.begin(), key_.end(), next));
-      in_route_[next] = false;
+      sc.next.push_back(next);
+      sc.arr.push_back(arr);
+      sc.slk.push_back(slk);
     };
     if (ctx_.adj == nullptr) {
-      for (uint32_t next = 0; next < ctx_.n; ++next) extend(next);
+      for (uint32_t next = 0; next < ctx_.n; ++next) gather(next);
     } else {
       for (const uint32_t* p = ctx_.adj->begin(last); p != ctx_.adj->end(last);
            ++p) {
-        extend(*p);
+        gather(*p);
       }
     }
+    for (size_t k = 0; k < sc.next.size(); ++k) {
+      const uint32_t next = sc.next[k];
+      in_route_[next] = true;
+      key_.insert(std::lower_bound(key_.begin(), key_.end(), next), next);
+      Dfs(next, sc.arr[k], sc.slk[k], shard_.arena.Push(node, next));
+      key_.erase(std::lower_bound(key_.begin(), key_.end(), next));
+      in_route_[next] = false;
+    }
   }
+
+  /// Per-depth gather scratch: parallel (neighbor, arrival, slack) rows
+  /// produced by pass 1 of the batched extend.
+  struct DepthScratch {
+    std::vector<uint32_t> next;
+    std::vector<double> arr;
+    std::vector<double> slk;
+  };
 
   const DfsContext& ctx_;
   vdps_internal::EnumerationShard& shard_;
   const uint32_t shard_index_;
+  std::vector<DepthScratch> scratch_;
   std::vector<bool> in_route_;
   /// The current set, kept sorted ascending — the enumerators key set
   /// stores by sorted id sequences, and maintaining the key incrementally
@@ -163,6 +200,13 @@ GenerationResult GenerateCVdpsSequences(const Instance& instance,
   ctx.adj = pruned ? &adj : nullptr;
   ctx.n = n;
   ctx.cap = config.max_set_size == 0 ? n : std::min(config.max_set_size, n);
+  ctx.earliest_expiry.resize(n);
+  ctx.total_reward.resize(n);
+  for (uint32_t j = 0; j < n; ++j) {
+    const DeliveryPoint& dp = instance.delivery_point(j);
+    ctx.earliest_expiry[j] = dp.earliest_expiry();
+    ctx.total_reward[j] = dp.total_reward();
+  }
 
   // max_entries > 0 forces a single shard: the truncation point is
   // path-dependent, and only the serial path reproduces it exactly.

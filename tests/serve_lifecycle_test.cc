@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/queue.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "util/thread_pool.h"
+
+// Lifecycle and admission-control semantics of the assignment server:
+// typed rejections (full queue, unknown center, protocol violations,
+// shutdown), drain-on-shutdown answering every admitted request —
+// including force-sealing batches whose tick never saw final_in_tick —
+// and the paused-server path tests use to fill the queue
+// deterministically.
+
+namespace fta {
+namespace {
+
+ServerConfig TinyServer(size_t queue_capacity, bool start_paused) {
+  ServerConfig config;
+  config.num_threads = 2;
+  config.queue_capacity = queue_capacity;
+  config.tick_period = 0.1;
+  config.engine.policy = ResolvePolicy::kWarm;
+  config.engine.solver = StreamSolver::kFgt;
+  config.engine.vdps.epsilon = 2.0;
+  config.engine.vdps.max_set_size = 3;
+  config.engine.seed = 11;
+  config.start_paused = start_paused;
+  return config;
+}
+
+std::vector<CenterSpec> TwoCenters() {
+  return {{Point{1.0, 1.0}}, {Point{9.0, 9.0}}};
+}
+
+ServeRequest TaskRequest(uint32_t center, uint64_t tick, bool final_in_tick) {
+  ServeRequest req;
+  req.center = center;
+  req.tick = tick;
+  req.final_in_tick = final_in_tick;
+  StreamEvent ev;
+  ev.kind = StreamEventKind::kTaskArrival;
+  ev.time = static_cast<double>(tick) * 0.1;
+  ev.location = Point{1.5, 1.5};
+  ev.service_window = 1.0;
+  StreamEvent worker;
+  worker.kind = StreamEventKind::kWorkerArrival;
+  worker.time = ev.time;
+  worker.worker.location = Point{1.2, 1.2};
+  req.events = {worker, ev};
+  return req;
+}
+
+TEST(ServeLifecycleTest, QueueFullShedsAndDrainAnswersTheAdmitted) {
+  ThreadPool pool(2);
+  AssignmentServer server(TinyServer(/*queue_capacity=*/2, true), TwoCenters(),
+                          &pool);
+  // Paused server: admitted requests pile up against the bound.
+  EXPECT_EQ(server.Submit(TaskRequest(0, 0, true)), AdmissionCode::kAdmitted);
+  EXPECT_EQ(server.Submit(TaskRequest(1, 0, true)), AdmissionCode::kAdmitted);
+  EXPECT_EQ(server.Submit(TaskRequest(0, 1, true)), AdmissionCode::kQueueFull);
+  EXPECT_EQ(server.in_flight(), 2u);
+  server.Drain();
+  EXPECT_EQ(server.in_flight(), 0u);
+  EXPECT_EQ(server.counters().admitted, 2u);
+  EXPECT_EQ(server.counters().answered, 2u);
+  EXPECT_EQ(server.counters().rejected_full, 1u);
+  EXPECT_EQ(server.counters().batches, 2u);
+  EXPECT_EQ(server.responses(0).size(), 1u);
+  EXPECT_EQ(server.responses(1).size(), 1u);
+}
+
+TEST(ServeLifecycleTest, DrainForceSealsOpenBatches) {
+  ThreadPool pool(2);
+  AssignmentServer server(TinyServer(16, false), TwoCenters(), &pool);
+  // Never sealed: final_in_tick is false on every request.
+  EXPECT_EQ(server.Submit(TaskRequest(0, 0, false)), AdmissionCode::kAdmitted);
+  EXPECT_EQ(server.Submit(TaskRequest(0, 0, false)), AdmissionCode::kAdmitted);
+  server.Drain();
+  EXPECT_EQ(server.counters().answered, 2u);
+  ASSERT_EQ(server.responses(0).size(), 1u);
+  EXPECT_EQ(server.responses(0)[0].coalesced_requests, 2u);
+  EXPECT_EQ(server.responses(0)[0].tick, 0u);
+}
+
+TEST(ServeLifecycleTest, TypedRejections) {
+  ThreadPool pool(2);
+  AssignmentServer server(TinyServer(16, true), TwoCenters(), &pool);
+  EXPECT_EQ(server.Submit(TaskRequest(7, 0, true)),
+            AdmissionCode::kUnknownCenter);
+  // Open batch at tick 2; a different tick while open is out of order.
+  EXPECT_EQ(server.Submit(TaskRequest(0, 2, false)), AdmissionCode::kAdmitted);
+  EXPECT_EQ(server.Submit(TaskRequest(0, 3, true)),
+            AdmissionCode::kOutOfOrder);
+  EXPECT_EQ(server.Submit(TaskRequest(0, 2, true)), AdmissionCode::kAdmitted);
+  // Sealed: the tick cannot be reopened, and the past is closed.
+  EXPECT_EQ(server.Submit(TaskRequest(0, 2, true)),
+            AdmissionCode::kOutOfOrder);
+  EXPECT_EQ(server.Submit(TaskRequest(0, 1, true)),
+            AdmissionCode::kOutOfOrder);
+  // Skipping forward is legal: ticks are sparse per center.
+  EXPECT_EQ(server.Submit(TaskRequest(0, 9, true)), AdmissionCode::kAdmitted);
+  server.Drain();
+  EXPECT_EQ(server.Submit(TaskRequest(0, 10, true)),
+            AdmissionCode::kShuttingDown);
+  EXPECT_EQ(server.counters().rejected_unknown, 1u);
+  EXPECT_EQ(server.counters().rejected_order, 3u);
+  EXPECT_EQ(server.counters().rejected_shutdown, 1u);
+  EXPECT_EQ(server.counters().answered, 3u);
+}
+
+TEST(ServeLifecycleTest, CallbackSeesEveryBatchInShardOrder) {
+  ThreadPool pool(2);
+  AssignmentServer server(TinyServer(16, true), TwoCenters(), &pool);
+  Mutex mu;
+  std::vector<uint64_t> seqs[2];
+  server.set_response_callback([&](const ServeResponse& r) {
+    MutexLock lock(&mu);
+    seqs[r.center].push_back(r.shard_seq);
+  });
+  for (uint64_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(server.Submit(TaskRequest(0, t, true)), AdmissionCode::kAdmitted);
+    EXPECT_EQ(server.Submit(TaskRequest(1, t, true)), AdmissionCode::kAdmitted);
+  }
+  server.Resume();
+  server.Drain();
+  for (int c = 0; c < 2; ++c) {
+    ASSERT_EQ(seqs[c].size(), 4u);
+    for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(seqs[c][i], i);
+  }
+}
+
+TEST(ServeLifecycleTest, DrainIsIdempotentAndImpliedByDestruction) {
+  ThreadPool pool(2);
+  AssignmentServer server(TinyServer(16, false), TwoCenters(), &pool);
+  EXPECT_EQ(server.Submit(TaskRequest(0, 0, true)), AdmissionCode::kAdmitted);
+  server.Drain();
+  server.Drain();
+  EXPECT_EQ(server.counters().answered, 1u);
+  // Destructor drains again — must be a no-op, not a hang or double count.
+}
+
+TEST(ServeLifecycleTest, BoundedQueueCloseWakesPoppers) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.TryPush(1), QueuePush::kOk);
+  EXPECT_EQ(q.TryPush(2), QueuePush::kOk);
+  EXPECT_EQ(q.TryPush(3), QueuePush::kFull);
+  q.Close();
+  EXPECT_EQ(q.TryPush(4), QueuePush::kClosed);
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.Pop(&v));  // closed and drained: no block, no value
+}
+
+TEST(ServeLifecycleTest, PrometheusPageContainsShardWindows) {
+  ThreadPool pool(2);
+  AssignmentServer server(TinyServer(16, false), TwoCenters(), &pool);
+  EXPECT_EQ(server.Submit(TaskRequest(0, 0, true)), AdmissionCode::kAdmitted);
+  server.Drain();
+  const std::string page = server.PrometheusText();
+  EXPECT_NE(page.find("serve_shard0_solve_ms"), std::string::npos);
+  EXPECT_NE(page.find("serve_shard1_solve_ms"), std::string::npos);
+  EXPECT_NE(page.find("fta_serve_admitted_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fta

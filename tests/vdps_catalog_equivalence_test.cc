@@ -231,6 +231,39 @@ TEST(CatalogEquivalenceEdgeTest, TruncatedRunStaysSerial) {
   EXPECT_EQ(parallel.counters.shards, 1u);
 }
 
+// An externally injected pool (VdpsConfig::pool — what the replay benches
+// and the assignment server's callers use to amortize thread spawn) must
+// produce the same catalog as an owned pool at the same width, a 1-thread
+// injected pool must take the serial path, and the stored config must not
+// retain the caller's pointer past Generate().
+TEST(CatalogEquivalenceEdgeTest, InjectedPoolMatchesOwnedPool) {
+  const Instance inst = RandomInstance(11);
+  VdpsConfig config;
+  config.epsilon = 2.5;
+  config.max_set_size = 3;
+  const VdpsCatalog serial = VdpsCatalog::Generate(inst, config);
+
+  ThreadPool pool(4);
+  VdpsConfig injected = config;
+  injected.pool = &pool;
+  const VdpsCatalog shared = VdpsCatalog::Generate(inst, injected);
+  ExpectCatalogsIdentical(serial, shared, "serial vs injected 4-thread pool");
+  EXPECT_EQ(shared.config().pool, nullptr)
+      << "Generate() must scrub the injected pool from the stored config";
+
+  VdpsConfig owned = config;
+  owned.num_threads = 4;
+  const VdpsCatalog spawned = VdpsCatalog::Generate(inst, owned);
+  ExpectCatalogsIdentical(spawned, shared, "owned pool vs injected pool");
+
+  ThreadPool single(1);
+  VdpsConfig one = config;
+  one.pool = &single;
+  const VdpsCatalog serial_injected = VdpsCatalog::Generate(inst, one);
+  ExpectCatalogsIdentical(serial, serial_injected,
+                          "serial vs injected 1-thread pool");
+}
+
 // Thread counts beyond the root count (more shards than work) must not
 // disturb anything either.
 TEST(CatalogEquivalenceEdgeTest, MoreThreadsThanRoots) {

@@ -53,6 +53,8 @@ TRACKED = [
     ("game", "speedup", "higher"),
     ("simd", "speedup", "higher"),
     ("stream", "warm_cold_ratio", "lower"),
+    ("serve", "serve8.throughput_assignments_per_s", "higher"),
+    ("serve", "serve8.p99_latency_ms", "lower"),
 ]
 
 

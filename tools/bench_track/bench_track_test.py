@@ -37,6 +37,15 @@ def game_bench(sha, ns_per_evaluate=200.0, speedup=6.0):
     }
 
 
+def serve_bench(sha, throughput=33000.0, p99=60.0):
+    return {
+        "bench": "serve", "meta": meta(sha),
+        "serve8": {"throughput_assignments_per_s": throughput,
+                   "p99_latency_ms": p99, "speedup_vs_sequential": 3.2},
+        "digest_identity": True, "pass": True,
+    }
+
+
 class BenchTrackTest(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
@@ -47,7 +56,8 @@ class BenchTrackTest(unittest.TestCase):
         self.tmp.cleanup()
 
     def write_benches(self, sha, **overrides):
-        docs = {"obs": obs_bench(sha), "game": game_bench(sha)}
+        docs = {"obs": obs_bench(sha), "game": game_bench(sha),
+                "serve": serve_bench(sha)}
         for stem, patch in overrides.items():
             docs[stem] = patch
         for stem, doc in docs.items():
@@ -75,10 +85,11 @@ class BenchTrackTest(unittest.TestCase):
             self.assertEqual(entry["schema"], bench_track.SCHEMA)
             self.assertEqual(entry["cpu"], "test-cpu")
             self.assertEqual(entry["build"], "release")
-            self.assertEqual(sorted(entry["benches"]), ["game", "obs"])
-        # Every tracked obs/game metric is resolvable in every entry.
+            self.assertEqual(sorted(entry["benches"]),
+                             ["game", "obs", "serve"])
+        # Every tracked obs/game/serve metric is resolvable in every entry.
         for bench, path, _ in bench_track.TRACKED:
-            if bench in ("obs", "game"):
+            if bench in ("obs", "game", "serve"):
                 for entry in entries:
                     self.assertIsNotNone(
                         bench_track.lookup(entry["benches"][bench], path),
@@ -127,6 +138,17 @@ class BenchTrackTest(unittest.TestCase):
         for sha in ("s1", "s2", "s3"):
             self.assertEqual(self.collect(sha), 0)
         self.write_benches("s4", game=game_bench("s4", speedup=3.0))
+        self.assertEqual(self.check(), 1)
+
+    def test_check_flags_serve_throughput_drop(self):
+        for sha in ("s1", "s2", "s3"):
+            self.assertEqual(self.collect(sha), 0)
+        # Throughput (higher-is-better) collapses by 40%.
+        self.write_benches(
+            "s4", serve=serve_bench("s4", throughput=20000.0))
+        self.assertEqual(self.check(), 1)
+        # p99 (lower-is-better) doubling is likewise a regression.
+        self.write_benches("s4", serve=serve_bench("s4", p99=120.0))
         self.assertEqual(self.check(), 1)
 
     def test_check_within_threshold_passes(self):

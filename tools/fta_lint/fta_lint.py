@@ -150,7 +150,7 @@ WALL_CLOCK_READ = re.compile(
     r"|\b(?:clock_gettime|gettimeofday|localtime(?:_r)?|gmtime(?:_r)?)\s*\("
 )
 # Path fragments the wall-clock-read rule applies to.
-WALL_CLOCK_SCOPES = ("src/obs/", "src/stream/")
+WALL_CLOCK_SCOPES = ("src/obs/", "src/stream/", "src/serve/")
 # The one sanctioned clock: the trace recorder's span timestamps, which
 # are wall-time-valued by design and never feed the determinism contract.
 WALL_CLOCK_SANCTIONED = ("src/obs/trace.cc",)
