@@ -7,13 +7,18 @@
 // rejection, which is what lets admission control shed load instead of
 // stalling the caller. Pop blocks until an item arrives or the queue is
 // closed and empty, the shutdown handshake Drain() relies on.
+//
+// Capacity kUnbounded (0) disables the bound: TryPush never returns
+// kFull. The server's token queue uses this — batch tokens are hints
+// that can outlive their batch (a runner drains a whole shard FIFO under
+// one token), so their count is NOT bounded by the admission accounting
+// that bounds requests; see server.h.
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <utility>
 
-#include "util/check.h"
 #include "util/mutex.h"
 
 namespace fta {
@@ -27,17 +32,20 @@ enum class QueuePush : uint8_t {
 template <typename T>
 class BoundedQueue {
  public:
-  /// Capacity must be >= 1 (checked).
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
-    FTA_CHECK_MSG(capacity_ >= 1, "BoundedQueue capacity must be >= 1");
-  }
+  /// Capacity sentinel: no bound, TryPush never returns kFull.
+  static constexpr size_t kUnbounded = 0;
+
+  /// Capacity must be >= 1, or kUnbounded.
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
 
   /// Non-blocking enqueue with a typed outcome.
   QueuePush TryPush(T item) FTA_EXCLUDES(mu_) {
     {
       MutexLock lock(&mu_);
       if (closed_) return QueuePush::kClosed;
-      if (items_.size() >= capacity_) return QueuePush::kFull;
+      if (capacity_ != kUnbounded && items_.size() >= capacity_) {
+        return QueuePush::kFull;
+      }
       items_.push_back(std::move(item));
     }
     cv_.NotifyOne();
@@ -70,6 +78,7 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// kUnbounded (0) for an unbounded queue.
   size_t capacity() const { return capacity_; }
 
  private:

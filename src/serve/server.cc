@@ -1,6 +1,5 @@
 #include "serve/server.h"
 
-#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -140,7 +139,11 @@ AssignmentServer::AssignmentServer(ServerConfig config,
                                    ThreadPool* pool)
     : config_(std::move(config)),
       pool_(pool),
-      batch_queue_(std::max<size_t>(size_t{1}, config_.queue_capacity)) {
+      // Unbounded on purpose: a runner drains its whole shard FIFO under
+      // one token, so sibling tokens go stale and outlive the in-flight
+      // accounting that bounds *requests* — tying the token queue's
+      // capacity to queue_capacity would overflow on such stale tokens.
+      batch_queue_(BoundedQueue<uint32_t>::kUnbounded) {
   if (config_.num_threads == 0) config_.num_threads = 1;
   FTA_CHECK_MSG(pool_ != nullptr, "AssignmentServer requires a ThreadPool");
   FTA_CHECK_MSG(pool_->num_threads() >= config_.num_threads,
@@ -161,41 +164,41 @@ AssignmentServer::~AssignmentServer() { Drain(); }
 AdmissionCode AssignmentServer::Submit(ServeRequest request) {
   const uint32_t center = request.center;
   const bool seal = request.final_in_tick;
+  MutexLock lock(&admit_mu_);
+  if (draining_) {
+    ++counters_.rejected_shutdown;
+    return AdmissionCode::kShuttingDown;
+  }
+  if (center >= shards_.size()) {
+    ++counters_.rejected_unknown;
+    return AdmissionCode::kUnknownCenter;
+  }
+  AdmitState& as = admit_[center];
+  const bool in_order = as.open ? request.tick == as.open_tick
+                                : request.tick >= as.min_tick;
+  if (!in_order) {
+    ++counters_.rejected_order;
+    return AdmissionCode::kOutOfOrder;
+  }
+  if (in_flight_ >= config_.queue_capacity) {
+    ++counters_.rejected_full;
+    return AdmissionCode::kQueueFull;
+  }
+  // Admitted. Sequence and batch membership are fixed here, under the
+  // admission mutex, in Submit call order — the determinism linchpin.
+  ++in_flight_;
+  ++counters_.admitted;
+  const uint64_t gseq = global_seq_++;
+  if (!as.open) {
+    as.open = true;
+    as.open_tick = request.tick;
+  }
+  if (seal) {
+    as.open = false;
+    as.min_tick = request.tick + 1;
+  }
+  Shard& s = *shards_[center];
   {
-    MutexLock lock(&admit_mu_);
-    if (draining_) {
-      ++counters_.rejected_shutdown;
-      return AdmissionCode::kShuttingDown;
-    }
-    if (center >= shards_.size()) {
-      ++counters_.rejected_unknown;
-      return AdmissionCode::kUnknownCenter;
-    }
-    AdmitState& as = admit_[center];
-    const bool in_order = as.open ? request.tick == as.open_tick
-                                  : request.tick >= as.min_tick;
-    if (!in_order) {
-      ++counters_.rejected_order;
-      return AdmissionCode::kOutOfOrder;
-    }
-    if (in_flight_ >= config_.queue_capacity) {
-      ++counters_.rejected_full;
-      return AdmissionCode::kQueueFull;
-    }
-    // Admitted. Sequence and batch membership are fixed here, under the
-    // admission mutex, in Submit call order — the determinism linchpin.
-    ++in_flight_;
-    ++counters_.admitted;
-    const uint64_t gseq = global_seq_++;
-    if (!as.open) {
-      as.open = true;
-      as.open_tick = request.tick;
-    }
-    if (seal) {
-      as.open = false;
-      as.min_tick = request.tick + 1;
-    }
-    Shard& s = *shards_[center];
     MutexLock slock(&s.mu);
     if (!s.open_active) {
       s.open = Shard::Batch();
@@ -214,11 +217,13 @@ AdmissionCode AssignmentServer::Submit(ServeRequest request) {
     }
   }
   if (seal) {
-    // Cannot overflow: every queued token maps to >= 1 in-flight request,
-    // and admission bounds those at queue_capacity.
+    // Pushed while still holding admit_mu_: Drain() flips draining_ under
+    // this mutex strictly before it can Close() the queue, and this thread
+    // observed draining_ == false above, so kClosed is unreachable; the
+    // token queue is unbounded, so kFull is too.
     const QueuePush r = batch_queue_.TryPush(center);
     FTA_CHECK_MSG(r == QueuePush::kOk,
-                  "batch queue overflow despite admission accounting");
+                  "token push failed under the admission lock");
   }
   return AdmissionCode::kAdmitted;
 }
@@ -314,30 +319,40 @@ void AssignmentServer::RunShard(uint32_t center) {
 }
 
 void AssignmentServer::Drain() {
-  if (drained_) return;
   // 1. Stop admission and force-seal every open batch, so each admitted
   //    request is answered even when its tick never saw final_in_tick.
-  std::vector<uint32_t> sealed;
+  //    The thread that flips draining_ owns the drain sequence; any
+  //    concurrent caller (an explicit Drain racing the destructor's, say)
+  //    waits for the owner to finish rather than running it twice.
   {
     MutexLock lock(&admit_mu_);
+    if (draining_) {
+      while (!drained_) drain_cv_.Wait(admit_mu_);
+      return;
+    }
     draining_ = true;
     for (uint32_t c = 0; c < static_cast<uint32_t>(admit_.size()); ++c) {
       if (!admit_[c].open) continue;
       admit_[c].open = false;
       admit_[c].min_tick = admit_[c].open_tick + 1;
       Shard& s = *shards_[c];
-      MutexLock slock(&s.mu);
-      if (s.open_active) {
-        s.ready.push_back(std::move(s.open));
-        s.open = Shard::Batch();
-        s.open_active = false;
-        sealed.push_back(c);
+      bool force_sealed = false;
+      {
+        MutexLock slock(&s.mu);
+        if (s.open_active) {
+          s.ready.push_back(std::move(s.open));
+          s.open = Shard::Batch();
+          s.open_active = false;
+          force_sealed = true;
+        }
+      }
+      // Unbounded queue, not yet closed (only this owner closes it, below):
+      // the push cannot fail.
+      if (force_sealed) {
+        FTA_CHECK_MSG(batch_queue_.TryPush(c) == QueuePush::kOk,
+                      "token push failed during drain");
       }
     }
-  }
-  for (uint32_t c : sealed) {
-    FTA_CHECK_MSG(batch_queue_.TryPush(c) == QueuePush::kOk,
-                  "batch queue overflow during drain");
   }
   // 2. Runners must be live to drain the backlog (a paused server drains
   //    too).
@@ -356,7 +371,10 @@ void AssignmentServer::Drain() {
     final_counters = counters_;
   }
   PublishServe(final_counters);
+  // 5. Release any waiters from step 1.
+  MutexLock lock(&admit_mu_);
   drained_ = true;
+  drain_cv_.NotifyAll();
 }
 
 ServeCounters AssignmentServer::counters() const {

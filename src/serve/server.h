@@ -2,12 +2,13 @@
 #define FTA_SERVE_SERVER_H_
 
 // Sharded multi-center assignment server (ROADMAP item 2's chassis): a
-// bounded MPMC admission queue in front of one TickEngine shard per
-// distribution center, solved concurrently on a ThreadPool.
+// bounded admission stage (in-flight request accounting) in front of one
+// TickEngine shard per distribution center, solved concurrently on a
+// ThreadPool.
 //
 // Pipeline:  Submit() → admission control (typed reject/shed) → per-center
 // batch coalescing (requests of one tick merge into one solve) → sealed
-// batches flow through the BoundedQueue to runner threads → each runner
+// batches flow through an MPMC token queue to runner threads → each runner
 // drains its shard FIFO, runs the shared stream/ tick machinery (delta-
 // patched catalog, warm-started solver), and emits a sequence-numbered
 // response.
@@ -128,7 +129,9 @@ class AssignmentServer {
 
   /// Stops admission, force-seals any open batches so every admitted
   /// request is answered, completes all in-flight work, and parks the
-  /// runners. Idempotent; implied by destruction.
+  /// runners. Idempotent and safe to call concurrently (the first caller
+  /// runs the sequence once; the rest block until it completes); implied
+  /// by destruction.
   void Drain() FTA_EXCLUDES(admit_mu_);
 
   size_t num_shards() const { return shards_.size(); }
@@ -161,9 +164,13 @@ class AssignmentServer {
   ThreadPool* pool_;
   ResponseCallback callback_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  /// Sealed-batch hand-off to the runners; capacity == queue_capacity
-  /// (each sealed batch holds >= 1 admitted request, so admission
-  /// accounting bounds it first — TryPush never sees kFull).
+  /// Sealed-batch hand-off to the runners. Unbounded: tokens are hints,
+  /// and a runner drains its whole shard FIFO under one token, so sibling
+  /// tokens go stale in here after their batches are answered (and their
+  /// requests left in_flight_). Request-level boundedness is enforced by
+  /// the in_flight_ check in Submit, never by this queue; tokens are
+  /// pushed under admit_mu_, so Drain's Close() cannot be ordered between
+  /// an admission and its push (kClosed is unreachable in Submit).
   BoundedQueue<uint32_t> batch_queue_;
 
   /// Per-center admission protocol state (guarded by admit_mu_, not the
@@ -186,7 +193,10 @@ class AssignmentServer {
   size_t runners_active_ FTA_GUARDED_BY(admit_mu_) = 0;
   std::vector<AdmitState> admit_ FTA_GUARDED_BY(admit_mu_);
   ServeCounters counters_ FTA_GUARDED_BY(admit_mu_);
-  bool drained_ = false;
+  /// Set by the draining thread once the full sequence (including the
+  /// counter publish) completed; concurrent Drain() callers wait on
+  /// drain_cv_ for it instead of re-running the sequence.
+  bool drained_ FTA_GUARDED_BY(admit_mu_) = false;
 };
 
 }  // namespace fta

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/queue.h"
 #include "serve/request.h"
 #include "serve/server.h"
@@ -156,6 +159,95 @@ TEST(ServeLifecycleTest, BoundedQueueCloseWakesPoppers) {
   EXPECT_TRUE(q.Pop(&v));
   EXPECT_EQ(v, 2);
   EXPECT_FALSE(q.Pop(&v));  // closed and drained: no block, no value
+}
+
+TEST(ServeLifecycleTest, UnboundedQueueNeverReportsFull) {
+  BoundedQueue<int> q(BoundedQueue<int>::kUnbounded);
+  EXPECT_EQ(q.capacity(), BoundedQueue<int>::kUnbounded);
+  for (int i = 0; i < 4096; ++i) ASSERT_EQ(q.TryPush(i), QueuePush::kOk);
+  int v = -1;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 0);
+  q.Close();
+  EXPECT_EQ(q.TryPush(0), QueuePush::kClosed);
+}
+
+// Regression for the stale-token overflow: a runner drains every ready
+// batch of its shard under the FIRST token it pops, so the sibling
+// batches' tokens stay queued after those requests already left
+// in_flight_. When the token queue's capacity was tied to
+// queue_capacity, the admissions those freed slots allow would overflow
+// it and abort the process. Hammer that exact pattern — one runner, a
+// tiny admission bound, one hot center, retry-on-full — and require
+// every admitted request answered.
+TEST(ServeLifecycleTest, StaleTokensDoNotBreakAdmissionAccounting) {
+  ThreadPool pool(1);
+  ServerConfig config = TinyServer(/*queue_capacity=*/2, false);
+  config.num_threads = 1;
+  AssignmentServer server(config, TwoCenters(), &pool);
+  uint64_t admitted = 0;
+  // 32 ticks: enough drain-all rounds to pile up stale tokens many times
+  // over, while the shard's accumulating instance stays cheap to solve.
+  for (uint64_t tick = 0; tick < 32; ++tick) {
+    AdmissionCode code;
+    while ((code = server.Submit(TaskRequest(0, tick, true))) ==
+           AdmissionCode::kQueueFull) {
+      // Yield, or this retry loop re-acquires admit_mu_ so hot that the
+      // lone runner starves and in_flight_ never comes down.
+      std::this_thread::yield();
+    }
+    ASSERT_EQ(code, AdmissionCode::kAdmitted);
+    ++admitted;
+  }
+  server.Drain();
+  EXPECT_EQ(server.counters().admitted, admitted);
+  EXPECT_EQ(server.counters().answered, admitted);
+  EXPECT_EQ(server.responses(0).size(), admitted);  // one sealed batch each
+}
+
+// Submit racing Drain is a supported interleaving (kShuttingDown is a
+// legal answer): an admitted Submit pushes its token under admit_mu_, so
+// it can never observe the drain's queue Close(), and its request must
+// be answered.
+TEST(ServeLifecycleTest, SubmitDuringDrainIsAnsweredOrShed) {
+  ThreadPool pool(2);
+  AssignmentServer server(TinyServer(8, false), TwoCenters(), &pool);
+  std::atomic<uint64_t> admitted{0};
+  std::thread producer([&] {
+    for (uint64_t tick = 0; tick < 400; ++tick) {
+      const AdmissionCode code = server.Submit(TaskRequest(0, tick, true));
+      if (code == AdmissionCode::kShuttingDown) return;
+      if (code == AdmissionCode::kAdmitted) ++admitted;
+      // kQueueFull: skip to the next tick (rejections leave no state, so
+      // the tick numbers stay admissible).
+    }
+  });
+  server.Drain();
+  producer.join();
+  EXPECT_EQ(server.counters().admitted, admitted.load());
+  EXPECT_EQ(server.counters().answered, admitted.load());
+}
+
+// Concurrent Drain calls (e.g. an explicit Drain racing the
+// destructor's) must run the drain sequence exactly once: one owner
+// runs it, the other waits for completion, and the final counters
+// publish to the registry once.
+TEST(ServeLifecycleTest, ConcurrentDrainRunsTheSequenceOnce) {
+  obs::Counter& drains =
+      obs::MetricsRegistry::Global().GetCounter("serve/drains");
+  const uint64_t before = drains.Value();
+  {
+    ThreadPool pool(2);
+    AssignmentServer server(TinyServer(16, false), TwoCenters(), &pool);
+    EXPECT_EQ(server.Submit(TaskRequest(0, 0, true)),
+              AdmissionCode::kAdmitted);
+    std::thread other([&] { server.Drain(); });
+    server.Drain();
+    other.join();
+    EXPECT_EQ(server.counters().answered, 1u);
+    // The destructor drains a third time — a waiter-side no-op by then.
+  }
+  EXPECT_EQ(drains.Value() - before, 1u);
 }
 
 TEST(ServeLifecycleTest, PrometheusPageContainsShardWindows) {
